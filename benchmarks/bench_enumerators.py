@@ -1,0 +1,123 @@
+"""Experiment X-ENUM — the enumerator families the paper's estimates feed.
+
+"Incremental estimation is used, for example, in the dynamic programming
+algorithm [13], the AB algorithm [15] and randomized algorithms [14, 5]."
+
+This bench runs the implemented members of those families — exact DP
+(left-deep and bushy), the greedy heuristic, iterative improvement, and
+simulated annealing — over random chain queries, comparing plan cost
+against the DP optimum and measuring enumeration time as the query grows.
+
+Asserted shape: every enumerator returns a complete plan; greedy and the
+randomized searches stay within a small factor of the DP optimum on
+8-table chains; DP time grows much faster than greedy time with the
+relation count.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.analysis import AsciiTable
+from repro.catalog import Catalog
+from repro.core import ELS, JoinSizeEstimator
+from repro.optimizer import (
+    CostModel,
+    enumerate_annealing,
+    enumerate_dp,
+    enumerate_dp_bushy,
+    enumerate_greedy,
+    enumerate_iterative_improvement,
+    leaf_order,
+)
+from repro.workloads import chain_workload
+
+
+def setup_chain(num_tables, seed, max_rows=20000):
+    workload = chain_workload(
+        num_tables, random.Random(seed), min_rows=100, max_rows=max_rows
+    )
+    entries = {
+        spec.name: (spec.rows, {c: cs.distinct for c, cs in spec.columns.items()})
+        for spec in workload.specs
+    }
+    catalog = Catalog.from_stats(entries)
+    estimator = JoinSizeEstimator(workload.query, catalog, ELS)
+    widths = {spec.name: 4 for spec in workload.specs}
+    rows = {spec.name: spec.rows for spec in workload.specs}
+    return estimator, widths, rows
+
+
+ENUMERATORS = {
+    "DP (left-deep)": enumerate_dp,
+    "DP (bushy)": enumerate_dp_bushy,
+    "greedy": enumerate_greedy,
+    "iterative improvement": lambda e, m, w, r, **kw: enumerate_iterative_improvement(
+        e, m, w, r, seed=13, restarts=6
+    ),
+    "annealing": lambda e, m, w, r, **kw: enumerate_annealing(e, m, w, r, seed=13),
+}
+
+
+@pytest.fixture(scope="module")
+def quality_table():
+    model = CostModel()
+    results = {}
+    table = AsciiTable(
+        ["Enumerator", "Mean cost / DP optimum", "Mean time (ms)"],
+        title="Enumerator plan quality on 5 random 8-table chains",
+    )
+    trials = [setup_chain(8, seed) for seed in range(5)]
+    for name, enumerate_fn in ENUMERATORS.items():
+        ratios = []
+        times = []
+        for estimator, widths, rows in trials:
+            baseline = enumerate_dp(estimator, model, widths, rows)
+            started = time.perf_counter()
+            plan = enumerate_fn(estimator, model, widths, rows)
+            times.append((time.perf_counter() - started) * 1000)
+            ratios.append(plan.estimated_cost / baseline.estimated_cost)
+        results[name] = (sum(ratios) / len(ratios), sum(times) / len(times))
+        table.add_row(name, results[name][0], results[name][1])
+    print("\n" + table.render() + "\n")
+    return results
+
+
+def test_all_enumerators_complete(benchmark, quality_table):
+    estimator, widths, rows = setup_chain(6, seed=42)
+    model = CostModel()
+
+    def run_all():
+        plans = [fn(estimator, model, widths, rows) for fn in ENUMERATORS.values()]
+        return [len(leaf_order(p)) for p in plans]
+
+    counts = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    assert counts == [6] * len(ENUMERATORS)
+
+
+def test_heuristics_near_dp_optimum(benchmark, quality_table):
+    benchmark(lambda: None)
+    assert quality_table["DP (bushy)"][0] <= 1.0 + 1e-9
+    assert quality_table["greedy"][0] < 2.0
+    assert quality_table["iterative improvement"][0] < 1.5
+    assert quality_table["annealing"][0] < 2.0
+
+
+def test_dp_scales_worse_than_greedy(benchmark):
+    model = CostModel()
+    estimator, widths, rows = setup_chain(12, seed=9, max_rows=3000)
+
+    def both():
+        t0 = time.perf_counter()
+        enumerate_greedy(estimator, model, widths, rows)
+        greedy_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        enumerate_dp(estimator, model, widths, rows)
+        dp_time = time.perf_counter() - t0
+        return greedy_time, dp_time
+
+    greedy_time, dp_time = benchmark.pedantic(both, rounds=2, iterations=1)
+    assert dp_time > greedy_time * 3

@@ -1,0 +1,91 @@
+"""Experiment X-ERR — error propagation with the number of joins.
+
+The paper's introduction cites Ioannidis & Christodoulakis [4], who show
+analytically that estimation errors in single-equivalence-class queries
+propagate (multiplicatively) as joins accumulate.  Our chain workloads put
+every join column into one class — the worst case for Rule M, which keeps
+multiplying redundant selectivities.
+
+The bench runs random chains (with local predicates), executes every prefix
+for ground truth, and prints geometric-mean q-error per (algorithm, number
+of joins).  Asserted shape: Rule M's error grows monotonically in the join
+count and ends orders of magnitude above ELS's, whose error stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AsciiTable, run_error_propagation
+
+MAX_TABLES = 6
+TRIALS = 8
+
+
+@pytest.fixture(scope="module")
+def points():
+    points = run_error_propagation(
+        max_tables=MAX_TABLES,
+        trials=TRIALS,
+        seed=11,
+        min_rows=100,
+        max_rows=800,
+        local_predicate_probability=0.3,
+    )
+    table = AsciiTable(
+        ["Algorithm", "Joins", "q-error (gmean)", "q-error (p90)", "mean log10(est/true)"],
+        title="Error propagation on random single-class chains (truth = executed counts)",
+    )
+    for point in points:
+        table.add_row(
+            point.algorithm,
+            point.num_joins,
+            point.q_errors.geometric_mean,
+            point.q_errors.p90,
+            point.mean_log10_ratio,
+        )
+    print("\n" + table.render() + "\n")
+    return points
+
+
+def by_algorithm(points, name):
+    return sorted(
+        (p for p in points if p.algorithm == name), key=lambda p: p.num_joins
+    )
+
+
+def test_error_propagation_run(benchmark, points):
+    """Time a small propagation run; assert the full run's shape."""
+    benchmark.pedantic(
+        run_error_propagation,
+        kwargs={"max_tables": 3, "trials": 2, "seed": 1},
+        rounds=2,
+        iterations=1,
+    )
+    m_curve = by_algorithm(points, "SM + PTC")
+    els_curve = by_algorithm(points, "ELS")
+
+    # Rule M's error grows with the number of joins...
+    gmeans = [p.q_errors.geometric_mean for p in m_curve]
+    assert gmeans[-1] > gmeans[0] * 10
+
+    # ...and it always underestimates (negative log ratio).
+    assert all(p.mean_log10_ratio < 0 for p in m_curve[1:])
+
+    # ELS stays within a small constant factor at every depth.
+    for point in els_curve:
+        assert point.q_errors.geometric_mean < 5.0
+
+    # At the deepest point, M is orders of magnitude worse than ELS.
+    assert (
+        m_curve[-1].q_errors.geometric_mean
+        > els_curve[-1].q_errors.geometric_mean * 100
+    )
+
+
+def test_ss_sits_between_m_and_ls(benchmark, points):
+    benchmark(lambda: None)
+    m = by_algorithm(points, "SM + PTC")[-1].q_errors.geometric_mean
+    ss = by_algorithm(points, "SSS + PTC")[-1].q_errors.geometric_mean
+    els = by_algorithm(points, "ELS")[-1].q_errors.geometric_mean
+    assert els <= ss <= m

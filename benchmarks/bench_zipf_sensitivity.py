@@ -1,0 +1,89 @@
+"""Experiment X-ZIPF — sensitivity to skewed (Zipf) join columns.
+
+Section 9 (future work): "Relaxing the [uniformity] assumption in the case
+of join predicates would enable query optimizers to account for important
+data distributions such as the Zipfian distribution [17, 3]."
+
+All of the paper's machinery assumes uniform join columns.  This bench
+quantifies what that costs: chains are generated with join-column skew
+swept from 0 (uniform) upward, each query is executed for ground truth,
+and per-skew q-errors are reported for every algorithm.
+
+Asserted shape: every algorithm degrades as skew grows (the assumption,
+not the rule, is what breaks), ELS remains the best of the family at every
+skew level, and at zero skew ELS is near-exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    PAPER_ALGORITHMS,
+    AsciiTable,
+    evaluate_workload,
+    summarize_errors,
+)
+from repro.workloads import chain_workload
+
+SKEWS = (0.0, 0.5, 1.0, 1.5)
+TRIALS = 8
+
+
+def errors_at_skew(skew, trials=TRIALS, seed_base=60):
+    errors = {spec.name: [] for spec in PAPER_ALGORITHMS}
+    rng = random.Random(seed_base)
+    for trial in range(trials):
+        workload = chain_workload(
+            3,
+            rng,
+            min_rows=200,
+            max_rows=1500,
+            skew=skew if skew > 0 else None,
+        )
+        records = evaluate_workload(workload, seed=seed_base + trial)
+        for record in records:
+            errors[record.algorithm].append(record.q_error)
+    return errors
+
+
+@pytest.fixture(scope="module")
+def skew_table():
+    results = {}
+    table = AsciiTable(
+        ["Skew (theta)"] + [spec.name for spec in PAPER_ALGORITHMS],
+        title="q-error (gmean) vs join-column Zipf skew, 3-table chains",
+    )
+    for skew in SKEWS:
+        errors = errors_at_skew(skew)
+        gmeans = {
+            name: summarize_errors(values).geometric_mean
+            for name, values in errors.items()
+        }
+        results[skew] = gmeans
+        table.add_row(skew, *[gmeans[spec.name] for spec in PAPER_ALGORITHMS])
+    print("\n" + table.render() + "\n")
+    return results
+
+
+def test_uniform_case_near_exact(benchmark, skew_table):
+    benchmark.pedantic(
+        errors_at_skew, kwargs={"skew": 0.0, "trials": 2}, rounds=2, iterations=1
+    )
+    assert skew_table[0.0]["ELS"] < 1.6
+
+
+def test_skew_degrades_all_algorithms(benchmark, skew_table):
+    benchmark(lambda: None)
+    for name in ("ELS", "SSS + PTC"):
+        assert skew_table[SKEWS[-1]][name] > skew_table[0.0][name]
+
+
+def test_els_remains_best_under_skew(benchmark, skew_table):
+    benchmark(lambda: None)
+    for skew in SKEWS:
+        gmeans = skew_table[skew]
+        assert gmeans["ELS"] <= gmeans["SM + PTC"] * 1.05
+        assert gmeans["ELS"] <= gmeans["SSS + PTC"] * 1.05

@@ -1,0 +1,19 @@
+"""Shared benchmark fixtures: the full-scale Section 8 database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import load_smbg_database
+
+
+@pytest.fixture(scope="session")
+def smbg_database_full():
+    """The paper's S/M/B/G tables at full scale (157k rows total)."""
+    return load_smbg_database(scale=1.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def smbg_database_small():
+    """10% scale for cheap per-iteration timing."""
+    return load_smbg_database(scale=0.1, seed=42)

@@ -1,0 +1,73 @@
+"""Estimation accuracy on random workloads, with executed ground truth.
+
+Generates random chain and star join queries, loads their synthetic data,
+executes each query for its true result size, and scores every estimation
+algorithm by q-error.  This is the experiment a modern reader wants next to
+the paper's single worked query: *how often* and *by how much* do the rules
+disagree?
+
+Run:  python examples/estimation_accuracy.py [trials]
+"""
+
+import random
+import sys
+
+from repro.analysis import (
+    PAPER_ALGORITHMS,
+    AsciiTable,
+    evaluate_workload,
+    summarize_errors,
+)
+from repro.workloads import chain_workload, star_workload
+
+
+def run_family(name, factory, trials, seed_base):
+    errors = {spec.name: [] for spec in PAPER_ALGORITHMS}
+    rng = random.Random(seed_base)
+    for trial in range(trials):
+        workload = factory(rng)
+        for record in evaluate_workload(workload, seed=seed_base + trial):
+            errors[record.algorithm].append(record.q_error)
+    table = AsciiTable(
+        ["Algorithm", "q-error gmean", "median", "p90", "max"],
+        title=f"{name} ({trials} random queries; truth = executed counts)",
+    )
+    for algorithm, values in errors.items():
+        summary = summarize_errors(values)
+        table.add_row(
+            algorithm,
+            summary.geometric_mean,
+            summary.median,
+            summary.p90,
+            summary.maximum,
+        )
+    print(table.render())
+    print()
+
+
+def main(trials: int = 15) -> None:
+    run_family(
+        "4-table chains with local predicates",
+        lambda rng: chain_workload(
+            4, rng, min_rows=100, max_rows=1500, local_predicate_probability=0.4
+        ),
+        trials,
+        seed_base=100,
+    )
+    run_family(
+        "3-dimension star joins",
+        lambda rng: star_workload(3, rng),
+        trials,
+        seed_base=200,
+    )
+    print(
+        "Chains put every join column in ONE equivalence class: Rule M\n"
+        "multiplies redundant selectivities and collapses, Rule SS picks the\n"
+        "wrong one, Rule LS tracks the closed form.  Stars have one class per\n"
+        "dimension, so the three rules coincide there — the gap is exactly\n"
+        "the paper's dependent-predicates story."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 15)

@@ -1,0 +1,40 @@
+"""EXPLAIN ANALYZE: watch estimates meet reality, node by node.
+
+Optimizes the paper's S/M/B/G query under Algorithm ELS and under Rule M,
+executes both plans, and prints per-node estimated-vs-actual row counts.
+The Rule M plan's join nodes show the collapse to ~0 estimated rows that
+misleads the optimizer; ELS's nodes track the truth.
+
+Run:  python examples/explain_analyze_demo.py
+"""
+
+from repro import ELS, SM, Optimizer
+from repro.analysis import explain_analyze, render_explain_analyze
+from repro.workloads import load_smbg_database, smbg_query
+
+
+def main() -> None:
+    database = load_smbg_database(scale=0.2, seed=11)
+    query = smbg_query(threshold=20)
+    optimizer = Optimizer(database.catalog)
+
+    for name, config in [("Algorithm ELS", ELS), ("Rule M (SM + PTC)", SM)]:
+        result = optimizer.optimize(query, config)
+        comparisons, run = explain_analyze(result.plan, database)
+        print(f"=== {name}: join order {' >< '.join(result.join_order)} "
+              f"(true count {run.count}) ===")
+        print(render_explain_analyze(comparisons))
+        print()
+
+    print(
+        "Reading the tables: every scan is filtered to the same ~19 rows by\n"
+        "the closure-implied local predicates, so the difference is entirely\n"
+        "in the join nodes — Rule M multiplies the selectivities of all six\n"
+        "(mutually dependent) join predicates and its estimates fall to ~0,\n"
+        "while ELS keeps one selectivity per equivalence class and stays\n"
+        "within rounding of the executed row counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

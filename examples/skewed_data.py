@@ -1,0 +1,89 @@
+"""Skewed data: where the paper's assumptions help and where they break.
+
+Two demonstrations on Zipf-distributed columns:
+
+1. **Local predicates** (the part the paper already handles): Section 5
+   notes that distribution statistics can replace uniformity for local
+   predicate selectivities.  We filter a skewed column with and without an
+   equi-depth histogram + most-common-values list in the catalog and
+   compare both estimates with the executed truth.
+
+2. **Join predicates** (the paper's future work): join-column skew breaks
+   Equation 2 for every rule; we sweep the Zipf exponent and report the
+   q-error growth of ELS on a chain query.
+
+Run:  python examples/skewed_data.py
+"""
+
+import random
+
+from repro import ELS, JoinSizeEstimator, parse_query
+from repro.analysis import (
+    AsciiTable,
+    evaluate_workload,
+    q_error,
+    summarize_errors,
+    true_join_size,
+)
+from repro.catalog import HistogramKind
+from repro.storage import Database
+from repro.catalog.schema import TableSchema
+from repro.workloads import chain_workload, zipf_column
+
+import numpy as np
+
+
+def local_predicate_demo() -> None:
+    rng = np.random.default_rng(7)
+    values = zipf_column(20000, 1000, skew=1.3, rng=rng)
+    database = Database()
+    database.load_columns(TableSchema.of("R", "x"), {"x": values})
+
+    query = parse_query("SELECT COUNT(*) FROM R WHERE R.x <= 3")
+    truth = sum(1 for v in values if v <= 3)
+
+    table = AsciiTable(
+        ["Catalog statistics", "Estimated rows", "True rows"],
+        title="Local predicate 'x <= 3' on a Zipf(1.3) column (hot values are small ranks)",
+    )
+    for label, histogram, mcv_k in [
+        ("cardinalities only", HistogramKind.NONE, 0),
+        ("+ equi-depth histogram", HistogramKind.EQUI_DEPTH, 0),
+        ("+ histogram + MCVs", HistogramKind.EQUI_DEPTH, 10),
+    ]:
+        database.analyze("R", histogram=histogram, buckets=20, mcv_k=mcv_k)
+        estimator = JoinSizeEstimator(query, database.catalog, ELS)
+        estimate = estimator.base_rows("R")
+        table.add_row(label, round(estimate, 1), truth)
+    print(table.render())
+    print()
+
+
+def join_skew_demo() -> None:
+    table = AsciiTable(
+        ["Zipf exponent", "ELS q-error (gmean over 8 chains)"],
+        title="Join-column skew vs ELS accuracy (uniformity is a join-side assumption)",
+    )
+    for skew in (0.0, 0.5, 1.0, 1.5):
+        errors = []
+        rng = random.Random(31)
+        for trial in range(8):
+            workload = chain_workload(
+                3, rng, min_rows=200, max_rows=1500, skew=skew if skew else None
+            )
+            records = evaluate_workload(workload, seed=300 + trial)
+            els = next(r for r in records if r.algorithm == "ELS")
+            errors.append(els.q_error)
+        table.add_row(skew, summarize_errors(errors).geometric_mean)
+    print(table.render())
+    print()
+    print(
+        "The paper's Section 9: relaxing uniformity for join predicates\n"
+        "(e.g. Zipfian columns) is future work — the degradation above is\n"
+        "the quantified cost of that assumption."
+    )
+
+
+if __name__ == "__main__":
+    local_predicate_demo()
+    join_skew_demo()

@@ -1,0 +1,91 @@
+"""A data-warehouse scenario: snowflake schema, multi-join queries.
+
+The paper's introduction motivates join-size estimation with user queries
+"involving multiple joins" whose execution cost "can vary dramatically
+depending on the query evaluation plan".  The canonical modern instance is
+a warehouse snowflake: a fact table, dimensions, and sub-dimensions, with
+6+ way joins in every report query.
+
+This example generates a synthetic sales snowflake, runs the four
+estimation algorithms through the optimizer, executes the chosen plans,
+and also contrasts the enumerator families (exact DP vs bushy DP vs the
+randomized searches) on the same query.
+
+Run:  python examples/warehouse_snowflake.py
+"""
+
+import random
+
+from repro import ELS, SM, SSS, Executor, Optimizer
+from repro.analysis import AsciiTable, true_join_size
+from repro.workloads import build_database, snowflake_workload
+
+
+def main() -> None:
+    workload = snowflake_workload(
+        num_dimensions=3,
+        num_subdimensions=1,
+        rng=random.Random(2024),
+        fact_rows_range=(8000, 8000),
+        dim_rows_range=(300, 600),
+        subdim_rows_range=(50, 120),
+    )
+    print(f"Schema: {', '.join(workload.tables)}")
+    print(f"Query:  {workload.query}")
+    print()
+
+    database = build_database(workload.specs, seed=2024)
+    truth = true_join_size(workload.query, database)
+    executor = Executor(database)
+
+    table = AsciiTable(
+        ["Algorithm", "Join order", "Final estimate", "True size", "Time (s)"],
+        title="Estimation algorithms on the 7-way snowflake join",
+    )
+    optimizer = Optimizer(database.catalog)
+    for name, config, closure in [
+        ("SM (no PTC)", SM, False),
+        ("SM + PTC", SM, True),
+        ("SSS + PTC", SSS, True),
+        ("ELS", ELS, True),
+    ]:
+        result = optimizer.optimize(workload.query, config, apply_closure=closure)
+        run = executor.count(result.plan)
+        table.add_row(
+            name,
+            " ".join(result.join_order),
+            result.estimated_rows,
+            truth,
+            f"{run.wall_seconds:.3f}",
+        )
+    print(table.render())
+    print()
+
+    enum_table = AsciiTable(
+        ["Enumerator", "Join order", "Estimated cost", "Time (s)"],
+        title="Enumerator families under ELS estimates (same query)",
+    )
+    for enumerator in ("dp", "dp-bushy", "greedy", "random", "annealing"):
+        optimizer = Optimizer(database.catalog, enumerator=enumerator, seed=5)
+        result = optimizer.optimize(workload.query, ELS)
+        run = executor.count(result.plan)
+        enum_table.add_row(
+            enumerator,
+            " ".join(result.join_order),
+            result.estimated_cost,
+            f"{run.wall_seconds:.3f}",
+        )
+    print(enum_table.render())
+    print()
+    print(
+        "Each fact->dimension->subdimension path forms its own pair of\n"
+        "equivalence classes, so this is multi-class estimation at depth:\n"
+        "the rules only disagree within a class, which keeps the baselines\n"
+        "closer here than on single-class chains — the snowflake shows the\n"
+        "regime where the paper's problem is mild, chains show where it\n"
+        "is fatal (see examples/estimation_accuracy.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Reproduction of *On the Estimation of Join Result Sizes* (Swami &
+Schiefer, EDBT 1994).
+
+The package implements **Algorithm ELS** (Equivalence and Largest
+Selectivity) for incremental join-result-size estimation together with the
+baselines the paper compares against (Rule M, Rule SS, the representative
+selectivity proposal), and every substrate needed to evaluate them: a SQL
+front-end, a statistics catalog, predicate transitive closure, a
+Selinger-style join-order optimizer, an execution engine for ground truth,
+and synthetic workload generators.
+
+Quickstart::
+
+    from repro import Catalog, JoinSizeEstimator, parse_query, ELS
+
+    catalog = Catalog.from_stats({
+        "R1": (100, {"x": 10}),
+        "R2": (1000, {"y": 100}),
+        "R3": (1000, {"z": 1000}),
+    })
+    query = parse_query(
+        "SELECT * FROM R1, R2, R3 WHERE R1.x = R2.y AND R2.y = R3.z"
+    )
+    estimator = JoinSizeEstimator(query, catalog, ELS)
+    print(estimator.estimate(["R2", "R3", "R1"]))   # 1000.0 (correct)
+
+See DESIGN.md for the subsystem inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and example.
+"""
+
+from .catalog import (
+    Catalog,
+    ColumnDef,
+    ColumnStats,
+    ColumnType,
+    HistogramKind,
+    TableSchema,
+    TableStats,
+)
+from .core import (
+    ELS,
+    SM,
+    SSS,
+    EquivalenceClasses,
+    EstimatorConfig,
+    IncrementalEstimate,
+    JoinSizeEstimator,
+    SelectivityRule,
+    close_query,
+    transitive_closure,
+    two_way_join_size,
+    urn_distinct,
+)
+from .errors import ReproError
+from .execution import ExecutionResult, Executor
+from .optimizer import CostModel, JoinMethod, Optimizer, OptimizerResult, explain
+from .sql import (
+    ColumnRef,
+    ComparisonPredicate,
+    Op,
+    Query,
+    column_equality,
+    join_predicate,
+    local_predicate,
+    parse_query,
+)
+from .storage import Database, Table
+from .workloads import TableSpec, build_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "ColumnDef",
+    "ColumnRef",
+    "ColumnStats",
+    "ColumnType",
+    "ComparisonPredicate",
+    "CostModel",
+    "Database",
+    "ELS",
+    "EquivalenceClasses",
+    "EstimatorConfig",
+    "ExecutionResult",
+    "Executor",
+    "HistogramKind",
+    "IncrementalEstimate",
+    "JoinMethod",
+    "JoinSizeEstimator",
+    "Op",
+    "Optimizer",
+    "OptimizerResult",
+    "Query",
+    "ReproError",
+    "SM",
+    "SSS",
+    "SelectivityRule",
+    "Table",
+    "TableSchema",
+    "TableSpec",
+    "TableStats",
+    "close_query",
+    "column_equality",
+    "build_database",
+    "explain",
+    "join_predicate",
+    "local_predicate",
+    "parse_query",
+    "transitive_closure",
+    "two_way_join_size",
+    "urn_distinct",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Analysis utilities: error metrics, ground truth, harnesses, reports."""
+
+from .explain_analyze import NodeComparison, explain_analyze, render_explain_analyze
+from .graphs import plan_dot, query_graph_dot
+from .harness import (
+    PAPER_ALGORITHMS,
+    AccuracyRecord,
+    AlgorithmSpec,
+    evaluate_workload,
+    prefix_query,
+)
+from .metrics import (
+    ErrorSummary,
+    log10_ratio,
+    q_error,
+    rank_correlation,
+    ratio_error,
+    summarize_errors,
+)
+from .propagation import PropagationPoint, run_error_propagation
+from .report import AsciiTable, format_quantity
+from .sensitivity import StalenessPoint, perturb_catalog, run_staleness_study
+from .truth import build_reference_plan, execute_query, true_join_size
+
+__all__ = [
+    "AccuracyRecord",
+    "AlgorithmSpec",
+    "AsciiTable",
+    "ErrorSummary",
+    "NodeComparison",
+    "PAPER_ALGORITHMS",
+    "PropagationPoint",
+    "StalenessPoint",
+    "build_reference_plan",
+    "evaluate_workload",
+    "execute_query",
+    "explain_analyze",
+    "format_quantity",
+    "log10_ratio",
+    "perturb_catalog",
+    "plan_dot",
+    "prefix_query",
+    "q_error",
+    "query_graph_dot",
+    "rank_correlation",
+    "ratio_error",
+    "render_explain_analyze",
+    "run_error_propagation",
+    "run_staleness_study",
+    "summarize_errors",
+    "true_join_size",
+]

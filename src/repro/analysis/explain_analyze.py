@@ -1,0 +1,104 @@
+"""EXPLAIN ANALYZE: per-operator estimated versus actual cardinalities.
+
+The practical interface between the paper's topic and a database user:
+after executing a plan, line up each node's *estimated* rows (stamped on
+the plan by the optimizer) with the *actual* rows the executor measured,
+and report per-node q-errors.  Misestimates that the final count hides —
+an intermediate join that exploded or collapsed — show up immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..execution.executor import ExecutionResult, Executor
+from ..execution.metrics import ExecutionMetrics, OperatorStats
+from ..optimizer.plans import JoinPlan, PlanNode, ScanPlan
+from ..sql.query import Projection
+from ..storage.database import Database
+from .metrics import q_error
+from .report import AsciiTable
+
+__all__ = ["NodeComparison", "explain_analyze", "render_explain_analyze"]
+
+
+@dataclass(frozen=True)
+class NodeComparison:
+    """One plan node's estimate lined up with its measured output."""
+
+    label: str
+    depth: int
+    estimated_rows: float
+    actual_rows: int
+
+    @property
+    def q_error(self) -> float:
+        return q_error(self.estimated_rows, float(self.actual_rows))
+
+
+def _collect(
+    plan: PlanNode, stats: List[OperatorStats], depth: int, out: List[NodeComparison]
+) -> OperatorStats:
+    """Walk the plan the way the executor built its operator list.
+
+    The executor registers operators depth-first, left child first, with a
+    scan's optional filter registered right after the scan; consuming the
+    stats list in the same order re-associates each node with its counters.
+    """
+    if isinstance(plan, ScanPlan):
+        scan_stats = stats.pop(0)
+        node_stats = scan_stats
+        if plan.local_predicates:
+            node_stats = stats.pop(0)  # the filter on top of the scan
+        out.append(
+            NodeComparison(
+                label=f"scan({plan.relation})",
+                depth=depth,
+                estimated_rows=plan.estimated_rows,
+                actual_rows=node_stats.rows_out,
+            )
+        )
+        return node_stats
+    assert isinstance(plan, JoinPlan)
+    _collect(plan.left, stats, depth + 1, out)
+    _collect(plan.right, stats, depth + 1, out)
+    join_stats = stats.pop(0)
+    out.append(
+        NodeComparison(
+            label=f"{plan.method.value}-join",
+            depth=depth,
+            estimated_rows=plan.estimated_rows,
+            actual_rows=join_stats.rows_out,
+        )
+    )
+    return join_stats
+
+
+def explain_analyze(
+    plan: PlanNode, database: Database
+) -> Tuple[List[NodeComparison], ExecutionResult]:
+    """Execute a plan and compare every node's estimate with its actuals.
+
+    Returns the node comparisons (bottom-up, leaves before their join) and
+    the full execution result.
+    """
+    executor = Executor(database)
+    result = executor.execute(plan, Projection(count_star=True))
+    stats = [op for op in result.metrics.operators if op.label != "project"]
+    comparisons: List[NodeComparison] = []
+    _collect(plan, list(stats), 0, comparisons)
+    return comparisons, result
+
+
+def render_explain_analyze(comparisons: List[NodeComparison]) -> str:
+    """Format comparisons as an aligned EXPLAIN ANALYZE table."""
+    table = AsciiTable(["Node", "Estimated rows", "Actual rows", "q-error"])
+    for node in comparisons:
+        table.add_row(
+            "  " * node.depth + node.label,
+            node.estimated_rows,
+            node.actual_rows,
+            node.q_error,
+        )
+    return table.render()

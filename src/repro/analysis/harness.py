@@ -1,0 +1,109 @@
+"""Shared estimation-accuracy harness used by benchmarks and examples.
+
+Wires the pieces together for one workload: generate data, ANALYZE,
+estimate with each configured algorithm, execute for ground truth, and
+report per-algorithm errors.  The four named algorithm setups match the
+rows of the paper's Section 8 table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.config import ELS, SM, SSS, EstimatorConfig
+from ..core.estimator import JoinSizeEstimator
+from ..sql.predicates import ComparisonPredicate
+from ..sql.query import Projection, Query
+from ..storage.database import Database
+from ..workloads.generator import build_database
+from ..workloads.queries import GeneratedWorkload
+from .metrics import q_error, ratio_error
+from .truth import true_join_size
+
+__all__ = [
+    "AlgorithmSpec",
+    "PAPER_ALGORITHMS",
+    "AccuracyRecord",
+    "prefix_query",
+    "evaluate_workload",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named estimation setup: configuration plus the PTC toggle."""
+
+    name: str
+    config: EstimatorConfig
+    apply_closure: bool = True
+
+
+#: The four experimental setups of the paper's Section 8 table.
+PAPER_ALGORITHMS: Tuple[AlgorithmSpec, ...] = (
+    AlgorithmSpec("SM (no PTC)", SM, apply_closure=False),
+    AlgorithmSpec("SM + PTC", SM),
+    AlgorithmSpec("SSS + PTC", SSS),
+    AlgorithmSpec("ELS", ELS),
+)
+
+
+@dataclass(frozen=True)
+class AccuracyRecord:
+    """One (workload, algorithm) estimation outcome."""
+
+    algorithm: str
+    estimate: float
+    actual: int
+
+    @property
+    def q_error(self) -> float:
+        return q_error(self.estimate, self.actual)
+
+    @property
+    def ratio(self) -> float:
+        return ratio_error(self.estimate, self.actual)
+
+
+def prefix_query(query: Query, tables: Sequence[str]) -> Query:
+    """The sub-query over a prefix of the tables (for incremental studies).
+
+    Keeps every predicate whose tables all fall inside the prefix; the
+    projection becomes COUNT(*) since only the cardinality matters.
+    """
+    subset = set(tables)
+    predicates: List[ComparisonPredicate] = [
+        p for p in query.predicates if p.tables <= subset
+    ]
+    aliases = {t: query.base_table(t) for t in tables}
+    return Query.build(tables, predicates, Projection(count_star=True), aliases)
+
+
+def evaluate_workload(
+    workload: GeneratedWorkload,
+    algorithms: Iterable[AlgorithmSpec] = PAPER_ALGORITHMS,
+    seed: int = 0,
+    order: Optional[Sequence[str]] = None,
+    database: Optional[Database] = None,
+) -> List[AccuracyRecord]:
+    """Estimate-vs-truth comparison for one workload.
+
+    Args:
+        workload: The specs and query to evaluate.
+        algorithms: Estimation setups to compare.
+        seed: Data-generation seed (ignored when ``database`` is given).
+        order: Join order the estimators walk; defaults to FROM-clause
+            order, which is connected for chains/stars/cliques.
+        database: Reuse an already generated database.
+    """
+    db = database if database is not None else build_database(workload.specs, seed)
+    actual = true_join_size(workload.query, db)
+    join_order = list(order) if order is not None else list(workload.query.tables)
+    records: List[AccuracyRecord] = []
+    for spec in algorithms:
+        estimator = JoinSizeEstimator(
+            workload.query, db.catalog, spec.config, spec.apply_closure
+        )
+        estimate = estimator.estimate(join_order)
+        records.append(AccuracyRecord(spec.name, estimate, actual))
+    return records

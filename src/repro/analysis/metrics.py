@@ -1,0 +1,146 @@
+"""Estimation error metrics and summaries.
+
+The standard currency for cardinality estimation error is the **q-error**:
+``max(estimate/actual, actual/estimate)`` — symmetric, multiplicative, and
+1.0 for a perfect estimate.  The **ratio error** (``estimate/actual``)
+keeps the sign of the error: Rule M and Rule SS *underestimate* (ratio << 1)
+which is exactly the failure mode Examples 2 and 3 exhibit, so benchmark
+tables report both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "ratio_error",
+    "q_error",
+    "log10_ratio",
+    "rank_correlation",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+#: Estimates/actuals below this are treated as this value when forming
+#: ratios, so empty results do not produce infinities in summaries.
+EPSILON = 1e-12
+
+
+def ratio_error(estimate: float, actual: float) -> float:
+    """Signed multiplicative error ``estimate / actual`` (1.0 is perfect)."""
+    return max(estimate, EPSILON) / max(actual, EPSILON)
+
+
+def q_error(estimate: float, actual: float) -> float:
+    """Symmetric multiplicative error ``max(e/a, a/e)`` (>= 1.0)."""
+    ratio = ratio_error(estimate, actual)
+    return max(ratio, 1.0 / ratio)
+
+
+def log10_ratio(estimate: float, actual: float) -> float:
+    """``log10(estimate/actual)`` — the error-propagation papers' scale.
+
+    Zero is perfect; -3 means a 1000x underestimate.  Ioannidis &
+    Christodoulakis [4] show this grows with the number of joins; the
+    propagation benchmark plots it per algorithm.
+    """
+    return math.log10(ratio_error(estimate, actual))
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Distributional summary of a set of error values."""
+
+    count: int
+    mean: float
+    geometric_mean: float
+    median: float
+    p90: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3g} gmean={self.geometric_mean:.3g} "
+            f"median={self.median:.3g} p90={self.p90:.3g} max={self.maximum:.3g}"
+        )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile over an already sorted sequence."""
+    if not ordered:
+        raise ValueError("cannot take a percentile of no values")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def summarize_errors(values: Iterable[float]) -> ErrorSummary:
+    """Summarize positive error values (q-errors or ratios).
+
+    Raises:
+        ValueError: for an empty input or non-positive values (q-errors and
+            ratio errors are strictly positive by construction).
+    """
+    data: List[float] = sorted(values)
+    if not data:
+        raise ValueError("cannot summarize zero error values")
+    if data[0] <= 0:
+        raise ValueError(f"error values must be positive, got {data[0]}")
+    mean = sum(data) / len(data)
+    geometric = math.exp(sum(math.log(v) for v in data) / len(data))
+    return ErrorSummary(
+        count=len(data),
+        mean=mean,
+        geometric_mean=geometric,
+        median=_percentile(data, 0.5),
+        p90=_percentile(data, 0.9),
+        maximum=data[-1],
+    )
+
+
+def rank_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation between two paired samples.
+
+    Used to validate the cost model: across alternative plans for one
+    query, modeled cost should *rank* plans the way measured execution
+    does, even though absolute calibration is out of scope.  Ties receive
+    average ranks.
+
+    Raises:
+        ValueError: on length mismatch or fewer than two pairs.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"paired samples differ in length: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ValueError("rank correlation needs at least two pairs")
+
+    def ranks(values: Sequence[float]) -> List[float]:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        result = [0.0] * len(values)
+        i = 0
+        while i < len(order):
+            j = i
+            while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+                j += 1
+            average = (i + j) / 2.0 + 1.0
+            for k in range(i, j + 1):
+                result[order[k]] = average
+            i = j + 1
+        return result
+
+    rx = ranks(xs)
+    ry = ranks(ys)
+    mean_x = sum(rx) / len(rx)
+    mean_y = sum(ry) / len(ry)
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(rx, ry))
+    var_x = sum((a - mean_x) ** 2 for a in rx)
+    var_y = sum((b - mean_y) ** 2 for b in ry)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)

@@ -1,0 +1,76 @@
+"""Plain-text report tables for benchmark and example output.
+
+Benchmarks print tables shaped like the paper's Section 8 results table;
+this tiny formatter keeps them aligned and consistent without pulling in a
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_quantity", "AsciiTable"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_quantity(value: Union[int, float], digits: int = 4) -> str:
+    """Compact numeric formatting: integers plain, extremes scientific.
+
+    ``4e-21`` prints as ``4e-21`` (the way the paper's table shows the
+    collapsed estimates), ``1000.0`` prints as ``1000``.
+    """
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "nan"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e7 or magnitude < 1e-3:
+        return f"{value:.3g}"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.{digits}g}"
+
+
+class AsciiTable:
+    """A minimal aligned text table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self._headers = [str(h) for h in headers]
+        self._rows: List[List[str]] = []
+        self._title = title
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self._headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self._headers)} columns"
+            )
+        rendered = []
+        for cell in cells:
+            if cell is None:
+                rendered.append("-")
+            elif isinstance(cell, (int, float)):
+                rendered.append(format_quantity(cell))
+            else:
+                rendered.append(str(cell))
+        self._rows.append(rendered)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self._title:
+            lines.append(self._title)
+        separator = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self._headers, widths)))
+        lines.append(separator)
+        for row in self._rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

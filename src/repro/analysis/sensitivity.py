@@ -1,0 +1,154 @@
+"""Sensitivity of plan choice and estimates to stale statistics.
+
+The paper's opening motivation cites [4] (Ioannidis & Christodoulakis):
+"Errors in the statistics maintained by the database system can affect the
+various estimates computed by the query optimizer."  This module quantifies
+that for the implemented algorithms: it perturbs catalog statistics by a
+controlled multiplicative error and measures
+
+* how far each algorithm's size estimate drifts from the (unchanged) true
+  executed size, and
+* whether the optimizer's *plan choice* survives — the practically
+  important question, since a plan is only wrong when a better one was
+  available.
+
+Perturbations scale row counts and column cardinalities by factors drawn
+log-uniformly from ``[1/(1+e), 1+e]`` (keeping ``distinct <= rows``), which
+models stale statistics after un-analyzed growth or shrinkage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..catalog.statistics import Catalog, ColumnStats, TableStats
+from ..core.estimator import JoinSizeEstimator
+from ..optimizer.optimizer import Optimizer
+from ..storage.database import Database
+from ..workloads.generator import build_database
+from ..workloads.queries import GeneratedWorkload
+from .harness import PAPER_ALGORITHMS, AlgorithmSpec
+from .metrics import q_error
+from .truth import true_join_size
+
+__all__ = ["perturb_catalog", "StalenessPoint", "run_staleness_study"]
+
+
+def perturb_catalog(
+    catalog: Catalog, error: float, rng: random.Random
+) -> Catalog:
+    """A copy of the catalog with multiplicatively perturbed statistics.
+
+    Args:
+        catalog: Source statistics (not modified).
+        error: Maximum relative error ``e``; every row count and distinct
+            count is scaled by an independent factor in ``[1/(1+e), 1+e]``.
+        rng: Randomness source (seeded by the caller for reproducibility).
+
+    Raises:
+        ValueError: for negative ``error``.
+    """
+    if error < 0:
+        raise ValueError(f"error must be >= 0, got {error}")
+
+    def factor() -> float:
+        import math
+
+        low, high = -math.log(1.0 + error), math.log(1.0 + error)
+        return math.exp(rng.uniform(low, high)) if error > 0 else 1.0
+
+    perturbed = Catalog()
+    for name in catalog.tables():
+        stats = catalog.stats(name)
+        rows = max(1, round(stats.row_count * factor()))
+        columns: Dict[str, ColumnStats] = {}
+        for column, column_stats in stats.columns.items():
+            distinct = max(1, round(column_stats.distinct * factor()))
+            distinct = min(distinct, rows)
+            columns[column] = ColumnStats(
+                distinct=distinct,
+                low=column_stats.low,
+                high=column_stats.high,
+                histogram=column_stats.histogram,
+                mcv=column_stats.mcv,
+            )
+        perturbed.register(catalog.schema(name), TableStats(rows, columns))
+    return perturbed
+
+
+@dataclass(frozen=True)
+class StalenessPoint:
+    """Aggregate outcome for one (algorithm, error level) cell."""
+
+    algorithm: str
+    error: float
+    mean_q_error: float
+    plan_stability: float  # fraction of trials keeping the fresh-stats plan
+
+
+def run_staleness_study(
+    workloads: Sequence[GeneratedWorkload],
+    errors: Iterable[float] = (0.0, 0.5, 1.0, 2.0),
+    algorithms: Iterable[AlgorithmSpec] = PAPER_ALGORITHMS,
+    seed: int = 0,
+    databases: Optional[Sequence[Database]] = None,
+) -> List[StalenessPoint]:
+    """Estimate quality and plan stability under stale statistics.
+
+    For each workload and error level, the catalog is perturbed, every
+    algorithm re-estimates (q-error against the *true* executed size), and
+    the optimizer re-plans; a plan is "stable" when its join order matches
+    the fresh-statistics plan for the same algorithm.
+    """
+    algorithm_list = list(algorithms)
+    error_list = list(errors)
+    if databases is None:
+        databases = [
+            build_database(w.specs, seed=seed + i) for i, w in enumerate(workloads)
+        ]
+    rng = random.Random(seed)
+
+    q_errors: Dict[Tuple[str, float], List[float]] = {}
+    stable: Dict[Tuple[str, float], List[bool]] = {}
+    for workload, database in zip(workloads, databases):
+        truth = true_join_size(workload.query, database)
+        order = list(workload.query.tables)
+        fresh_orders = {}
+        for spec in algorithm_list:
+            fresh = Optimizer(database.catalog).optimize(
+                workload.query, spec.config, apply_closure=spec.apply_closure
+            )
+            fresh_orders[spec.name] = fresh.join_order
+        for error in error_list:
+            catalog = perturb_catalog(database.catalog, error, rng)
+            for spec in algorithm_list:
+                estimator = JoinSizeEstimator(
+                    workload.query, catalog, spec.config, spec.apply_closure
+                )
+                estimate = estimator.estimate(order)
+                key = (spec.name, error)
+                q_errors.setdefault(key, []).append(q_error(estimate, truth))
+                stale_plan = Optimizer(catalog).optimize(
+                    workload.query, spec.config, apply_closure=spec.apply_closure
+                )
+                stable.setdefault(key, []).append(
+                    stale_plan.join_order == fresh_orders[spec.name]
+                )
+
+    points: List[StalenessPoint] = []
+    for spec in algorithm_list:
+        for error in error_list:
+            key = (spec.name, error)
+            values = q_errors[key]
+            flags = stable[key]
+            points.append(
+                StalenessPoint(
+                    algorithm=spec.name,
+                    error=error,
+                    mean_q_error=sum(values) / len(values),
+                    plan_stability=sum(flags) / len(flags),
+                )
+            )
+    return points

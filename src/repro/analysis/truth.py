@@ -1,0 +1,133 @@
+"""Ground-truth join sizes by actually executing reference plans.
+
+The estimators are judged against *executed* result sizes, never against
+each other.  The reference plan built here is deliberately independent of
+the optimizer: scans with all local predicates pushed down, then hash joins
+(nested loops when no equi-key exists) in a size-aware greedy order.  Any
+correct plan yields the same count, so the choice only affects how long the
+ground truth takes to compute.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from ..execution.executor import ExecutionResult, Executor
+from ..optimizer.plans import JoinMethod, JoinPlan, PlanNode, ScanPlan
+from ..sql.predicates import ComparisonPredicate, Op
+from ..sql.query import Query
+from ..storage.database import Database
+
+__all__ = ["build_reference_plan", "execute_query", "true_join_size"]
+
+
+def _eligible(
+    predicates: Sequence[ComparisonPredicate], joined: FrozenSet[str], table: str
+) -> Tuple[ComparisonPredicate, ...]:
+    result = []
+    for predicate in predicates:
+        if predicate.is_join and table in predicate.tables:
+            if (predicate.tables - {table}) <= joined:
+                result.append(predicate)
+    return tuple(result)
+
+
+def _scan(query: Query, database: Database, relation: str) -> ScanPlan:
+    base = query.base_table(relation)
+    table = database.table(base)
+    local = tuple(
+        p for p in query.predicates if p.is_local and p.references(relation)
+    )
+    return ScanPlan(
+        relation=relation,
+        base_table=base,
+        local_predicates=local,
+        estimated_rows=float(table.row_count),
+        estimated_cost=0.0,
+        row_width=table.schema.row_width_bytes,
+    )
+
+
+def build_reference_plan(
+    query: Query, database: Database, order: Optional[Sequence[str]] = None
+) -> PlanNode:
+    """A correct left-deep plan for ground-truth execution.
+
+    Args:
+        query: The (possibly closure-rewritten) query.
+        database: Stored tables.
+        order: Explicit join order; default is a greedy order that starts
+            from the smallest table and prefers connected extensions, which
+            keeps intermediates small on the library's workloads.
+
+    Raises:
+        ExecutionError: if ``order`` is not a permutation of the query's
+            tables.
+    """
+    relations = list(query.tables)
+    if order is not None:
+        if sorted(order) != sorted(relations):
+            raise ExecutionError(
+                f"order {list(order)} is not a permutation of {relations}"
+            )
+        sequence = list(order)
+    else:
+        sequence = _greedy_order(query, database)
+
+    plan: PlanNode = _scan(query, database, sequence[0])
+    joined = frozenset((sequence[0],))
+    for relation in sequence[1:]:
+        eligible = _eligible(query.predicates, joined, relation)
+        has_equi = any(p.op is Op.EQ for p in eligible)
+        method = JoinMethod.HASH if has_equi else JoinMethod.NESTED_LOOPS
+        right = _scan(query, database, relation)
+        plan = JoinPlan(
+            left=plan,
+            right=right,
+            method=method,
+            predicates=eligible,
+            estimated_rows=0.0,
+            estimated_cost=0.0,
+            row_width=plan.row_width + right.row_width,
+        )
+        joined = joined | {relation}
+    return plan
+
+
+def _greedy_order(query: Query, database: Database) -> List[str]:
+    """Smallest-table-first order preferring connected extensions."""
+    sizes = {
+        relation: database.table(query.base_table(relation)).row_count
+        for relation in query.tables
+    }
+    remaining = sorted(query.tables, key=lambda r: (sizes[r], r))
+    order = [remaining.pop(0)]
+    joined = frozenset(order)
+    while remaining:
+        connected = [
+            r for r in remaining if _eligible(query.predicates, joined, r)
+        ]
+        pool = connected or remaining
+        chosen = min(pool, key=lambda r: (sizes[r], r))
+        remaining.remove(chosen)
+        order.append(chosen)
+        joined = joined | {chosen}
+    return order
+
+
+def execute_query(
+    query: Query, database: Database, order: Optional[Sequence[str]] = None
+) -> ExecutionResult:
+    """Execute a query via the reference plan, honoring its projection."""
+    plan = build_reference_plan(query, database, order)
+    executor = Executor(database)
+    return executor.execute(plan, query.projection)
+
+
+def true_join_size(
+    query: Query, database: Database, order: Optional[Sequence[str]] = None
+) -> int:
+    """The exact result cardinality of the query's join."""
+    plan = build_reference_plan(query, database, order)
+    return Executor(database).count(plan).count

@@ -1,0 +1,37 @@
+"""Statistics substrate: schemas, histograms, statistics, and ANALYZE."""
+
+from .collector import HistogramKind, collect_column_stats, collect_table_stats
+from .histogram import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    Histogram,
+    MostCommonValues,
+    build_equi_depth,
+    build_equi_width,
+    build_mcv,
+)
+from .sampling import haas_stokes_distinct, sample_column_stats, sample_table_stats
+from .schema import ColumnDef, ColumnType, TableSchema
+from .statistics import Catalog, ColumnStats, TableStats
+
+__all__ = [
+    "Catalog",
+    "ColumnDef",
+    "ColumnStats",
+    "ColumnType",
+    "EquiDepthHistogram",
+    "EquiWidthHistogram",
+    "Histogram",
+    "HistogramKind",
+    "MostCommonValues",
+    "TableSchema",
+    "TableStats",
+    "build_equi_depth",
+    "build_equi_width",
+    "build_mcv",
+    "collect_column_stats",
+    "collect_table_stats",
+    "haas_stokes_distinct",
+    "sample_column_stats",
+    "sample_table_stats",
+]

@@ -1,0 +1,84 @@
+"""Statistics collection (ANALYZE) over stored tables.
+
+Given a :class:`~repro.storage.table.Table`, the collector computes exact
+table and column cardinalities, min/max bounds for ordered columns, and
+optionally histograms and most-common-values lists.  This plays the role of
+Starburst's statistics utility: estimators only ever see what the collector
+wrote into the catalog, never the data itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, Optional
+
+from .histogram import build_equi_depth, build_equi_width, build_mcv
+from .statistics import ColumnStats, TableStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..storage.table import Table
+
+__all__ = ["HistogramKind", "collect_column_stats", "collect_table_stats"]
+
+
+class HistogramKind(enum.Enum):
+    """Which distribution summary ANALYZE should build, if any."""
+
+    NONE = "none"
+    EQUI_WIDTH = "equi-width"
+    EQUI_DEPTH = "equi-depth"
+
+
+def collect_column_stats(
+    table: "Table",
+    column: str,
+    histogram: HistogramKind = HistogramKind.EQUI_DEPTH,
+    buckets: int = 10,
+    mcv_k: int = 0,
+) -> ColumnStats:
+    """Compute statistics for one column of a stored table.
+
+    Args:
+        table: Source table.
+        column: Column name.
+        histogram: Distribution summary to build for numeric columns.
+        buckets: Histogram bucket count.
+        mcv_k: Most-common-values list size; 0 disables MCVs.
+    """
+    values = table.column_values(column)
+    distinct = len(set(values))
+    numeric = bool(values) and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+    )
+    low = min(values) if numeric else None
+    high = max(values) if numeric else None
+    hist = None
+    if numeric and histogram is HistogramKind.EQUI_WIDTH:
+        hist = build_equi_width(values, buckets)
+    elif numeric and histogram is HistogramKind.EQUI_DEPTH:
+        hist = build_equi_depth(values, buckets)
+    mcv = build_mcv(values, mcv_k) if mcv_k > 0 and values else None
+    return ColumnStats(distinct=distinct, low=low, high=high, histogram=hist, mcv=mcv)
+
+
+def collect_table_stats(
+    table: "Table",
+    histogram: HistogramKind = HistogramKind.EQUI_DEPTH,
+    buckets: int = 10,
+    mcv_k: int = 0,
+    columns: Optional[list] = None,
+) -> TableStats:
+    """Compute statistics for a table (all columns unless restricted).
+
+    Args:
+        table: Source table.
+        histogram: Distribution summary for numeric columns.
+        buckets: Histogram bucket count.
+        mcv_k: MCV list size; 0 disables MCVs.
+        columns: Restrict collection to these columns (default: all).
+    """
+    names = columns if columns is not None else list(table.schema.column_names)
+    stats: Dict[str, ColumnStats] = {}
+    for name in names:
+        stats[name] = collect_column_stats(table, name, histogram, buckets, mcv_k)
+    return TableStats(row_count=table.row_count, columns=stats)

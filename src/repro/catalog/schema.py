@@ -1,0 +1,115 @@
+"""Schema definitions: typed columns and table layouts.
+
+The storage engine, the statistics collector, and the workload generators
+all share these descriptions.  Schemas are immutable; a table's layout never
+changes after creation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from ..errors import CatalogError
+
+__all__ = ["ColumnType", "ColumnDef", "TableSchema"]
+
+Scalar = Union[int, float, str]
+
+
+class ColumnType(enum.Enum):
+    """Value domain of a column."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+
+    @property
+    def python_type(self) -> type:
+        return {"int": int, "float": float, "str": str}[self.value]
+
+    def validate(self, value: Scalar) -> bool:
+        """True when a Python value belongs to this column type.
+
+        Ints are accepted where floats are expected (SQL-style numeric
+        widening), but not the reverse.
+        """
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        return isinstance(value, str)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A named, typed column.
+
+    Attributes:
+        name: Column name, unique within its table.
+        type: Value domain.
+        width_bytes: Logical storage width used by the page-based cost
+            model.  Defaults approximate a 1990s row store: 4-byte numerics
+            and 16-byte strings.
+    """
+
+    name: str
+    type: ColumnType = ColumnType.INT
+    width_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width_bytes <= 0:
+            default = 16 if self.type is ColumnType.STR else 4
+            object.__setattr__(self, "width_bytes", default)
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered, immutable collection of column definitions."""
+
+    name: str
+    columns: Tuple[ColumnDef, ...]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in table {self.name!r}: {names}")
+        if not self.columns:
+            raise CatalogError(f"table {self.name!r} must have at least one column")
+        object.__setattr__(
+            self, "_index", {c.name: i for i, c in enumerate(self.columns)}
+        )
+
+    @classmethod
+    def of(cls, name: str, *columns: Union[str, ColumnDef]) -> "TableSchema":
+        """Build a schema from column names (default INT) or ColumnDefs."""
+        defs = tuple(
+            c if isinstance(c, ColumnDef) else ColumnDef(c) for c in columns
+        )
+        return cls(name, defs)
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def row_width_bytes(self) -> int:
+        """Total logical row width, used to compute tuples-per-page."""
+        return sum(c.width_bytes for c in self.columns)
+
+    def index_of(self, column: str) -> int:
+        index: Dict[str, int] = getattr(self, "_index")
+        if column not in index:
+            raise CatalogError(f"table {self.name!r} has no column {column!r}")
+        return index[column]
+
+    def column(self, name: str) -> ColumnDef:
+        return self.columns[self.index_of(name)]
+
+    def has_column(self, name: str) -> bool:
+        return name in getattr(self, "_index")
+
+    def renamed(self, new_name: str) -> "TableSchema":
+        """The same layout under a different relation name (alias scans)."""
+        return TableSchema(new_name, self.columns)

@@ -1,0 +1,194 @@
+"""Table and column statistics, and the catalog that owns them.
+
+The two statistics the paper singles out (Section 2) are the **table
+cardinality** ``||R||`` and the **column cardinality** ``d_x`` (number of
+distinct values).  :class:`ColumnStats` additionally carries min/max bounds,
+an optional histogram, and an optional most-common-values list so that local
+predicate selectivities can use real distribution information (Section 5:
+"we can use data distribution information for local predicate
+selectivities").
+
+The :class:`Catalog` maps base-table names to schemas and statistics.  It is
+the single source the estimators read; the execution engine never consults
+it, which keeps ground-truth measurement independent of estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from ..errors import CatalogError
+from .histogram import EquiDepthHistogram, EquiWidthHistogram, MostCommonValues
+from .schema import TableSchema
+
+__all__ = ["ColumnStats", "TableStats", "Catalog"]
+
+Number = Union[int, float]
+HistogramType = Union[EquiWidthHistogram, EquiDepthHistogram]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for a single column.
+
+    Attributes:
+        distinct: Column cardinality ``d_x`` (number of distinct values).
+        low: Minimum value, when known and ordered.
+        high: Maximum value, when known and ordered.
+        histogram: Optional distribution histogram for range selectivities.
+        mcv: Optional most-common-values list for equality selectivities.
+    """
+
+    distinct: int
+    low: Optional[Number] = None
+    high: Optional[Number] = None
+    histogram: Optional[HistogramType] = None
+    mcv: Optional[MostCommonValues] = None
+
+    def __post_init__(self) -> None:
+        if self.distinct < 0:
+            raise CatalogError(f"column cardinality must be >= 0, got {self.distinct}")
+        if (
+            self.low is not None
+            and self.high is not None
+            and self.high < self.low
+        ):
+            raise CatalogError(
+                f"column high bound {self.high} below low bound {self.low}"
+            )
+
+    @property
+    def has_range(self) -> bool:
+        return self.low is not None and self.high is not None
+
+    @property
+    def span(self) -> Optional[float]:
+        """Width of the value range, for uniformity-based interpolation."""
+        if not self.has_range:
+            return None
+        return float(self.high) - float(self.low)  # type: ignore[arg-type]
+
+    def scaled(self, distinct: int) -> "ColumnStats":
+        """A copy with a replaced distinct count (effective statistics)."""
+        return replace(self, distinct=distinct)
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one table: row count plus per-column statistics."""
+
+    row_count: int
+    columns: Mapping[str, ColumnStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise CatalogError(f"table cardinality must be >= 0, got {self.row_count}")
+        for name, stats in self.columns.items():
+            if stats.distinct > self.row_count:
+                raise CatalogError(
+                    f"column {name!r} has {stats.distinct} distinct values but the "
+                    f"table has only {self.row_count} rows"
+                )
+        object.__setattr__(self, "columns", dict(self.columns))
+
+    def column(self, name: str) -> ColumnStats:
+        if name not in self.columns:
+            raise CatalogError(f"no statistics recorded for column {name!r}")
+        return self.columns[name]
+
+    def has_column(self, name: str) -> bool:
+        return name in self.columns
+
+    @classmethod
+    def simple(cls, row_count: int, distincts: Mapping[str, int]) -> "TableStats":
+        """Build stats from row count and per-column distinct counts only.
+
+        This matches the information the paper's examples provide
+        (``||R||`` and ``d_x``); min/max default to ``[1, distinct]`` which
+        is how the paper's integer workloads are laid out.
+        """
+        columns = {
+            name: ColumnStats(distinct=d, low=1, high=max(d, 1))
+            for name, d in distincts.items()
+        }
+        return cls(row_count=row_count, columns=columns)
+
+
+class Catalog:
+    """Registry of base tables: schema + statistics.
+
+    The catalog is keyed by *base* table name.  Query-level aliases are
+    resolved to base names (via :meth:`repro.sql.query.Query.base_table`)
+    before lookups.
+    """
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, TableSchema] = {}
+        self._stats: Dict[str, TableStats] = {}
+
+    def register(self, schema: TableSchema, stats: TableStats) -> None:
+        """Register (or replace) a table's schema and statistics.
+
+        Raises:
+            CatalogError: if statistics mention columns absent from the
+                schema, so estimator inputs can never dangle.
+        """
+        for column in stats.columns:
+            if not schema.has_column(column):
+                raise CatalogError(
+                    f"statistics reference column {column!r} missing from "
+                    f"table {schema.name!r}"
+                )
+        self._schemas[schema.name] = schema
+        self._stats[schema.name] = stats
+
+    def register_simple(
+        self, name: str, row_count: int, distincts: Mapping[str, int]
+    ) -> None:
+        """Shortcut: integer columns, stats from cardinalities only."""
+        schema = TableSchema.of(name, *distincts.keys())
+        self.register(schema, TableStats.simple(row_count, distincts))
+
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._schemas))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas
+
+    def schema(self, name: str) -> TableSchema:
+        if name not in self._schemas:
+            raise CatalogError(f"unknown table {name!r}")
+        return self._schemas[name]
+
+    def stats(self, name: str) -> TableStats:
+        if name not in self._stats:
+            raise CatalogError(f"no statistics for table {name!r}")
+        return self._stats[name]
+
+    def column_stats(self, table: str, column: str) -> ColumnStats:
+        return self.stats(table).column(column)
+
+    def update_stats(self, name: str, stats: TableStats) -> None:
+        """Replace statistics for an already registered table."""
+        if name not in self._schemas:
+            raise CatalogError(f"cannot update stats for unknown table {name!r}")
+        self.register(self._schemas[name], stats)
+
+    def schemas_by_column(self) -> Dict[str, Tuple[str, ...]]:
+        """Map table name -> column names, for unqualified-name resolution."""
+        return {name: schema.column_names for name, schema in self._schemas.items()}
+
+    @classmethod
+    def from_stats(
+        cls, entries: Mapping[str, Tuple[int, Mapping[str, int]]]
+    ) -> "Catalog":
+        """Build a catalog from ``{table: (row_count, {column: distinct})}``.
+
+        This is the shape in which the paper states every example, e.g.
+        ``{"R1": (100, {"x": 10})}``.
+        """
+        catalog = cls()
+        for name, (row_count, distincts) in entries.items():
+            catalog.register_simple(name, row_count, distincts)
+        return catalog

@@ -1,0 +1,83 @@
+"""The paper's contribution: Algorithm ELS and its estimation machinery.
+
+Submodules map one-to-one onto the paper's sections:
+
+* :mod:`repro.core.equivalence` — equivalence classes of join columns
+  (Section 2).
+* :mod:`repro.core.closure` — predicate transitive closure, the five
+  derivation rules (Section 4, steps 1–2).
+* :mod:`repro.core.local` — local predicate selectivities, including
+  multiple predicates on one column per [16] (step 3).
+* :mod:`repro.core.urn` — the urn model for distinct values under
+  selection (Section 5).
+* :mod:`repro.core.effective` — effective table/column cardinalities
+  (Section 5) and single-table j-equivalent columns (Section 6; step 4).
+* :mod:`repro.core.rules` — join selectivities and Rules M / SS / LS /
+  representative (Sections 3 and 7; step 5).
+* :mod:`repro.core.estimator` — the incremental estimation phase (step 6)
+  plus the Equation 3 closed form used as a correctness oracle.
+"""
+
+from .closure import (
+    ClosureResult,
+    ClosureRule,
+    ImpliedPredicate,
+    close_query,
+    transitive_closure,
+)
+from .config import ELS, SM, SSS, EstimatorConfig, SelectivityRule
+from .effective import EffectiveTable, JEquivGroup, compute_effective_table
+from .equivalence import EquivalenceClasses
+from .estimator import (
+    EstimateState,
+    IncrementalEstimate,
+    JoinSizeEstimator,
+    PreparedJoinPredicate,
+    StepEstimate,
+    two_way_join_size,
+)
+from .local import (
+    ColumnFilterEffect,
+    combine_column_predicates,
+    constant_selectivity,
+)
+from .histjoin import histogram_join_selectivity, histogram_join_size
+from .rules import combine_class_selectivities, join_selectivity
+from .skew import exact_join_size, frequency_join_selectivity, frequency_join_size
+from .urn import expected_distinct, proportional_distinct, urn_distinct
+
+__all__ = [
+    "ELS",
+    "SM",
+    "SSS",
+    "ClosureResult",
+    "ClosureRule",
+    "ColumnFilterEffect",
+    "EffectiveTable",
+    "EquivalenceClasses",
+    "EstimateState",
+    "EstimatorConfig",
+    "ImpliedPredicate",
+    "IncrementalEstimate",
+    "JEquivGroup",
+    "JoinSizeEstimator",
+    "PreparedJoinPredicate",
+    "SelectivityRule",
+    "StepEstimate",
+    "close_query",
+    "combine_class_selectivities",
+    "combine_column_predicates",
+    "compute_effective_table",
+    "constant_selectivity",
+    "exact_join_size",
+    "expected_distinct",
+    "frequency_join_selectivity",
+    "frequency_join_size",
+    "histogram_join_selectivity",
+    "histogram_join_size",
+    "join_selectivity",
+    "proportional_distinct",
+    "transitive_closure",
+    "two_way_join_size",
+    "urn_distinct",
+]

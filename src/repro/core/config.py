@@ -1,0 +1,113 @@
+"""Estimator configuration: the knobs that define ELS and its baselines.
+
+Every algorithm in the paper's experiment is one setting of these flags:
+
+* **Algorithm ELS** — all features on, Rule LS.
+* **Algorithm SM** — the "standard" path (no local-predicate effects on
+  column cardinalities, no single-table j-equivalence handling), Rule M.
+* **Algorithm SSS** — the standard path with Rule SS.
+* **Representative** — the Section 3.3 proposal: a fixed per-class
+  selectivity.
+
+Predicate transitive closure is a separate, query-level rewrite
+(:func:`repro.core.closure.close_query`) and is toggled by the caller, just
+as the paper toggled Starburst's rewrite rule.  Ablation benchmarks flip
+individual flags off one at a time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["SelectivityRule", "EstimatorConfig", "ELS", "SM", "SSS"]
+
+
+class SelectivityRule(enum.Enum):
+    """How to combine the eligible join selectivities of one equivalence class."""
+
+    MULTIPLICATIVE = "M"  # Rule M: multiply all of them (Selinger [13])
+    SMALLEST = "SS"  # Rule SS: the smallest selectivity per class
+    LARGEST = "LS"  # Rule LS: the largest selectivity per class (ELS)
+    REPRESENTATIVE = "REP"  # Section 3.3: one fixed selectivity per class
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Feature flags for a :class:`~repro.core.estimator.JoinSizeEstimator`.
+
+    Attributes:
+        rule: Per-equivalence-class selectivity combination rule.
+        fold_local_into_columns: Section 5 — local predicates reduce the
+            column cardinalities used in join selectivities.  Off for the
+            "standard algorithm" which "computes join selectivities
+            independent of the effect of local predicates".
+        use_urn_model: Section 5 — use the urn model for distinct-value
+            reduction of non-filtered columns (off = proportional scaling,
+            the "other common estimate").
+        handle_single_table_jequiv: Section 6 — special-case j-equivalent
+            join columns within one table.  When off, the implied
+            column-equality local predicate just scales the row count.
+        representative_selectivity: For ``Rule REP``: the fixed selectivity
+            applied once per class per incremental step.  ``None`` derives
+            a per-class value from the class's predicates using
+            ``representative_choice``.
+        representative_choice: ``"smallest"`` or ``"largest"`` — how a
+            per-class representative is derived when no explicit value is
+            given.
+        default_join_selectivity: Selectivity for non-equality join
+            predicates (the paper's machinery only covers equijoins).
+        use_frequency_stats: The Section 9 future-work extension — when
+            most-common-values lists are available on both join columns,
+            compute per-predicate selectivities from frequencies
+            (:mod:`repro.core.skew`) instead of Equation 2.  Degenerates to
+            Equation 2 when no MCVs exist, so it is safe to leave on for
+            uniform workloads.
+    """
+
+    rule: SelectivityRule = SelectivityRule.LARGEST
+    fold_local_into_columns: bool = True
+    use_urn_model: bool = True
+    handle_single_table_jequiv: bool = True
+    representative_selectivity: Optional[float] = None
+    representative_choice: str = "smallest"
+    default_join_selectivity: float = 1.0 / 3.0
+    use_frequency_stats: bool = False
+
+    def __post_init__(self) -> None:
+        if self.representative_choice not in ("smallest", "largest"):
+            raise ValueError(
+                "representative_choice must be 'smallest' or 'largest', got "
+                f"{self.representative_choice!r}"
+            )
+        if self.representative_selectivity is not None and not (
+            0.0 < self.representative_selectivity <= 1.0
+        ):
+            raise ValueError("representative_selectivity must be in (0, 1]")
+        if not 0.0 < self.default_join_selectivity <= 1.0:
+            raise ValueError("default_join_selectivity must be in (0, 1]")
+
+    def but(self, **changes) -> "EstimatorConfig":
+        """A copy with the given fields replaced (ablation helper)."""
+        return replace(self, **changes)
+
+
+#: Algorithm ELS: every paper feature enabled, Rule LS.
+ELS = EstimatorConfig(rule=SelectivityRule.LARGEST)
+
+#: Algorithm SM: standard estimation path with the multiplicative rule.
+SM = EstimatorConfig(
+    rule=SelectivityRule.MULTIPLICATIVE,
+    fold_local_into_columns=False,
+    use_urn_model=False,
+    handle_single_table_jequiv=False,
+)
+
+#: Algorithm SSS: standard estimation path with the smallest-selectivity rule.
+SSS = EstimatorConfig(
+    rule=SelectivityRule.SMALLEST,
+    fold_local_into_columns=False,
+    use_urn_model=False,
+    handle_single_table_jequiv=False,
+)

@@ -1,0 +1,143 @@
+"""Equivalence classes of columns linked by equality predicates.
+
+Section 2 of the paper: "Initially, each column is an equivalence class by
+itself.  When an equality (local or join) predicate is seen during query
+optimization, the equivalence classes corresponding to the two columns on
+each side of the equality are merged."
+
+The structure is a classic union–find (disjoint-set) over
+:class:`~repro.sql.predicates.ColumnRef` with union by size and path
+compression.  Estimators use it to
+
+* group eligible join predicates that belong to one class (Rules SS/LS
+  operate per group),
+* detect single-table j-equivalent column groups (Section 6), and
+* drive the equality part of predicate transitive closure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..sql.predicates import ColumnRef, ComparisonPredicate, Op
+
+__all__ = ["EquivalenceClasses"]
+
+
+class EquivalenceClasses:
+    """Union–find over column references.
+
+    Columns never seen by :meth:`add` or :meth:`union` are implicitly
+    singleton classes; queries against them are well defined.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[ColumnRef, ColumnRef] = {}
+        self._size: Dict[ColumnRef, int] = {}
+
+    @classmethod
+    def from_predicates(
+        cls, predicates: Iterable[ComparisonPredicate]
+    ) -> "EquivalenceClasses":
+        """Build classes by merging on every column=column equality.
+
+        Non-equality predicates and constant predicates do not merge
+        classes (their columns are still registered so that ``columns()``
+        reports everything the query touches).
+        """
+        classes = cls()
+        for predicate in predicates:
+            for column in predicate.columns:
+                classes.add(column)
+            if predicate.op is Op.EQ and isinstance(predicate.right, ColumnRef):
+                classes.union(predicate.left, predicate.right)
+        return classes
+
+    def add(self, column: ColumnRef) -> None:
+        """Register a column as (at least) a singleton class."""
+        if column not in self._parent:
+            self._parent[column] = column
+            self._size[column] = 1
+
+    def union(self, a: ColumnRef, b: ColumnRef) -> None:
+        """Merge the classes of two columns (adding them if unseen)."""
+        self.add(a)
+        self.add(b)
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+
+    def find(self, column: ColumnRef) -> ColumnRef:
+        """The class representative for a column (path-compressing)."""
+        if column not in self._parent:
+            return column
+        root = column
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[column] != root:
+            self._parent[column], column = root, self._parent[column]
+        return root
+
+    def same(self, a: ColumnRef, b: ColumnRef) -> bool:
+        """True when the two columns are j-equivalent."""
+        return self.find(a) == self.find(b)
+
+    def class_id(self, column: ColumnRef) -> ColumnRef:
+        """A stable identifier for the class of a column.
+
+        The identifier is the lexicographically smallest member, so it does
+        not depend on union order — tests and reports can rely on it.
+        """
+        root = self.find(column)
+        members = [c for c in self._parent if self.find(c) == root]
+        return min(members) if members else column
+
+    def members(self, column: ColumnRef) -> FrozenSet[ColumnRef]:
+        """All columns in the same class as the argument."""
+        root = self.find(column)
+        return frozenset(c for c in self._parent if self.find(c) == root)
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        """All registered columns, sorted."""
+        return tuple(sorted(self._parent))
+
+    def classes(self) -> Tuple[FrozenSet[ColumnRef], ...]:
+        """All classes (including singletons), deterministically ordered."""
+        by_root: Dict[ColumnRef, List[ColumnRef]] = {}
+        for column in self._parent:
+            by_root.setdefault(self.find(column), []).append(column)
+        groups = [frozenset(group) for group in by_root.values()]
+        return tuple(sorted(groups, key=lambda g: min(g)))
+
+    def nontrivial_classes(self) -> Tuple[FrozenSet[ColumnRef], ...]:
+        """Classes with at least two members (the ones that matter)."""
+        return tuple(g for g in self.classes() if len(g) > 1)
+
+    def single_table_groups(self, table: str) -> Tuple[FrozenSet[ColumnRef], ...]:
+        """Groups of two or more j-equivalent columns within one table.
+
+        These are exactly the Section 6 special cases: each group triggers
+        the effective-cardinality reduction and the urn-model effective
+        column cardinality.
+        """
+        groups: List[FrozenSet[ColumnRef]] = []
+        for cls in self.classes():
+            local = frozenset(c for c in cls if c.table == table)
+            if len(local) > 1:
+                groups.append(local)
+        return tuple(sorted(groups, key=min))
+
+    def __len__(self) -> int:
+        return len(self.classes())
+
+    def __repr__(self) -> str:
+        parts = [
+            "{" + ", ".join(str(c) for c in sorted(group)) + "}"
+            for group in self.classes()
+        ]
+        return f"EquivalenceClasses({', '.join(parts)})"

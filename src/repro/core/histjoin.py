@@ -1,0 +1,163 @@
+"""Histogram-overlap join-size estimation.
+
+A second relaxation of the Section 2 assumptions, complementing the MCV
+path of :mod:`repro.core.skew`:
+
+* the **containment assumption** ("the set of values in the join column
+  with the smaller column cardinality is a subset of the other") fails
+  whenever the two columns' value ranges only partially overlap — e.g. a
+  date column joined against a restricted date dimension.  Equation 2 then
+  overestimates, sometimes unboundedly (disjoint domains still estimate
+  ``rows_L * rows_R / max(d)`` instead of zero);
+* histograms localize both row mass and distinct values, so Equation 1 can
+  be applied *per overlapping segment* instead of globally.
+
+The estimate partitions the union of both histograms' bucket boundaries
+into segments; within a segment each side contributes its interpolated row
+count and a width-proportional share of its distinct count, and Equation 1
+applies segment-locally.  With identical single-bucket histograms this
+degenerates to exactly Equation 1, so it is a strict generalization.
+Used by the estimator when ``use_frequency_stats`` is on and MCV lists are
+absent but histograms are present.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from ..catalog.statistics import ColumnStats
+from ..errors import EstimationError
+
+__all__ = ["histogram_join_size", "histogram_join_selectivity"]
+
+Number = Union[int, float]
+
+
+def _boundaries(stats: ColumnStats) -> Optional[Tuple[float, float]]:
+    if stats.histogram is not None:
+        return float(stats.histogram.low), float(stats.histogram.high)
+    if stats.has_range:
+        return float(stats.low), float(stats.high)  # type: ignore[arg-type]
+    return None
+
+
+def _segment_rows(stats: ColumnStats, rows: float, low: float, high: float) -> float:
+    """Rows of this side falling inside [low, high]."""
+    if stats.histogram is not None:
+        return rows * stats.histogram.fraction_between(low, high)
+    # Uniform interpolation over the recorded range.
+    assert stats.low is not None and stats.high is not None
+    span = float(stats.high) - float(stats.low)
+    if span <= 0:
+        inside = float(stats.low) >= low and float(stats.low) <= high
+        return rows if inside else 0.0
+    overlap = max(0.0, min(high, float(stats.high)) - max(low, float(stats.low)))
+    return rows * overlap / span
+
+
+def _segment_distinct(stats: ColumnStats, low: float, high: float) -> float:
+    """Width-proportional share of the column's distinct values in [low, high]."""
+    bounds = _boundaries(stats)
+    if bounds is None:
+        return float(stats.distinct)
+    full_low, full_high = bounds
+    span = full_high - full_low
+    if span <= 0:
+        inside = full_low >= low and full_low <= high
+        return float(stats.distinct) if inside else 0.0
+    overlap = max(0.0, min(high, full_high) - max(low, full_low))
+    return stats.distinct * overlap / span
+
+
+def histogram_join_size(
+    left_rows: float,
+    left_stats: ColumnStats,
+    right_rows: float,
+    right_stats: ColumnStats,
+    segments: int = 0,
+) -> float:
+    """Equijoin size from per-segment application of Equation 1.
+
+    Args:
+        left_rows: Effective row count of the left table.
+        left_stats: Left join-column statistics (histogram and/or range).
+        right_rows: Effective row count of the right table.
+        right_stats: Right join-column statistics.
+        segments: Extra uniform subdivisions of the overlap region on top
+            of the histogram boundaries (0 = boundaries only).
+
+    Falls back to the global Equation 1 when neither side carries range
+    information.
+
+    Raises:
+        EstimationError: on negative row counts.
+    """
+    if left_rows < 0 or right_rows < 0:
+        raise EstimationError("row counts must be non-negative")
+    if left_rows == 0 or right_rows == 0:
+        return 0.0
+
+    left_bounds = _boundaries(left_stats)
+    right_bounds = _boundaries(right_stats)
+    if left_bounds is None or right_bounds is None:
+        top = max(left_stats.distinct, right_stats.distinct)
+        return left_rows * right_rows / top if top > 0 else 0.0
+
+    overlap_low = max(left_bounds[0], right_bounds[0])
+    overlap_high = min(left_bounds[1], right_bounds[1])
+    if overlap_high < overlap_low:
+        return 0.0  # disjoint domains join to nothing
+
+    cuts = {overlap_low, overlap_high}
+    for stats in (left_stats, right_stats):
+        hist = stats.histogram
+        if hist is None:
+            continue
+        boundary_values: List[float]
+        if hasattr(hist, "boundaries"):
+            boundary_values = [float(b) for b in hist.boundaries]
+        else:
+            width = hist.bucket_width
+            boundary_values = [
+                float(hist.low) + i * width for i in range(len(hist.counts) + 1)
+            ]
+        cuts.update(b for b in boundary_values if overlap_low <= b <= overlap_high)
+    if segments > 0 and overlap_high > overlap_low:
+        step = (overlap_high - overlap_low) / (segments + 1)
+        cuts.update(overlap_low + i * step for i in range(1, segments + 1))
+
+    ordered = sorted(cuts)
+    if len(ordered) == 1:
+        # Point overlap: one shared value at most.
+        left_d = max(1.0, _segment_distinct(left_stats, ordered[0], ordered[0]))
+        right_d = max(1.0, _segment_distinct(right_stats, ordered[0], ordered[0]))
+        l_rows = _segment_rows(left_stats, left_rows, ordered[0], ordered[0])
+        r_rows = _segment_rows(right_stats, right_rows, ordered[0], ordered[0])
+        return l_rows * r_rows / max(left_d, right_d)
+
+    total = 0.0
+    for low, high in zip(ordered, ordered[1:]):
+        l_rows = _segment_rows(left_stats, left_rows, low, high)
+        r_rows = _segment_rows(right_stats, right_rows, low, high)
+        if l_rows <= 0 or r_rows <= 0:
+            continue
+        l_d = _segment_distinct(left_stats, low, high)
+        r_d = _segment_distinct(right_stats, low, high)
+        top = max(l_d, r_d)
+        if top <= 0:
+            continue
+        total += l_rows * r_rows / top
+    return total
+
+
+def histogram_join_selectivity(
+    left_rows: float,
+    left_stats: ColumnStats,
+    right_rows: float,
+    right_stats: ColumnStats,
+) -> float:
+    """The histogram-overlap size as an Equation 2 style selectivity."""
+    if left_rows <= 0 or right_rows <= 0:
+        return 0.0
+    size = histogram_join_size(left_rows, left_stats, right_rows, right_stats)
+    return min(1.0, size / (left_rows * right_rows))

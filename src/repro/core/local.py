@@ -1,0 +1,301 @@
+"""Local (single-table) predicate selectivity estimation.
+
+Covers step 3 of Algorithm ELS: "Assign to each local predicate a
+selectivity estimate that incorporates any distribution statistics."
+
+Selectivity sources, in order of preference:
+
+1. **Most-common-values list** — exact equality fractions for heavy hitters.
+2. **Histogram** — equi-width or equi-depth, for both equality and range
+   predicates (Section 5: "If we have distribution statistics on y, they
+   can be used to accurately estimate ||R||'.").
+3. **Uniformity over the value range** — linear interpolation between the
+   recorded min and max, with a ``1/d`` adjustment for bound inclusivity.
+4. **Default constants** — when the catalog has no usable information
+   (System-R style magic numbers).
+
+Multiple predicates on one column are combined per the companion report
+[16], as summarized in the paper: "the most restrictive equality predicate
+is chosen if it exists, otherwise we chose a pair of range predicates which
+form the tightest bound."  Contradictory conjunctions (``x = 5 AND x = 7``,
+or an equality outside the range bounds) combine to selectivity zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..catalog.statistics import ColumnStats
+from ..errors import EstimationError
+from ..sql.predicates import ComparisonPredicate, Op, PredicateKind
+
+__all__ = [
+    "DEFAULT_EQUALITY_SELECTIVITY",
+    "DEFAULT_RANGE_SELECTIVITY",
+    "DEFAULT_BETWEEN_SELECTIVITY",
+    "DEFAULT_INEQUALITY_SELECTIVITY",
+    "ColumnFilterEffect",
+    "constant_selectivity",
+    "combine_column_predicates",
+]
+
+Number = Union[int, float]
+
+# System-R style fallbacks, used only when the catalog has no statistics
+# that can answer the question.
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_BETWEEN_SELECTIVITY = 0.25
+DEFAULT_INEQUALITY_SELECTIVITY = 0.9  # for <> with no distinct info
+
+
+def _clamp(x: float) -> float:
+    return min(1.0, max(0.0, x))
+
+
+def _equality_selectivity(value, stats: ColumnStats) -> float:
+    from ..catalog.histogram import EquiWidthHistogram
+
+    if stats.mcv is not None:
+        exact = stats.mcv.equality_fraction(value)
+        if exact is not None:
+            return exact
+    numeric = isinstance(value, (int, float)) and not isinstance(value, bool)
+    # Only equi-width histograms answer point queries (bucket density over
+    # bucket distincts); an equi-depth histogram's continuous interpolation
+    # assigns zero mass to interior points, so it falls through to the
+    # uniformity estimate below.
+    if isinstance(stats.histogram, EquiWidthHistogram) and numeric:
+        return _clamp(stats.histogram.fraction(Op.EQ, value))
+    if stats.has_range and numeric:
+        if value < stats.low or value > stats.high:  # type: ignore[operator]
+            return 0.0
+    if stats.distinct > 0:
+        return 1.0 / stats.distinct
+    return DEFAULT_EQUALITY_SELECTIVITY
+
+
+def _uniform_range_selectivity(op: Op, value: Number, stats: ColumnStats) -> float:
+    """Uniformity-based range selectivity over ``[low, high]``.
+
+    ``col < c`` maps to ``(c - low) / (high - low)``; inclusive operators
+    add one value's worth (``1/d``) so that ``col <= low`` is ``1/d``
+    rather than zero.
+    """
+    assert stats.low is not None and stats.high is not None
+    low = float(stats.low)
+    high = float(stats.high)
+    value_f = float(value)
+    point = 1.0 / stats.distinct if stats.distinct > 0 else 0.0
+    if high == low:
+        # Single-valued domain: the comparison is all-or-nothing.
+        return 1.0 if op.evaluate(low, value_f) else 0.0
+    base = (value_f - low) / (high - low)
+    if op is Op.LT:
+        return _clamp(base)
+    if op is Op.LE:
+        return _clamp(base + point)
+    if op is Op.GT:
+        return _clamp(1.0 - base - point)
+    if op is Op.GE:
+        return _clamp(1.0 - base)
+    raise EstimationError(f"operator {op} is not a range operator")
+
+
+def constant_selectivity(
+    predicate: ComparisonPredicate, stats: ColumnStats
+) -> float:
+    """Selectivity of a single ``col op constant`` predicate.
+
+    Raises:
+        EstimationError: if the predicate is not a constant-local predicate.
+    """
+    if predicate.kind is not PredicateKind.CONSTANT_LOCAL:
+        raise EstimationError(f"{predicate} is not a constant-local predicate")
+    value = predicate.constant
+    op = predicate.op
+    if op is Op.EQ:
+        return _equality_selectivity(value, stats)
+    if op is Op.NE:
+        return _clamp(1.0 - _equality_selectivity(value, stats))
+    # Range operators.
+    numeric = isinstance(value, (int, float)) and not isinstance(value, bool)
+    if stats.histogram is not None and numeric:
+        return _clamp(stats.histogram.fraction(op, value))
+    if stats.has_range and numeric:
+        return _uniform_range_selectivity(op, value, stats)
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+@dataclass(frozen=True)
+class ColumnFilterEffect:
+    """Combined effect of all constant predicates on one column.
+
+    Attributes:
+        column: The filtered column's name.
+        selectivity: Fraction of rows satisfying the conjunction.
+        distinct_after: Effective column cardinality ``d'`` of the filtered
+            column itself (Section 5: ``d'_y = 1`` for an equality literal,
+            otherwise ``d'_y = d_y * S_L``).
+    """
+
+    column: str
+    selectivity: float
+    distinct_after: float
+
+
+def combine_column_predicates(
+    column: str,
+    predicates: Sequence[ComparisonPredicate],
+    stats: ColumnStats,
+) -> ColumnFilterEffect:
+    """Combine all constant predicates on one column per [16].
+
+    The rules, in order:
+
+    1. If any equality predicate exists, it dominates: two equalities with
+       different constants (or an equality inconsistent with some range or
+       <> predicate) make the conjunction unsatisfiable (selectivity 0);
+       otherwise the equality's selectivity is used and ``d'`` becomes 1.
+    2. Otherwise the *tightest* lower and upper bounds are kept and their
+       interval selectivity estimated in one shot (histogram
+       ``fraction_between`` when available, uniform interpolation when only
+       min/max are known, System-R defaults otherwise).
+    3. ``<>`` predicates multiply in their individual selectivities.
+
+    Raises:
+        EstimationError: if a predicate is not on the named column.
+    """
+    equalities: List[ComparisonPredicate] = []
+    lower_bounds: List[ComparisonPredicate] = []
+    upper_bounds: List[ComparisonPredicate] = []
+    not_equals: List[ComparisonPredicate] = []
+    for predicate in predicates:
+        if (
+            predicate.kind is not PredicateKind.CONSTANT_LOCAL
+            or predicate.left.column != column
+        ):
+            raise EstimationError(
+                f"{predicate} is not a constant predicate on column {column!r}"
+            )
+        if predicate.op is Op.EQ:
+            equalities.append(predicate)
+        elif predicate.op is Op.NE:
+            not_equals.append(predicate)
+        elif predicate.op.is_lower_bound:
+            lower_bounds.append(predicate)
+        else:
+            upper_bounds.append(predicate)
+
+    if equalities:
+        return _combine_with_equality(
+            column, equalities, lower_bounds, upper_bounds, not_equals, stats
+        )
+
+    selectivity = _range_interval_selectivity(lower_bounds, upper_bounds, stats)
+    for predicate in not_equals:
+        selectivity *= constant_selectivity(predicate, stats)
+    selectivity = _clamp(selectivity)
+    distinct_after = stats.distinct * selectivity
+    return ColumnFilterEffect(column, selectivity, distinct_after)
+
+
+def _combine_with_equality(
+    column: str,
+    equalities: Sequence[ComparisonPredicate],
+    lower_bounds: Sequence[ComparisonPredicate],
+    upper_bounds: Sequence[ComparisonPredicate],
+    not_equals: Sequence[ComparisonPredicate],
+    stats: ColumnStats,
+) -> ColumnFilterEffect:
+    constants = {p.constant for p in equalities}
+    if len(constants) > 1:
+        return ColumnFilterEffect(column, 0.0, 0.0)
+    value = next(iter(constants))
+    # The fixed value must satisfy every other predicate on the column.
+    for other in list(lower_bounds) + list(upper_bounds) + list(not_equals):
+        if _comparable(value, other.constant) and not other.op.evaluate(
+            value, other.constant
+        ):
+            return ColumnFilterEffect(column, 0.0, 0.0)
+    selectivity = _equality_selectivity(value, stats)
+    distinct_after = 1.0 if selectivity > 0.0 else 0.0
+    return ColumnFilterEffect(column, selectivity, distinct_after)
+
+
+def _range_interval_selectivity(
+    lower_bounds: Sequence[ComparisonPredicate],
+    upper_bounds: Sequence[ComparisonPredicate],
+    stats: ColumnStats,
+) -> float:
+    if not lower_bounds and not upper_bounds:
+        return 1.0
+    tight_low = _tightest(lower_bounds, pick_max=True)
+    tight_high = _tightest(upper_bounds, pick_max=False)
+    if tight_low is not None and tight_high is not None:
+        low_pred, high_pred = tight_low, tight_high
+        if _comparable(low_pred.constant, high_pred.constant):
+            low_v = low_pred.constant
+            high_v = high_pred.constant
+            if low_v > high_v or (
+                low_v == high_v
+                and not (low_pred.op is Op.GE and high_pred.op is Op.LE)
+            ):
+                return 0.0
+        numeric = _is_number(low_pred.constant) and _is_number(high_pred.constant)
+        if stats.histogram is not None and numeric:
+            return _clamp(
+                stats.histogram.fraction_between(
+                    low_pred.constant,
+                    high_pred.constant,
+                    low_inclusive=low_pred.op is Op.GE,
+                    high_inclusive=high_pred.op is Op.LE,
+                )
+            )
+        if stats.has_range and numeric:
+            low_sel = _uniform_range_selectivity(
+                low_pred.op, low_pred.constant, stats
+            )
+            high_sel = _uniform_range_selectivity(
+                high_pred.op, high_pred.constant, stats
+            )
+            return _clamp(low_sel + high_sel - 1.0)
+        return DEFAULT_BETWEEN_SELECTIVITY
+    bound = tight_low if tight_low is not None else tight_high
+    assert bound is not None
+    return constant_selectivity(bound, stats)
+
+
+def _tightest(
+    bounds: Sequence[ComparisonPredicate], pick_max: bool
+) -> Optional[ComparisonPredicate]:
+    """The most restrictive bound of one direction.
+
+    For lower bounds the largest constant wins; for upper bounds the
+    smallest.  On equal constants the strict operator is tighter.  Bounds
+    over non-comparable constants (mixed types) fall back to first-seen.
+    """
+    if not bounds:
+        return None
+    best = bounds[0]
+    for candidate in bounds[1:]:
+        if not _comparable(candidate.constant, best.constant):
+            continue
+        if candidate.constant == best.constant:
+            if candidate.op in (Op.GT, Op.LT) and best.op in (Op.GE, Op.LE):
+                best = candidate
+        elif (candidate.constant > best.constant) == pick_max:
+            best = candidate
+    return best
+
+
+def _comparable(a, b) -> bool:
+    if _is_number(a) and _is_number(b):
+        return True
+    return isinstance(a, str) and isinstance(b, str)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

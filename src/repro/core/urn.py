@@ -1,0 +1,85 @@
+"""The urn model for distinct-value estimation under selection (Section 5).
+
+When a local predicate reduces a table from ``||R||`` to ``||R||'`` rows,
+the number of distinct values surviving in *another* column ``x`` is modeled
+as throwing ``k = ||R||'`` balls uniformly into ``n = d_x`` urns and counting
+non-empty urns:
+
+    E[non-empty urns] = n * (1 - (1 - 1/n)^k)
+
+The paper contrasts this with the common proportional estimate
+``d_x' = d_x * (||R||' / ||R||)`` and gives the numeric anchor: with
+``d_x = 10000``, ``||R|| = 100000``, ``||R||' = 50000``, the urn model gives
+9933 while the proportional estimate gives 5000; with ``||R||' = ||R||`` the
+urn model gives 10000 (no spurious reduction).
+
+The exponential is computed as ``exp(k * log1p(-1/n))`` so that very large
+``k`` and ``n`` stay numerically stable.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "expected_distinct",
+    "urn_distinct",
+    "proportional_distinct",
+]
+
+
+def expected_distinct(distinct: int, selected_rows: float) -> float:
+    """Expected number of distinct values after selecting ``selected_rows``.
+
+    Args:
+        distinct: ``n`` — distinct values before selection (urn count).
+        selected_rows: ``k`` — rows surviving the selection (ball count).
+            Fractional row estimates are accepted; the formula extends
+            continuously.
+
+    Returns:
+        The real-valued expectation ``n * (1 - (1 - 1/n)^k)``.
+
+    Raises:
+        ValueError: for negative arguments.
+    """
+    if distinct < 0:
+        raise ValueError(f"distinct count must be >= 0, got {distinct}")
+    if selected_rows < 0:
+        raise ValueError(f"selected row count must be >= 0, got {selected_rows}")
+    if distinct == 0 or selected_rows == 0:
+        return 0.0
+    if distinct == 1:
+        return 1.0
+    n = float(distinct)
+    # (1 - 1/n)^k computed in log space for numerical stability.
+    miss_probability = math.exp(selected_rows * math.log1p(-1.0 / n))
+    return n * (1.0 - miss_probability)
+
+
+def urn_distinct(distinct: int, selected_rows: float) -> int:
+    """The paper's integer estimate: ceiling of the urn expectation.
+
+    Section 5 writes the estimate with ceiling brackets; the result is also
+    clamped to ``[0, distinct]`` (the expectation never exceeds ``n`` but
+    the ceiling could reach it exactly, which is fine).
+    """
+    value = expected_distinct(distinct, selected_rows)
+    return min(distinct, int(math.ceil(value - 1e-12)))
+
+
+def proportional_distinct(distinct: int, selected_rows: float, total_rows: float) -> float:
+    """The "other common estimate": scale distincts by the selected fraction.
+
+    ``d_x' = d_x * (||R||' / ||R||)``.  Included as the baseline the paper
+    argues against (it badly underestimates when rows-per-value is high).
+
+    Raises:
+        ValueError: when ``total_rows`` is zero but rows were selected.
+    """
+    if total_rows <= 0:
+        if selected_rows > 0:
+            raise ValueError("selected rows from an empty table")
+        return 0.0
+    fraction = min(1.0, max(0.0, selected_rows / total_rows))
+    return distinct * fraction

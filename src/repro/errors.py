@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors from catalog errors and so on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParseError(ReproError):
+    """Raised when SQL text cannot be tokenized or parsed.
+
+    Attributes:
+        message: Human-readable description of the failure.
+        position: Character offset into the source text, when known.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        self.message = message
+        self.position = position
+        if position >= 0:
+            super().__init__(f"{message} (at offset {position})")
+        else:
+            super().__init__(message)
+
+
+class ResolutionError(ReproError):
+    """Raised when a column reference cannot be resolved against a schema."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown tables/columns or inconsistent statistics."""
+
+
+class StorageError(ReproError):
+    """Raised by the in-memory storage engine (schema mismatch, bad load)."""
+
+
+class PlanError(ReproError):
+    """Raised when a physical plan is malformed or cannot be constructed."""
+
+
+class EstimationError(ReproError):
+    """Raised when a cardinality estimate cannot be computed.
+
+    Typical causes are referencing a table that is not part of the query or
+    asking for an incremental step whose prerequisites were never joined.
+    """
+
+
+class OptimizationError(ReproError):
+    """Raised when the join-order optimizer cannot produce a plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the execution engine when an operator fails at run time."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload/data generators for invalid parameter choices."""

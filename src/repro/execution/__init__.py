@@ -1,0 +1,36 @@
+"""Execution engine: operators, plan executor, and run-time metrics."""
+
+from .aggregate import AggregateFunction, AggregateSpec, HashAggregateOp
+from .executor import ExecutionResult, Executor
+from .layout import Layout, compile_conjunction, compile_join_condition, compile_predicate
+from .metrics import ExecutionMetrics, OperatorStats
+from .operators import (
+    FilterOp,
+    HashJoinOp,
+    NestedLoopJoinOp,
+    Operator,
+    ProjectOp,
+    SortMergeJoinOp,
+    TableScanOp,
+)
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateSpec",
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "Executor",
+    "FilterOp",
+    "HashAggregateOp",
+    "HashJoinOp",
+    "Layout",
+    "NestedLoopJoinOp",
+    "Operator",
+    "OperatorStats",
+    "ProjectOp",
+    "SortMergeJoinOp",
+    "TableScanOp",
+    "compile_conjunction",
+    "compile_join_condition",
+    "compile_predicate",
+]

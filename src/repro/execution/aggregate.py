@@ -1,0 +1,160 @@
+"""Hash aggregation: COUNT / SUM / MIN / MAX / AVG with optional GROUP BY.
+
+The paper's experiment query is ``SELECT COUNT(*) …``; this operator
+generalizes the executor's answer surface to the aggregates a warehouse
+query actually computes, so the examples can report per-group results
+rather than only the overall count.  Grouping is hash-based (one pass, one
+accumulator per group), matching the rest of the engine's in-memory style.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from ..sql.predicates import ColumnRef
+from .layout import Layout
+from .metrics import ExecutionMetrics
+from .operators import Operator
+
+__all__ = ["AggregateFunction", "AggregateSpec", "HashAggregateOp"]
+
+Row = Tuple
+
+
+class AggregateFunction(enum.Enum):
+    COUNT = "count"  # COUNT(*) — no input column
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate to compute: the function and its input column.
+
+    ``COUNT`` takes no column (COUNT(*) semantics); every other function
+    requires one.
+    """
+
+    function: AggregateFunction
+    column: Optional[ColumnRef] = None
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if self.function is AggregateFunction.COUNT:
+            if self.column is not None:
+                raise ExecutionError("COUNT(*) takes no column; project first")
+        elif self.column is None:
+            raise ExecutionError(f"{self.function.value.upper()} requires a column")
+        if not self.alias:
+            name = self.column.column if self.column is not None else "star"
+            object.__setattr__(self, "alias", f"{self.function.value}_{name}")
+
+
+class _Accumulator:
+    """Streaming accumulator for one group."""
+
+    __slots__ = ("count", "sums", "mins", "maxs")
+
+    def __init__(self, n_columns: int) -> None:
+        self.count = 0
+        self.sums: List[float] = [0.0] * n_columns
+        self.mins: List[Optional[float]] = [None] * n_columns
+        self.maxs: List[Optional[float]] = [None] * n_columns
+
+    def update(self, values: Sequence) -> None:
+        self.count += 1
+        for i, value in enumerate(values):
+            self.sums[i] += value
+            if self.mins[i] is None or value < self.mins[i]:
+                self.mins[i] = value
+            if self.maxs[i] is None or value > self.maxs[i]:
+                self.maxs[i] = value
+
+
+class HashAggregateOp(Operator):
+    """Group rows by key columns and evaluate the aggregate specs.
+
+    Output layout: the group-by columns (in the given order) followed by
+    one column per aggregate, qualified under the synthetic relation
+    ``agg`` with the spec's alias as the column name.  With no group-by
+    columns the operator emits exactly one row (SQL scalar-aggregate
+    semantics: COUNT of an empty input is 0, other aggregates are None).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: Sequence[ColumnRef],
+        aggregates: Sequence[AggregateSpec],
+        metrics: ExecutionMetrics,
+    ) -> None:
+        if not aggregates:
+            raise ExecutionError("hash aggregate needs at least one aggregate")
+        output_columns = list(group_by) + [
+            ColumnRef("agg", spec.alias) for spec in aggregates
+        ]
+        super().__init__(Layout(output_columns), metrics.register("aggregate"))
+        self._child = child
+        self._group_positions = [child.layout.position(c) for c in group_by]
+        self._aggregates = tuple(aggregates)
+        self._value_positions = [
+            child.layout.position(spec.column)
+            for spec in aggregates
+            if spec.column is not None
+        ]
+        # Map each aggregate to its slot in the accumulator's value arrays.
+        slot = 0
+        slots: List[Optional[int]] = []
+        for spec in aggregates:
+            if spec.column is None:
+                slots.append(None)
+            else:
+                slots.append(slot)
+                slot += 1
+        self._slots = slots
+
+    def rows(self) -> List[Row]:
+        source = self._child.rows()
+        self._stats.rows_in += len(source)
+        groups: Dict[Tuple, _Accumulator] = {}
+        n_values = len(self._value_positions)
+        for row in source:
+            key = tuple(row[p] for p in self._group_positions)
+            accumulator = groups.get(key)
+            if accumulator is None:
+                accumulator = _Accumulator(n_values)
+                groups[key] = accumulator
+            accumulator.update([row[p] for p in self._value_positions])
+            self._stats.comparisons += 1
+        if not groups and not self._group_positions:
+            groups[()] = _Accumulator(n_values)
+
+        result: List[Row] = []
+        for key in sorted(groups, key=repr):
+            accumulator = groups[key]
+            values: List = list(key)
+            for spec, slot in zip(self._aggregates, self._slots):
+                values.append(self._finalize(spec, slot, accumulator))
+            result.append(tuple(values))
+        self._stats.rows_out += len(result)
+        return result
+
+    @staticmethod
+    def _finalize(spec: AggregateSpec, slot: Optional[int], acc: _Accumulator):
+        if spec.function is AggregateFunction.COUNT:
+            return acc.count
+        assert slot is not None
+        if acc.count == 0:
+            return None
+        if spec.function is AggregateFunction.SUM:
+            return acc.sums[slot]
+        if spec.function is AggregateFunction.MIN:
+            return acc.mins[slot]
+        if spec.function is AggregateFunction.MAX:
+            return acc.maxs[slot]
+        return acc.sums[slot] / acc.count  # AVG

@@ -1,0 +1,176 @@
+"""Plan execution against the in-memory storage engine.
+
+The executor turns a physical plan from the optimizer into an operator tree
+and runs it, returning the *true* result (rows or COUNT) together with
+:class:`~repro.execution.metrics.ExecutionMetrics`.  It never looks at the
+catalog or any estimate, so measured result sizes and times are honest
+ground truth for the estimators — this separation is what lets the
+benchmark tables print "estimated vs actual" columns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from ..optimizer.plans import JoinMethod, JoinPlan, PlanNode, ScanPlan
+from ..sql.predicates import ColumnRef
+from ..sql.query import Projection
+from ..storage.database import Database
+from .metrics import ExecutionMetrics
+from .operators import (
+    FilterOp,
+    HashJoinOp,
+    NestedLoopJoinOp,
+    Operator,
+    ProjectOp,
+    SortMergeJoinOp,
+    TableScanOp,
+)
+
+__all__ = ["ExecutionResult", "Executor"]
+
+Row = Tuple
+
+
+@dataclass
+class ExecutionResult:
+    """Output of one plan execution."""
+
+    rows: List[Row]
+    columns: Tuple[ColumnRef, ...]
+    count: int
+    metrics: ExecutionMetrics
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.metrics.wall_seconds
+
+
+class Executor:
+    """Executes physical plans against a :class:`Database`.
+
+    Args:
+        database: Stored tables (must contain every base table any plan
+            references).
+        page_size: Page size used for the *simulated* I/O counters; has no
+            effect on results.
+        buffer_pages: Buffer pool size for the nested-loops I/O simulation.
+    """
+
+    def __init__(
+        self, database: Database, page_size: int = 4096, buffer_pages: int = 64
+    ) -> None:
+        self._database = database
+        self._page_size = page_size
+        self._buffer_pages = buffer_pages
+
+    def execute(
+        self, plan: PlanNode, projection: Optional[Projection] = None
+    ) -> ExecutionResult:
+        """Run a plan, applying the projection at the top.
+
+        Supports all three projection shapes: column lists (project),
+        ``COUNT(*)`` (count only), and aggregate lists with optional GROUP
+        BY (hash aggregation).  For aggregate projections, ``count`` is
+        the number of *input* rows that reached the aggregate — the join's
+        cardinality, which is what estimation experiments compare against.
+        """
+        metrics = ExecutionMetrics()
+        started = time.perf_counter()
+        root = self._build(plan, metrics)
+        if projection is not None and projection.aggregates:
+            root = self._build_aggregate(root, projection, metrics)
+            rows = root.rows()
+            metrics.wall_seconds = time.perf_counter() - started
+            count = root.stats.rows_in
+            return ExecutionResult(
+                rows=rows, columns=root.layout.columns, count=count, metrics=metrics
+            )
+        if projection is not None and projection.columns:
+            root = ProjectOp(root, projection.columns, metrics)
+        rows = root.rows()
+        metrics.wall_seconds = time.perf_counter() - started
+        count = len(rows)
+        if projection is not None and projection.count_star:
+            rows = []
+        return ExecutionResult(
+            rows=rows, columns=root.layout.columns, count=count, metrics=metrics
+        )
+
+    def _build_aggregate(
+        self, root: Operator, projection: Projection, metrics: ExecutionMetrics
+    ) -> Operator:
+        from .aggregate import AggregateFunction, AggregateSpec, HashAggregateOp
+
+        specs = [
+            AggregateSpec(AggregateFunction(a.function), a.column)
+            for a in projection.aggregates
+        ]
+        return HashAggregateOp(root, projection.group_by, specs, metrics)
+
+    def count(self, plan: PlanNode) -> ExecutionResult:
+        """Run a plan as ``SELECT COUNT(*)``."""
+        return self.execute(plan, Projection(count_star=True))
+
+    # -- internals -------------------------------------------------------
+
+    def _build(self, plan: PlanNode, metrics: ExecutionMetrics) -> Operator:
+        if isinstance(plan, ScanPlan):
+            return self._build_scan(plan, metrics)
+        if isinstance(plan, JoinPlan):
+            return self._build_join(plan, metrics)
+        raise ExecutionError(f"unknown plan node {plan!r}")
+
+    def _build_scan(self, plan: ScanPlan, metrics: ExecutionMetrics) -> Operator:
+        table = self._database.table(plan.base_table)
+        pages = _page_count(
+            table.row_count, table.schema.row_width_bytes, self._page_size
+        )
+        scan: Operator = TableScanOp(
+            relation=plan.relation,
+            column_names=table.schema.column_names,
+            source_rows=table.rows(),
+            metrics=metrics,
+            pages=pages,
+        )
+        if plan.local_predicates:
+            scan = FilterOp(scan, plan.local_predicates, metrics)
+        return scan
+
+    def _build_join(self, plan: JoinPlan, metrics: ExecutionMetrics) -> Operator:
+        left = self._build(plan.left, metrics)
+        right = self._build(plan.right, metrics)
+        if plan.method is JoinMethod.NESTED_LOOPS:
+            return NestedLoopJoinOp(
+                left,
+                right,
+                plan.predicates,
+                metrics,
+                outer_row_width=plan.left.row_width,
+                inner_row_width=plan.right.row_width,
+                page_size=self._page_size,
+                buffer_pages=self._buffer_pages,
+            )
+        if plan.method is JoinMethod.SORT_MERGE:
+            return SortMergeJoinOp(
+                left,
+                right,
+                plan.predicates,
+                metrics,
+                left_row_width=plan.left.row_width,
+                right_row_width=plan.right.row_width,
+                page_size=self._page_size,
+            )
+        if plan.method is JoinMethod.HASH:
+            return HashJoinOp(left, right, plan.predicates, metrics)
+        raise ExecutionError(f"unknown join method {plan.method!r}")
+
+
+def _page_count(rows: int, row_width: int, page_size: int) -> float:
+    if rows <= 0:
+        return 0.0
+    per_page = max(1, page_size // max(1, row_width))
+    return -(-rows // per_page)  # ceiling division

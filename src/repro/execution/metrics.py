@@ -1,0 +1,84 @@
+"""Execution metrics: per-operator row counts and simulated page I/O.
+
+The paper's experiment reports elapsed time of each chosen QEP.  Our
+executor reports three things per run so benchmark tables can show both the
+absolute and the machine-independent picture:
+
+* wall-clock seconds (measured),
+* rows flowing out of every operator (exact),
+* simulated page I/O — scans charge their table's page count, sort-merge
+  joins additionally charge sort passes, mirroring the cost model's
+  currency so estimated and actual costs are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["OperatorStats", "ExecutionMetrics"]
+
+
+@dataclass
+class OperatorStats:
+    """Counters for one operator instance in a plan."""
+
+    label: str
+    rows_out: int = 0
+    rows_in: int = 0
+    comparisons: int = 0
+    pages_read: float = 0.0
+
+    def snapshot(self) -> "OperatorStats":
+        return OperatorStats(
+            self.label, self.rows_out, self.rows_in, self.comparisons, self.pages_read
+        )
+
+
+@dataclass
+class ExecutionMetrics:
+    """Aggregated counters for one plan execution."""
+
+    operators: List[OperatorStats] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def register(self, label: str) -> OperatorStats:
+        stats = OperatorStats(label)
+        self.operators.append(stats)
+        return stats
+
+    @property
+    def total_rows_out(self) -> int:
+        return sum(op.rows_out for op in self.operators)
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(op.comparisons for op in self.operators)
+
+    @property
+    def total_pages_read(self) -> float:
+        return sum(op.pages_read for op in self.operators)
+
+    def by_label(self) -> Dict[str, OperatorStats]:
+        """Operators keyed by label; duplicate labels get ``#n`` suffixes."""
+        result: Dict[str, OperatorStats] = {}
+        for op in self.operators:
+            label = op.label
+            n = 2
+            while label in result:
+                label = f"{op.label}#{n}"
+                n += 1
+            result[label] = op
+        return result
+
+    def summary(self) -> str:
+        lines = [
+            f"wall: {self.wall_seconds:.4f}s  pages: {self.total_pages_read:.0f}  "
+            f"comparisons: {self.total_comparisons}"
+        ]
+        for op in self.operators:
+            lines.append(
+                f"  {op.label}: out={op.rows_out} in={op.rows_in} "
+                f"cmp={op.comparisons} pages={op.pages_read:.0f}"
+            )
+        return "\n".join(lines)

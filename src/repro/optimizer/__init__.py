@@ -1,0 +1,26 @@
+"""Join-order optimizer: plan trees, cost model, and enumerators."""
+
+from .cost import CostModel
+from .enumerate import enumerate_dp, enumerate_dp_bushy, enumerate_greedy
+from .optimizer import Optimizer, OptimizerResult
+from .random_search import cost_of_order, enumerate_annealing, enumerate_iterative_improvement
+from .plans import JoinMethod, JoinPlan, PlanNode, ScanPlan, explain, joins_of, leaf_order
+
+__all__ = [
+    "CostModel",
+    "JoinMethod",
+    "JoinPlan",
+    "Optimizer",
+    "OptimizerResult",
+    "PlanNode",
+    "ScanPlan",
+    "enumerate_dp",
+    "enumerate_dp_bushy",
+    "cost_of_order",
+    "enumerate_annealing",
+    "enumerate_greedy",
+    "enumerate_iterative_improvement",
+    "explain",
+    "joins_of",
+    "leaf_order",
+]

@@ -1,0 +1,160 @@
+"""The optimizer facade: estimation + enumeration + cost in one call.
+
+This is the reproduction's stand-in for the modified Starburst optimizer of
+Section 8.  The cardinality estimator is *pluggable*: passing the ``SM``,
+``SSS``, or ``ELS`` configuration (and toggling ``apply_closure``) yields
+exactly the four experimental setups of the paper's table —
+
+===========================  ==================  ===========
+Paper row                    config              closure
+===========================  ==================  ===========
+Orig. / SM                   ``SM``              off
+Orig. + PTC / SM             ``SM``              on
+Orig. + PTC / SSS            ``SSS``             on
+Orig. / ELS                  ``ELS``             on (ELS owns PTC)
+===========================  ==================  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..catalog.statistics import Catalog
+from ..core.config import ELS, EstimatorConfig
+from ..core.estimator import IncrementalEstimate, JoinSizeEstimator
+from ..errors import OptimizationError
+from ..sql.query import Query
+from .cost import CostModel
+from .enumerate import enumerate_dp, enumerate_dp_bushy, enumerate_greedy
+from .random_search import enumerate_annealing, enumerate_iterative_improvement
+from .plans import JoinMethod, PlanNode, explain, leaf_order
+
+__all__ = ["OptimizerResult", "Optimizer"]
+
+DEFAULT_METHODS: Tuple[JoinMethod, ...] = (
+    JoinMethod.NESTED_LOOPS,
+    JoinMethod.SORT_MERGE,
+)
+
+
+@dataclass(frozen=True)
+class OptimizerResult:
+    """A chosen plan plus the estimation context that produced it.
+
+    Attributes:
+        plan: The minimum-cost left-deep plan.
+        estimator: The estimator instance (exposes the closed query, the
+            equivalence classes, and effective statistics for reports).
+        estimate: Per-step size estimates along the plan's join order —
+            the "Estimated Result Sizes" column of the paper's table.
+    """
+
+    plan: PlanNode
+    estimator: JoinSizeEstimator
+    estimate: IncrementalEstimate
+
+    @property
+    def join_order(self) -> Tuple[str, ...]:
+        return leaf_order(self.plan)
+
+    @property
+    def estimated_cost(self) -> float:
+        return self.plan.estimated_cost
+
+    @property
+    def estimated_rows(self) -> float:
+        return self.plan.estimated_rows
+
+    @property
+    def intermediate_sizes(self) -> Tuple[float, ...]:
+        return self.estimate.intermediate_sizes
+
+    def explain(self) -> str:
+        return explain(self.plan)
+
+
+class Optimizer:
+    """Join-order optimizer over a statistics catalog.
+
+    Args:
+        catalog: Statistics and schemas for every base table.
+        cost_model: Page-based cost model (defaults are fine for the
+            paper's workloads).
+        methods: Join methods to consider; defaults to the paper's
+            repertoire (Nested Loops + Sort Merge).
+        enumerator: ``"dp"`` (left-deep Selinger dynamic programming),
+            ``"dp-bushy"`` (dynamic programming over bushy trees),
+            ``"greedy"`` (cheap polynomial heuristic), ``"random"``
+            (iterative improvement with restarts), or ``"annealing"``
+            (simulated annealing) — the randomized pair being the [14, 5]
+            family the paper cites as incremental-estimation consumers.
+        seed: Randomness seed for the randomized enumerators.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: Optional[CostModel] = None,
+        methods: Sequence[JoinMethod] = DEFAULT_METHODS,
+        enumerator: str = "dp",
+        seed: int = 0,
+    ) -> None:
+        if enumerator not in ("dp", "dp-bushy", "greedy", "random", "annealing"):
+            raise OptimizationError(
+                f"unknown enumerator {enumerator!r}; use 'dp', 'dp-bushy', "
+                "'greedy', 'random', or 'annealing'"
+            )
+        self._catalog = catalog
+        self._cost_model = cost_model or CostModel()
+        self._methods = tuple(methods)
+        self._enumerator = enumerator
+        self._seed = seed
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    def optimize(
+        self,
+        query: Query,
+        config: EstimatorConfig = ELS,
+        apply_closure: bool = True,
+    ) -> OptimizerResult:
+        """Choose a plan for the query under the given estimation algorithm.
+
+        ``apply_closure`` plays the role of the Starburst PTC rewrite rule
+        toggle; the estimation configuration selects the algorithm.
+        """
+        estimator = JoinSizeEstimator(query, self._catalog, config, apply_closure)
+        widths: Dict[str, int] = {}
+        original_rows: Dict[str, int] = {}
+        for relation in estimator.query.tables:
+            base = estimator.query.base_table(relation)
+            widths[relation] = self._catalog.schema(base).row_width_bytes
+            original_rows[relation] = self._catalog.stats(base).row_count
+        if self._enumerator in ("random", "annealing"):
+            enumerate_fn = (
+                enumerate_iterative_improvement
+                if self._enumerator == "random"
+                else enumerate_annealing
+            )
+            plan = enumerate_fn(
+                estimator,
+                self._cost_model,
+                widths,
+                original_rows,
+                self._methods,
+                seed=self._seed,
+            )
+        else:
+            enumerate_fn = {
+                "dp": enumerate_dp,
+                "dp-bushy": enumerate_dp_bushy,
+                "greedy": enumerate_greedy,
+            }[self._enumerator]
+            plan = enumerate_fn(
+                estimator, self._cost_model, widths, original_rows, self._methods
+            )
+        estimate = estimator.estimate_order(leaf_order(plan))
+        return OptimizerResult(plan=plan, estimator=estimator, estimate=estimate)

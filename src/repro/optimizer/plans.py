@@ -1,0 +1,140 @@
+"""Physical plan trees produced by the join-order optimizer.
+
+Plans are left-deep join trees (the shape Selinger-style dynamic
+programming enumerates [13]): the left input of every join is a scan or
+another join, the right input is always a base-relation scan.  Each node
+carries the optimizer's *estimated* output cardinality and cumulative cost
+so experiment reports can print the per-join estimates exactly as the
+paper's Section 8 table does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple, Union
+
+from ..sql.predicates import ComparisonPredicate
+
+__all__ = ["JoinMethod", "ScanPlan", "JoinPlan", "PlanNode", "leaf_order", "explain"]
+
+
+class JoinMethod(enum.Enum):
+    """Physical join algorithms the optimizer may choose.
+
+    The paper's experiment enabled Nested Loops and Sort Merge ("the
+    optimizer's entire repertoire was enabled (including the Nested Loops
+    and Sort Merge join methods)"); hash join is a modern extension that is
+    off by default.
+    """
+
+    NESTED_LOOPS = "NL"
+    SORT_MERGE = "SM"
+    HASH = "HJ"
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """A sequential scan of one relation with pushed-down local predicates.
+
+    Attributes:
+        relation: The query-level relation name (alias).
+        base_table: The stored table behind the relation.
+        local_predicates: Constant and same-table predicates applied right
+            after the scan — after transitive closure this is where the
+            implied local predicates enable early selection.
+        estimated_rows: ``||R||'`` — effective cardinality after the local
+            predicates.
+        estimated_cost: Pages read by the scan (plus CPU weight).
+        row_width: Logical tuple width in bytes, for page math upstream.
+    """
+
+    relation: str
+    base_table: str
+    local_predicates: Tuple[ComparisonPredicate, ...]
+    estimated_rows: float
+    estimated_cost: float
+    row_width: int
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        return frozenset((self.relation,))
+
+    @property
+    def is_scan(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A join of two subplans.
+
+    Left-deep enumeration always places a base-relation scan on the right;
+    the bushy enumerator may put a join subtree there.
+    """
+
+    left: "PlanNode"
+    right: "PlanNode"
+    method: JoinMethod
+    predicates: Tuple[ComparisonPredicate, ...]
+    estimated_rows: float
+    estimated_cost: float
+    row_width: int
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        return self.left.tables | self.right.tables
+
+    @property
+    def is_scan(self) -> bool:
+        return False
+
+    @property
+    def is_cartesian(self) -> bool:
+        return not self.predicates
+
+
+PlanNode = Union[ScanPlan, JoinPlan]
+
+
+def leaf_order(plan: PlanNode) -> Tuple[str, ...]:
+    """The left-to-right relation order of a plan's leaves.
+
+    For a left-deep plan this is exactly the incremental join order the
+    estimator walked while the plan was built, so
+    ``estimator.estimate_order(leaf_order(plan))`` recomputes the plan's
+    per-step size estimates.  For bushy plans it is just the leaf sequence.
+    """
+    if isinstance(plan, ScanPlan):
+        return (plan.relation,)
+    return leaf_order(plan.left) + leaf_order(plan.right)
+
+
+def joins_of(plan: PlanNode) -> Tuple[JoinPlan, ...]:
+    """All join nodes bottom-up (left subtree, right subtree, then root)."""
+    if isinstance(plan, ScanPlan):
+        return ()
+    return joins_of(plan.left) + joins_of(plan.right) + (plan,)
+
+
+def explain(plan: PlanNode, indent: int = 0) -> str:
+    """Human-readable plan tree with estimates, EXPLAIN-style."""
+    pad = "  " * indent
+    if isinstance(plan, ScanPlan):
+        preds = (
+            " [" + " AND ".join(str(p) for p in plan.local_predicates) + "]"
+            if plan.local_predicates
+            else ""
+        )
+        return (
+            f"{pad}Scan {plan.relation}{preds} "
+            f"(rows~{plan.estimated_rows:.3g}, cost~{plan.estimated_cost:.3g})"
+        )
+    preds = " AND ".join(str(p) for p in plan.predicates) or "TRUE (cartesian)"
+    lines: List[str] = [
+        f"{pad}{plan.method.value}-Join on {preds} "
+        f"(rows~{plan.estimated_rows:.3g}, cost~{plan.estimated_cost:.3g})"
+    ]
+    lines.append(explain(plan.left, indent + 1))
+    lines.append(explain(plan.right, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""SQL front-end: predicate model, query representation, lexer, and parser.
+
+This package turns SQL text (or programmatic constructors) into the
+normalized :class:`~repro.sql.query.Query` objects consumed by the
+transitive-closure pass, the estimators, the optimizer, and the executor.
+"""
+
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_predicate, parse_query
+from .predicates import (
+    ColumnRef,
+    ComparisonPredicate,
+    Literal,
+    Op,
+    PredicateKind,
+    column_equality,
+    join_predicate,
+    local_predicate,
+)
+from .query import AggregateExpr, Projection, Query, dedupe_predicates
+
+__all__ = [
+    "AggregateExpr",
+    "ColumnRef",
+    "ComparisonPredicate",
+    "Literal",
+    "Op",
+    "PredicateKind",
+    "Projection",
+    "Query",
+    "Token",
+    "TokenType",
+    "column_equality",
+    "dedupe_predicates",
+    "join_predicate",
+    "local_predicate",
+    "parse_predicate",
+    "parse_query",
+    "tokenize",
+]

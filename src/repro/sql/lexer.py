@@ -1,0 +1,150 @@
+"""Tokenizer for the SQL subset used throughout the reproduction.
+
+The grammar is deliberately small — exactly what is needed to express the
+paper's conjunctive select-project-join queries:
+
+* keywords: SELECT, FROM, WHERE, AND, AS, COUNT (case-insensitive)
+* identifiers, optionally qualified: ``name`` or ``table.column``
+  (qualification is handled by the parser; the lexer emits DOT tokens)
+* integer, float, and single-quoted string literals
+* comparison operators: ``=  <>  !=  <  <=  >  >=``
+* punctuation: ``( ) , * .``
+
+Tokens carry their character offset so parse errors point at the source.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+from ..errors import ParseError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "AS",
+        "COUNT",
+        "BETWEEN",
+        "GROUP",
+        "BY",
+        "SUM",
+        "MIN",
+        "MAX",
+        "AVG",
+    }
+)
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    DOT = "dot"
+    STAR = "star"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+    value: Union[int, float, str, None] = None
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+    def __str__(self) -> str:
+        return f"{self.type.value}({self.text!r})"
+
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_SINGLE = {
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "*": TokenType.STAR,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text, returning a token list terminated by EOF.
+
+    Raises:
+        ParseError: on an unterminated string literal or unexpected byte.
+    """
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise ParseError("unterminated string literal", i)
+            raw = text[i + 1 : end]
+            yield Token(TokenType.STRING, text[i : end + 1], i, raw)
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A trailing dot followed by a non-digit belongs to
+                    # qualified-name syntax, not to the number.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            raw = text[i:j]
+            value: Union[int, float] = float(raw) if "." in raw else int(raw)
+            yield Token(TokenType.NUMBER, raw, i, value)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                yield Token(TokenType.KEYWORD, word.upper(), i)
+            else:
+                yield Token(TokenType.IDENT, word, i)
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                canonical = "<>" if op == "!=" else op
+                yield Token(TokenType.OPERATOR, canonical, i)
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE:
+            yield Token(_SINGLE[ch], ch, i)
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    yield Token(TokenType.EOF, "", n)

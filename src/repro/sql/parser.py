@@ -1,0 +1,312 @@
+"""Recursive-descent parser for the conjunctive SQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    query       := SELECT select_list FROM table_list [WHERE conjunction]
+    select_list := COUNT '(' '*' ')' | '*' | column (',' column)*
+    table_list  := table_ref (',' table_ref)*
+    table_ref   := IDENT [[AS] IDENT]
+    conjunction := comparison (AND comparison)*
+    comparison  := operand op operand
+    operand     := column | literal
+    column      := IDENT ['.' IDENT]
+    op          := '=' | '<>' | '<' | '<=' | '>' | '>='
+
+Unqualified column names are resolved against the schemas supplied by the
+caller (e.g. the paper's ``WHERE s = m AND m = b`` query, whose columns are
+single letters owned by exactly one table each).  If no schema mapping is
+given, every column must be table-qualified.
+
+Predicates with the literal on the left (``100 > R.x``) are normalized to
+column-on-the-left form.  Constant-only comparisons are rejected: they carry
+no estimation content in this framework.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ParseError, ResolutionError
+from .lexer import Token, TokenType, tokenize
+from .predicates import ColumnRef, ComparisonPredicate, Literal, Op
+from .query import Projection, Query, resolve_unqualified
+
+__all__ = ["parse_query", "parse_predicate"]
+
+_OP_BY_TEXT = {op.value: op for op in Op}
+
+
+def parse_query(
+    text: str, schemas: Optional[Mapping[str, Sequence[str]]] = None
+) -> Query:
+    """Parse SQL text into a normalized :class:`Query`.
+
+    Args:
+        text: The SQL string (a single conjunctive SELECT statement).
+        schemas: Optional mapping of base-table name -> column names, used
+            to resolve unqualified column references.
+
+    Raises:
+        ParseError: on malformed syntax.
+        ResolutionError: when a column cannot be resolved to a table.
+    """
+    return _Parser(text, schemas).parse()
+
+
+def parse_predicate(
+    text: str,
+    tables: Sequence[str],
+    schemas: Optional[Mapping[str, Sequence[str]]] = None,
+) -> ComparisonPredicate:
+    """Parse a single comparison predicate such as ``R.x = S.y``.
+
+    Convenience entry point for tests and interactive exploration; the
+    ``tables`` argument provides the resolution scope for unqualified names.
+    """
+    parser = _Parser(f"SELECT * FROM {', '.join(tables)} WHERE {text}", schemas)
+    query = parser.parse()
+    if len(query.predicates) != 1:
+        raise ParseError(f"expected exactly one predicate in {text!r}")
+    return query.predicates[0]
+
+
+class _Parser:
+    def __init__(
+        self, text: str, schemas: Optional[Mapping[str, Sequence[str]]]
+    ) -> None:
+        self._text = text
+        self._schemas = dict(schemas or {})
+        self._tokens = tokenize(text)
+        self._pos = 0
+        # FROM-clause state, filled in while parsing.
+        self._tables: List[str] = []
+        self._aliases: dict = {}
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.type is not token_type or (text is not None and token.text != text):
+            wanted = text or token_type.value
+            raise ParseError(f"expected {wanted}, found {token}", token.position)
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        return self._expect(TokenType.KEYWORD, word)
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect_keyword("SELECT")
+        select_items = self._parse_select_list_tokens()
+        self._expect_keyword("FROM")
+        self._parse_table_list()
+        predicates: List[ComparisonPredicate] = []
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            predicates = self._parse_conjunction()
+        group_parts: List[Tuple[Optional[str], str]] = []
+        if self._peek().is_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            group_parts.append(self._parse_column_parts())
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                group_parts.append(self._parse_column_parts())
+        self._expect(TokenType.EOF)
+        projection = self._build_projection(select_items, group_parts)
+        return Query.build(self._tables, predicates, projection, self._aliases)
+
+    _AGGREGATE_KEYWORDS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
+    def _parse_select_list_tokens(self):
+        """Parse the select list, deferring column resolution until tables
+        are known.  Returns ``"star"`` or a list of items, each either
+        ``("column", parts)`` or ``("agg", function, parts-or-None)``."""
+        token = self._peek()
+        if token.type is TokenType.STAR:
+            self._advance()
+            return "star"
+        items = [self._parse_select_item()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self):
+        token = self._peek()
+        for keyword in self._AGGREGATE_KEYWORDS:
+            if token.is_keyword(keyword):
+                self._advance()
+                self._expect(TokenType.LPAREN)
+                if keyword == "COUNT":
+                    self._expect(TokenType.STAR)
+                    parts = None
+                else:
+                    parts = self._parse_column_parts()
+                self._expect(TokenType.RPAREN)
+                return ("agg", keyword.lower(), parts)
+        return ("column", self._parse_column_parts())
+
+    def _parse_table_list(self) -> None:
+        self._parse_table_ref()
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            self._parse_table_ref()
+
+    def _parse_table_ref(self) -> None:
+        base = self._expect(TokenType.IDENT).text
+        name = base
+        if self._peek().is_keyword("AS"):
+            self._advance()
+            name = self._expect(TokenType.IDENT).text
+        elif self._peek().type is TokenType.IDENT:
+            name = self._advance().text
+        if name in self._aliases:
+            raise ParseError(f"duplicate relation name {name!r} in FROM clause")
+        self._tables.append(name)
+        self._aliases[name] = base
+
+    def _parse_conjunction(self) -> List[ComparisonPredicate]:
+        predicates = list(self._parse_comparison())
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            predicates.extend(self._parse_comparison())
+        return predicates
+
+    def _parse_comparison(self) -> List[ComparisonPredicate]:
+        """One comparison term; BETWEEN desugars into two predicates."""
+        allow_paren = self._peek().type is TokenType.LPAREN
+        if allow_paren:
+            self._advance()
+        left = self._parse_operand()
+        if self._peek().is_keyword("BETWEEN"):
+            predicates = self._parse_between(left)
+        else:
+            op_token = self._expect(TokenType.OPERATOR)
+            op = _OP_BY_TEXT[op_token.text]
+            right = self._parse_operand()
+            if isinstance(left, Literal) and isinstance(right, Literal):
+                raise ParseError(
+                    "constant-only comparison is not supported", op_token.position
+                )
+            if isinstance(left, Literal):
+                # Normalize '100 > R.x' to 'R.x < 100'.
+                left, op, right = right, op.flipped, left  # type: ignore[assignment]
+            assert isinstance(left, ColumnRef)
+            predicates = [ComparisonPredicate(left, op, right)]
+        if allow_paren:
+            self._expect(TokenType.RPAREN)
+        return predicates
+
+    def _parse_between(self, left: Union[ColumnRef, Literal]) -> List[ComparisonPredicate]:
+        """``col BETWEEN a AND b`` desugars to ``col >= a AND col <= b``.
+
+        Pure conjunctive sugar, so the estimation machinery (including the
+        [16] tightest-bounds combination) sees ordinary range predicates.
+        """
+        between = self._advance()
+        if not isinstance(left, ColumnRef):
+            raise ParseError("BETWEEN requires a column on the left", between.position)
+        low = self._parse_operand()
+        self._expect_keyword("AND")
+        high = self._parse_operand()
+        if not isinstance(low, Literal) or not isinstance(high, Literal):
+            raise ParseError(
+                "BETWEEN bounds must be literals", between.position
+            )
+        return [
+            ComparisonPredicate(left, Op.GE, low),
+            ComparisonPredicate(left, Op.LE, high),
+        ]
+
+    def _parse_operand(self) -> Union[ColumnRef, Literal]:
+        token = self._peek()
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            self._advance()
+            assert token.value is not None
+            return Literal(token.value)
+        table, column = self._parse_column_parts()
+        return self._resolve(table, column, token.position)
+
+    def _parse_column_parts(self) -> Tuple[Optional[str], str]:
+        first = self._expect(TokenType.IDENT).text
+        if self._peek().type is TokenType.DOT:
+            self._advance()
+            second = self._expect(TokenType.IDENT).text
+            return first, second
+        return None, first
+
+    def _resolve(self, table: Optional[str], column: str, position: int) -> ColumnRef:
+        if table is not None:
+            if table not in self._aliases:
+                raise ParseError(
+                    f"table {table!r} in column reference is not in the FROM clause",
+                    position,
+                )
+            return ColumnRef(table, column)
+        if not self._schemas:
+            raise ResolutionError(
+                f"unqualified column {column!r} requires schemas for resolution"
+            )
+        alias_schemas = {
+            alias: self._schemas.get(base, ())
+            for alias, base in self._aliases.items()
+        }
+        return resolve_unqualified(column, alias_schemas, self._tables)
+
+    def _build_projection(self, select_list, group_parts) -> Projection:
+        from .query import AggregateExpr
+
+        group_by = tuple(
+            self._resolve(table, column, 0) for table, column in group_parts
+        )
+        if select_list == "star":
+            if group_by:
+                raise ParseError("SELECT * cannot be combined with GROUP BY")
+            return Projection()
+
+        plain: List[ColumnRef] = []
+        aggregates: List[AggregateExpr] = []
+        for item in select_list:
+            if item[0] == "column":
+                table, column = item[1]
+                plain.append(self._resolve(table, column, 0))
+            else:
+                _, function, parts = item
+                column_ref = None
+                if parts is not None:
+                    table, column = parts
+                    column_ref = self._resolve(table, column, 0)
+                aggregates.append(AggregateExpr(function, column_ref))
+
+        if not aggregates:
+            if group_by:
+                raise ParseError("GROUP BY requires an aggregate in the select list")
+            return Projection(columns=tuple(plain))
+
+        # Bare COUNT(*) without grouping keeps its dedicated flag — the
+        # shape the whole estimation framework revolves around.
+        if (
+            len(aggregates) == 1
+            and aggregates[0].function == "count"
+            and not plain
+            and not group_by
+        ):
+            return Projection(count_star=True)
+
+        for column in plain:
+            if column not in group_by:
+                raise ParseError(
+                    f"column {column} in the select list must appear in GROUP BY"
+                )
+        return Projection(aggregates=tuple(aggregates), group_by=group_by)

@@ -1,0 +1,251 @@
+"""Query representation for conjunctive select-project-join queries.
+
+A :class:`Query` is the normalized object the rest of the library consumes:
+a set of relation names, a conjunction of :class:`ComparisonPredicate`, and
+a projection (either a COUNT(*) aggregate, as in the paper's Section 8
+experiment, or a list of output columns).
+
+Normalization performed here corresponds to step 1 of Algorithm ELS:
+duplicate predicates are removed after canonicalization, so a query such as
+``(R.x > 500) AND (R.x > 500)`` keeps a single copy of the predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ResolutionError
+from .predicates import ColumnRef, ComparisonPredicate, PredicateKind
+
+__all__ = ["AggregateExpr", "Projection", "Query", "dedupe_predicates"]
+
+#: Aggregate function names the SQL surface accepts.
+AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """An aggregate in a select list: ``COUNT(*)`` or ``fn(column)``."""
+
+    function: str
+    column: Optional[ColumnRef] = None
+
+    def __post_init__(self) -> None:
+        if self.function not in AGGREGATE_FUNCTIONS:
+            raise ValueError(f"unknown aggregate function {self.function!r}")
+        if self.function == "count" and self.column is not None:
+            raise ValueError("COUNT takes '*' in this SQL subset")
+        if self.function != "count" and self.column is None:
+            raise ValueError(f"{self.function.upper()} requires a column")
+
+    def __str__(self) -> str:
+        inner = "*" if self.column is None else str(self.column)
+        return f"{self.function.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class Projection:
+    """What the query outputs.
+
+    Exactly one of three shapes:
+
+    * ``*`` / a column list (``columns``, possibly empty for ``*``);
+    * ``COUNT(*)`` (``count_star``, kept as its own flag because the whole
+      estimation framework is about this query shape);
+    * an aggregate list with optional GROUP BY (``aggregates`` +
+      ``group_by``) — ``columns`` then holds the grouping columns.
+    """
+
+    count_star: bool = False
+    columns: Tuple[ColumnRef, ...] = ()
+    aggregates: Tuple[AggregateExpr, ...] = ()
+    group_by: Tuple[ColumnRef, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.count_star and (self.columns or self.aggregates or self.group_by):
+            raise ValueError("COUNT(*) cannot be combined with other output")
+        if self.group_by and not self.aggregates:
+            raise ValueError("GROUP BY requires at least one aggregate")
+        if self.aggregates and self.columns:
+            raise ValueError(
+                "plain output columns alongside aggregates must be the "
+                "GROUP BY columns; pass them via group_by"
+            )
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.count_star or bool(self.aggregates)
+
+    def __str__(self) -> str:
+        if self.count_star:
+            return "COUNT(*)"
+        if self.aggregates:
+            parts = [str(c) for c in self.group_by]
+            parts += [str(a) for a in self.aggregates]
+            return ", ".join(parts)
+        if not self.columns:
+            return "*"
+        return ", ".join(str(c) for c in self.columns)
+
+
+def dedupe_predicates(
+    predicates: Iterable[ComparisonPredicate],
+) -> Tuple[ComparisonPredicate, ...]:
+    """Canonicalize and remove duplicate predicates, preserving first-seen order.
+
+    This implements the duplicate-removal part of Algorithm ELS step 1.
+    """
+    seen = set()
+    unique: List[ComparisonPredicate] = []
+    for predicate in predicates:
+        canonical = predicate.canonical()
+        if canonical not in seen:
+            seen.add(canonical)
+            unique.append(canonical)
+    return tuple(unique)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A normalized conjunctive query.
+
+    Attributes:
+        tables: Relation names in FROM-clause order.  Each name is unique;
+            aliased scans appear under their alias.
+        predicates: Canonicalized, de-duplicated conjunction of comparisons.
+        projection: COUNT(*) or a column list (defaults to ``*``).
+        aliases: Maps each relation name in ``tables`` to the underlying
+            base-table name (identity for unaliased scans).  The optimizer
+            and executor use this to locate stored data and statistics.
+    """
+
+    tables: Tuple[str, ...]
+    predicates: Tuple[ComparisonPredicate, ...]
+    projection: Projection = field(default_factory=Projection)
+    aliases: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.tables)) != len(self.tables):
+            raise ValueError(f"duplicate relation names in FROM clause: {self.tables}")
+        table_set = set(self.tables)
+        for predicate in self.predicates:
+            missing = predicate.tables - table_set
+            if missing:
+                raise ValueError(
+                    f"predicate {predicate} references tables {sorted(missing)} "
+                    "that are not in the FROM clause"
+                )
+        # Freeze the alias map and fill in identity entries.
+        aliases = dict(self.aliases)
+        for name in self.tables:
+            aliases.setdefault(name, name)
+        object.__setattr__(self, "aliases", _FrozenAliasMap(aliases))
+
+    @classmethod
+    def build(
+        cls,
+        tables: Sequence[str],
+        predicates: Iterable[ComparisonPredicate],
+        projection: Optional[Projection] = None,
+        aliases: Optional[Mapping[str, str]] = None,
+    ) -> "Query":
+        """Construct a query, canonicalizing and de-duplicating predicates."""
+        return cls(
+            tables=tuple(tables),
+            predicates=dedupe_predicates(predicates),
+            projection=projection or Projection(),
+            aliases=dict(aliases or {}),
+        )
+
+    def base_table(self, name: str) -> str:
+        """The base-table name behind a (possibly aliased) relation name."""
+        return self.aliases[name]
+
+    @property
+    def join_predicates(self) -> Tuple[ComparisonPredicate, ...]:
+        return tuple(p for p in self.predicates if p.kind is PredicateKind.JOIN)
+
+    @property
+    def local_predicates(self) -> Tuple[ComparisonPredicate, ...]:
+        return tuple(p for p in self.predicates if p.kind is not PredicateKind.JOIN)
+
+    @property
+    def constant_predicates(self) -> Tuple[ComparisonPredicate, ...]:
+        return tuple(
+            p for p in self.predicates if p.kind is PredicateKind.CONSTANT_LOCAL
+        )
+
+    @property
+    def column_local_predicates(self) -> Tuple[ComparisonPredicate, ...]:
+        return tuple(p for p in self.predicates if p.kind is PredicateKind.COLUMN_LOCAL)
+
+    def predicates_on(self, table: str) -> Tuple[ComparisonPredicate, ...]:
+        """All predicates referencing the given relation name."""
+        return tuple(p for p in self.predicates if p.references(table))
+
+    def with_predicates(self, predicates: Iterable[ComparisonPredicate]) -> "Query":
+        """A copy of this query with a replacement predicate conjunction.
+
+        Used by the transitive-closure rewrite to attach the implied
+        predicates; the FROM clause and projection are unchanged.
+        """
+        return Query.build(self.tables, predicates, self.projection, dict(self.aliases))
+
+    def __str__(self) -> str:
+        where = " AND ".join(str(p) for p in self.predicates)
+        sql = f"SELECT {self.projection} FROM {', '.join(self.tables)}"
+        if where:
+            sql += f" WHERE {where}"
+        if self.projection.group_by:
+            sql += " GROUP BY " + ", ".join(
+                str(c) for c in self.projection.group_by
+            )
+        return sql
+
+
+class _FrozenAliasMap(Mapping[str, str]):
+    """An immutable mapping so that Query stays hashable-by-identity safe."""
+
+    def __init__(self, data: Dict[str, str]) -> None:
+        self._data = dict(data)
+
+    def __getitem__(self, key: str) -> str:
+        return self._data[key]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"_FrozenAliasMap({self._data!r})"
+
+
+def resolve_unqualified(
+    column: str, schemas: Mapping[str, Sequence[str]], tables: Sequence[str]
+) -> ColumnRef:
+    """Resolve a bare column name against the schemas of the FROM tables.
+
+    Args:
+        column: The unqualified column name from the query text.
+        schemas: Maps relation name -> sequence of its column names.
+        tables: The FROM-clause relation names, used to bound the search.
+
+    Returns:
+        The unique :class:`ColumnRef` owning that column.
+
+    Raises:
+        ResolutionError: if the name matches no table or multiple tables.
+    """
+    owners = [t for t in tables if column in schemas.get(t, ())]
+    if not owners:
+        raise ResolutionError(
+            f"column {column!r} not found in any FROM-clause table {list(tables)}"
+        )
+    if len(owners) > 1:
+        raise ResolutionError(
+            f"column {column!r} is ambiguous; it appears in tables {owners}"
+        )
+    return ColumnRef(owners[0], column)

@@ -1,0 +1,15 @@
+"""In-memory storage engine: append-only row tables and the database handle."""
+
+from .database import Database
+from .loader import dump_stats_json, infer_column_type, load_csv, load_stats_json
+from .table import Row, Table
+
+__all__ = [
+    "Database",
+    "Row",
+    "Table",
+    "dump_stats_json",
+    "infer_column_type",
+    "load_csv",
+    "load_stats_json",
+]

@@ -1,0 +1,123 @@
+"""A named collection of tables with an attached statistics catalog.
+
+:class:`Database` is the top-level substrate object: workload generators
+load tables into it, ``analyze`` populates the catalog, the optimizer reads
+the catalog, and the executor reads the tables.  Keeping both sides behind
+one handle makes the benchmark harnesses short without coupling estimation
+to execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from ..catalog.collector import HistogramKind, collect_table_stats
+from ..catalog.schema import TableSchema
+from ..catalog.statistics import Catalog, TableStats
+from ..errors import StorageError
+from .table import Row, Table
+
+__all__ = ["Database"]
+
+Scalar = Union[int, float, str]
+
+
+class Database:
+    """In-memory database: named tables plus their statistics catalog."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._catalog = Catalog()
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create an empty table.
+
+        Raises:
+            StorageError: if the name is already taken.
+        """
+        if schema.name in self._tables:
+            raise StorageError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise StorageError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise StorageError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def load_columns(
+        self, schema: TableSchema, columns: Mapping[str, Sequence[Scalar]]
+    ) -> Table:
+        """Create and bulk-load a table from parallel column sequences."""
+        if schema.name in self._tables:
+            raise StorageError(f"table {schema.name!r} already exists")
+        table = Table.from_columns(schema, columns)
+        self._tables[schema.name] = table
+        return table
+
+    def load_rows(
+        self, schema: TableSchema, rows: Iterable[Row], validate: bool = True
+    ) -> Table:
+        """Create and bulk-load a table from row tuples."""
+        table = self.create_table(schema)
+        table.extend(rows, validate=validate)
+        return table
+
+    def analyze(
+        self,
+        name: Optional[str] = None,
+        histogram: HistogramKind = HistogramKind.EQUI_DEPTH,
+        buckets: int = 10,
+        mcv_k: int = 0,
+        sample_fraction: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        """Collect statistics into the catalog (one table, or all of them).
+
+        Mirrors an ANALYZE utility run: until this is called, the optimizer
+        has no statistics and estimation will fail loudly rather than
+        guess.  ``sample_fraction < 1`` collects from a uniform row sample
+        with Haas-Stokes distinct estimation (the way production ANALYZE
+        works); row counts remain exact.
+        """
+        names = [name] if name is not None else list(self._tables)
+        for table_name in names:
+            table = self.table(table_name)
+            if sample_fraction >= 1.0:
+                stats = collect_table_stats(table, histogram, buckets, mcv_k)
+            else:
+                from ..catalog.sampling import sample_table_stats
+
+                stats = sample_table_stats(
+                    table, sample_fraction, histogram, buckets, mcv_k, seed
+                )
+            self._catalog.register(table.schema, stats)
+
+    def set_stats(self, name: str, stats: TableStats) -> None:
+        """Install externally supplied statistics (e.g. the paper's numbers).
+
+        Used by experiments that want the optimizer to see exactly the
+        statistics printed in the paper, independent of the loaded data.
+        """
+        table = self.table(name)
+        self._catalog.register(table.schema, stats)
+
+    def true_count(self, name: str) -> int:
+        """Ground-truth row count straight from storage (not the catalog)."""
+        return self.table(name).row_count

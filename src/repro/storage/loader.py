@@ -1,0 +1,163 @@
+"""Bulk loading from CSV files and catalog statistics from JSON.
+
+Two adoption paths a downstream user needs:
+
+* :func:`load_csv` — bring real data into the storage engine (header row
+  names the columns; value types are inferred per column as INT, FLOAT,
+  or STR), then ``database.analyze()`` gives the optimizer statistics.
+* :func:`load_stats_json` / :func:`dump_stats_json` — exchange *just the
+  statistics* (the paper's examples are all stated this way: table
+  cardinalities and column cardinalities, no data).  The JSON shape is
+  ``{"R1": {"rows": 100, "columns": {"x": 10}}, ...}``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..catalog.schema import ColumnDef, ColumnType, TableSchema
+from ..catalog.statistics import Catalog, TableStats
+from ..errors import StorageError
+from .database import Database
+from .table import Table
+
+__all__ = ["infer_column_type", "load_csv", "load_stats_json", "dump_stats_json"]
+
+PathLike = Union[str, Path]
+
+
+def infer_column_type(values: Sequence[str]) -> ColumnType:
+    """Infer INT / FLOAT / STR from string cells (empty column -> STR)."""
+    saw_float = False
+    saw_any = False
+    for cell in values:
+        if cell == "":
+            continue
+        saw_any = True
+        try:
+            int(cell)
+            continue
+        except ValueError:
+            pass
+        try:
+            float(cell)
+            saw_float = True
+        except ValueError:
+            return ColumnType.STR
+    if not saw_any:
+        return ColumnType.STR
+    return ColumnType.FLOAT if saw_float else ColumnType.INT
+
+
+def _convert(cell: str, column_type: ColumnType):
+    if column_type is ColumnType.INT:
+        return int(cell)
+    if column_type is ColumnType.FLOAT:
+        return float(cell)
+    return cell
+
+
+def load_csv(
+    database: Database,
+    table_name: str,
+    path: PathLike,
+    delimiter: str = ",",
+) -> Table:
+    """Load a headered CSV file as a new table.
+
+    Args:
+        database: Target database (the table name must be free).
+        table_name: Name for the new table.
+        path: CSV file path; the first row is the header.
+        delimiter: Field separator.
+
+    Raises:
+        StorageError: on a missing/empty file, ragged rows, or cells that
+            do not match the inferred column type.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise StorageError(f"CSV file {file_path} does not exist")
+    with open(file_path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError(f"CSV file {file_path} is empty") from None
+        raw_rows: List[List[str]] = []
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise StorageError(
+                    f"{file_path}:{line_number}: expected {len(header)} fields, "
+                    f"got {len(row)}"
+                )
+            raw_rows.append(row)
+
+    column_types = [
+        infer_column_type([row[i] for row in raw_rows]) for i in range(len(header))
+    ]
+    schema = TableSchema(
+        table_name,
+        tuple(ColumnDef(name, ctype) for name, ctype in zip(header, column_types)),
+    )
+    try:
+        rows = [
+            tuple(_convert(cell, ctype) for cell, ctype in zip(row, column_types))
+            for row in raw_rows
+        ]
+    except ValueError as exc:
+        raise StorageError(f"type conversion failed loading {file_path}: {exc}") from exc
+    return database.load_rows(schema, rows, validate=False)
+
+
+def load_stats_json(path: PathLike) -> Catalog:
+    """Build a catalog from a statistics-only JSON file.
+
+    Shape: ``{"R1": {"rows": 100, "columns": {"x": 10, "a": 100}}, ...}``
+    — exactly the information the paper's examples state.
+
+    Raises:
+        StorageError: on a malformed document.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise StorageError(f"statistics file {file_path} does not exist")
+    with open(file_path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"invalid JSON in {file_path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise StorageError(f"{file_path}: top level must be an object")
+    entries: Dict[str, tuple] = {}
+    for table, spec in document.items():
+        if not isinstance(spec, dict) or "rows" not in spec or "columns" not in spec:
+            raise StorageError(
+                f"{file_path}: table {table!r} needs 'rows' and 'columns'"
+            )
+        columns = spec["columns"]
+        if not isinstance(columns, dict) or not columns:
+            raise StorageError(f"{file_path}: table {table!r} has no columns")
+        entries[table] = (int(spec["rows"]), {c: int(d) for c, d in columns.items()})
+    return Catalog.from_stats(entries)
+
+
+def dump_stats_json(catalog: Catalog, path: PathLike) -> None:
+    """Write a catalog's cardinalities back out in the JSON stats shape.
+
+    Histograms and MCVs are not serialized — the format deliberately
+    carries only what the paper's estimation examples need.
+    """
+    document = {}
+    for table in catalog.tables():
+        stats = catalog.stats(table)
+        document[table] = {
+            "rows": stats.row_count,
+            "columns": {name: cs.distinct for name, cs in sorted(stats.columns.items())},
+        }
+    with open(Path(path), "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

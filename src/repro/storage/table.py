@@ -1,0 +1,129 @@
+"""In-memory row-store table.
+
+Rows are plain tuples laid out in schema order.  The executor scans tables
+through :meth:`Table.scan`; the statistics collector reads whole columns via
+:meth:`Table.column_values`.  Data is append-only, which is all the paper's
+workloads need — there is no update/delete path to complicate statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
+
+from ..catalog.schema import ColumnType, TableSchema
+from ..errors import StorageError
+
+__all__ = ["Row", "Table"]
+
+Scalar = Union[int, float, str]
+Row = Tuple[Scalar, ...]
+
+
+class Table:
+    """An append-only, schema-validated in-memory table."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self._schema = schema
+        self._rows: List[Row] = []
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._schema.name
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def append(self, row: Union[Row, Sequence[Scalar], Mapping[str, Scalar]]) -> None:
+        """Append one row, given as a tuple in schema order or as a mapping.
+
+        Raises:
+            StorageError: on arity or type mismatch with the schema.
+        """
+        if isinstance(row, Mapping):
+            try:
+                row = tuple(row[name] for name in self._schema.column_names)
+            except KeyError as exc:
+                raise StorageError(
+                    f"row is missing column {exc.args[0]!r} for table {self.name!r}"
+                ) from None
+        else:
+            row = tuple(row)
+        self._validate(row)
+        self._rows.append(row)
+
+    def extend(
+        self, rows: Iterable[Union[Row, Sequence[Scalar]]], validate: bool = True
+    ) -> None:
+        """Bulk-append rows; ``validate=False`` skips per-row type checks.
+
+        Bulk loading synthetic workloads with millions of values is the hot
+        path of the benchmark harness, hence the opt-out.
+        """
+        if validate:
+            for row in rows:
+                self.append(row)
+        else:
+            self._rows.extend(tuple(row) for row in rows)
+
+    @classmethod
+    def from_columns(
+        cls, schema: TableSchema, columns: Mapping[str, Sequence[Scalar]]
+    ) -> "Table":
+        """Build a table from parallel column value sequences.
+
+        Raises:
+            StorageError: when a schema column is missing or lengths differ.
+        """
+        missing = [c for c in schema.column_names if c not in columns]
+        if missing:
+            raise StorageError(f"missing column data for {missing} in {schema.name!r}")
+        lengths = {name: len(columns[name]) for name in schema.column_names}
+        if len(set(lengths.values())) > 1:
+            raise StorageError(f"column lengths differ in {schema.name!r}: {lengths}")
+        table = cls(schema)
+        ordered = [columns[name] for name in schema.column_names]
+        count = lengths[schema.column_names[0]]
+        table._rows = list(zip(*ordered)) if count else []
+        return table
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate over all rows in insertion order."""
+        return iter(self._rows)
+
+    def rows(self) -> List[Row]:
+        """A copy of all rows (callers may mutate the list freely)."""
+        return list(self._rows)
+
+    def column_values(self, column: str) -> List[Scalar]:
+        """All values of one column, in row order (duplicates preserved)."""
+        index = self._schema.index_of(column)
+        return [row[index] for row in self._rows]
+
+    def distinct_count(self, column: str) -> int:
+        """Exact number of distinct values in a column."""
+        index = self._schema.index_of(column)
+        return len({row[index] for row in self._rows})
+
+    def _validate(self, row: Row) -> None:
+        if len(row) != len(self._schema.columns):
+            raise StorageError(
+                f"row arity {len(row)} does not match table {self.name!r} "
+                f"with {len(self._schema.columns)} columns"
+            )
+        for value, column in zip(row, self._schema.columns):
+            if not column.type.validate(value):
+                raise StorageError(
+                    f"value {value!r} is not a valid {column.type.value} for "
+                    f"column {self.name}.{column.name}"
+                )
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={len(self._rows)})"

@@ -1,0 +1,74 @@
+"""Synthetic workloads: value distributions, table generation, and queries."""
+
+from .distributions import key_column, uniform_column, zipf_column, zipf_weights
+from .generator import (
+    ColumnSpec,
+    Distribution,
+    TableSpec,
+    build_database,
+    generate_columns,
+)
+from .paper import (
+    SMBG_DISTINCTS,
+    SMBG_ROWS,
+    example_1b_catalog,
+    example_1b_query,
+    load_smbg_database,
+    section6_catalog,
+    section6_query,
+    smbg_catalog,
+    smbg_query,
+    smbg_specs,
+)
+from .tpch_lite import (
+    TPCH_SCHEMAS,
+    load_tpch_lite,
+    q3_customer_orders,
+    q5_regional,
+    q9_parts_suppliers,
+    q_full_join,
+    tpch_lite_specs,
+)
+from .queries import (
+    GeneratedWorkload,
+    chain_workload,
+    clique_workload,
+    cycle_workload,
+    snowflake_workload,
+    star_workload,
+)
+
+__all__ = [
+    "ColumnSpec",
+    "Distribution",
+    "GeneratedWorkload",
+    "SMBG_DISTINCTS",
+    "SMBG_ROWS",
+    "TPCH_SCHEMAS",
+    "TableSpec",
+    "build_database",
+    "chain_workload",
+    "clique_workload",
+    "cycle_workload",
+    "example_1b_catalog",
+    "example_1b_query",
+    "generate_columns",
+    "key_column",
+    "load_smbg_database",
+    "load_tpch_lite",
+    "section6_catalog",
+    "section6_query",
+    "smbg_catalog",
+    "smbg_query",
+    "q3_customer_orders",
+    "q5_regional",
+    "q9_parts_suppliers",
+    "q_full_join",
+    "smbg_specs",
+    "snowflake_workload",
+    "star_workload",
+    "tpch_lite_specs",
+    "uniform_column",
+    "zipf_column",
+    "zipf_weights",
+]

@@ -1,0 +1,105 @@
+"""Column value generators: uniform, Zipf, and key distributions.
+
+The paper's assumptions (Section 2) make uniform join columns the base
+case: "The distinct values in a join column appear equifrequently in the
+column."  :func:`uniform_column` generates exactly that — every one of the
+``distinct`` values appears ``rows/distinct`` times (±1), shuffled.
+
+Zipf columns implement the skewed distributions of the paper's future-work
+discussion (and of [6, 17]): value ranks are weighted ``1/rank^skew``.
+They deliberately *violate* the uniformity assumption so the sensitivity
+benchmarks can measure how all the estimation rules degrade together.
+
+All generators take an explicit :class:`numpy.random.Generator` so every
+workload in the repository is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["uniform_column", "zipf_column", "key_column", "zipf_weights"]
+
+
+def _validate(rows: int, distinct: int) -> None:
+    if rows < 0:
+        raise WorkloadError(f"row count must be >= 0, got {rows}")
+    if distinct <= 0 and rows > 0:
+        raise WorkloadError(f"need at least one distinct value for {rows} rows")
+    if distinct > rows > 0:
+        raise WorkloadError(
+            f"cannot place {distinct} distinct values in {rows} rows"
+        )
+
+
+def uniform_column(
+    rows: int, distinct: int, rng: np.random.Generator, low: int = 1
+) -> List[int]:
+    """Exactly ``distinct`` values, each appearing ``rows/distinct`` times (±1).
+
+    Values are ``low .. low+distinct-1``, shuffled.  This realizes the
+    uniformity assumption *exactly*, so estimates made under it can be
+    validated against true executed counts without sampling noise.
+    """
+    _validate(rows, distinct)
+    if rows == 0:
+        return []
+    repeats, remainder = divmod(rows, distinct)
+    values = np.tile(np.arange(low, low + distinct, dtype=np.int64), repeats)
+    if remainder:
+        extra = rng.choice(
+            np.arange(low, low + distinct, dtype=np.int64), remainder, replace=False
+        )
+        values = np.concatenate([values, extra])
+    rng.shuffle(values)
+    return values.tolist()
+
+
+def zipf_weights(distinct: int, skew: float) -> np.ndarray:
+    """Normalized Zipf probabilities over ranks ``1..distinct``."""
+    if distinct <= 0:
+        raise WorkloadError("zipf_weights needs at least one value")
+    if skew < 0:
+        raise WorkloadError(f"zipf skew must be >= 0, got {skew}")
+    ranks = np.arange(1, distinct + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+def zipf_column(
+    rows: int,
+    distinct: int,
+    skew: float,
+    rng: np.random.Generator,
+    low: int = 1,
+) -> List[int]:
+    """Zipf-distributed values over the domain ``low .. low+distinct-1``.
+
+    ``skew = 0`` degenerates to independent uniform sampling (not exactly
+    equifrequent); larger skew concentrates mass on low ranks.  Every
+    domain value is guaranteed to appear at least once when ``rows >=
+    distinct`` (the tail is seeded deterministically before sampling the
+    rest), so the generated column cardinality matches ``distinct``.
+    """
+    _validate(rows, distinct)
+    if rows == 0:
+        return []
+    domain = np.arange(low, low + distinct, dtype=np.int64)
+    probabilities = zipf_weights(distinct, skew)
+    seed_tail = domain.copy()  # one of each, to pin the distinct count
+    sampled = rng.choice(domain, size=rows - distinct, p=probabilities)
+    values = np.concatenate([seed_tail, sampled])
+    rng.shuffle(values)
+    return values.tolist()
+
+
+def key_column(rows: int, rng: Optional[np.random.Generator] = None, low: int = 1) -> List[int]:
+    """A key column: ``rows`` distinct values, optionally shuffled."""
+    values = np.arange(low, low + rows, dtype=np.int64)
+    if rng is not None:
+        rng.shuffle(values)
+    return values.tolist()

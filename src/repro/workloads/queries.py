@@ -1,0 +1,222 @@
+"""Random multi-join workload generators: chains, stars, cliques.
+
+These produce matched ``(table specs, query)`` pairs for the accuracy and
+error-propagation benchmarks: generate the data, ANALYZE it, estimate with
+each algorithm, execute for ground truth, and compare.
+
+* **Chain**: ``T1.c = T2.c AND T2.c = T3.c AND ...`` — after transitive
+  closure all join columns fall into a *single equivalence class*, the
+  setting of the paper's running example and of the error-propagation
+  study [4] it cites.
+* **Star**: a fact table joined to ``k`` dimension keys — ``k`` separate
+  equivalence classes, exercising the independence-across-classes path.
+* **Clique**: the chain query with all pairwise predicates written out
+  explicitly (what closure would derive), for testing order invariance.
+
+Domains are nested (every column's domain starts at 1), which realizes the
+containment assumption exactly; cardinalities are drawn log-uniformly so
+the ``max(d1, d2)`` asymmetries the rules disagree about actually occur.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..sql.predicates import ComparisonPredicate, Op, join_predicate, local_predicate
+from ..sql.query import Projection, Query
+from .generator import ColumnSpec, Distribution, TableSpec
+
+__all__ = ["GeneratedWorkload", "chain_workload", "star_workload", "clique_workload"]
+
+
+@dataclass(frozen=True)
+class GeneratedWorkload:
+    """A matched pair of table specs and the query over them."""
+
+    specs: Tuple[TableSpec, ...]
+    query: Query
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.specs)
+
+
+def _log_uniform(rng: random.Random, low: int, high: int) -> int:
+    """An integer drawn log-uniformly from [low, high]."""
+    import math
+
+    if low <= 0 or high < low:
+        raise WorkloadError(f"invalid log-uniform range [{low}, {high}]")
+    return int(round(math.exp(rng.uniform(math.log(low), math.log(high)))))
+
+
+def chain_workload(
+    num_tables: int,
+    rng: random.Random,
+    min_rows: int = 100,
+    max_rows: int = 5000,
+    local_predicate_probability: float = 0.0,
+    skew: Optional[float] = None,
+) -> GeneratedWorkload:
+    """A chain join over ``num_tables`` tables sharing one join attribute.
+
+    Each table ``T<i>`` has a join column ``c`` with cardinality drawn
+    log-uniformly in ``[min(rows, min_rows)/2, rows]``, and optionally a
+    ``c < constant`` local predicate.  ``skew`` switches the join columns
+    to Zipf with that exponent (violating uniformity on purpose).
+    """
+    if num_tables < 2:
+        raise WorkloadError("a chain needs at least two tables")
+    specs: List[TableSpec] = []
+    predicates: List[ComparisonPredicate] = []
+    for i in range(1, num_tables + 1):
+        rows = _log_uniform(rng, min_rows, max_rows)
+        distinct = _log_uniform(rng, max(1, rows // 20), rows)
+        if skew is None:
+            column = ColumnSpec(distinct=distinct)
+        else:
+            column = ColumnSpec(
+                distinct=distinct, distribution=Distribution.ZIPF, skew=skew
+            )
+        specs.append(TableSpec(f"T{i}", rows, {"c": column}))
+        if i > 1:
+            predicates.append(join_predicate(f"T{i - 1}", "c", f"T{i}", "c"))
+        if rng.random() < local_predicate_probability:
+            threshold = rng.randint(1, max(1, distinct))
+            predicates.append(local_predicate(f"T{i}", "c", Op.LT, threshold))
+    query = Query.build(
+        [spec.name for spec in specs], predicates, Projection(count_star=True)
+    )
+    return GeneratedWorkload(tuple(specs), query)
+
+
+def star_workload(
+    num_dimensions: int,
+    rng: random.Random,
+    fact_rows_range: Tuple[int, int] = (2000, 10000),
+    dim_rows_range: Tuple[int, int] = (50, 1000),
+) -> GeneratedWorkload:
+    """A star join: fact table ``F`` with one foreign key per dimension.
+
+    Each dimension ``D<i>`` has a key column ``k``; the fact's ``fk<i>``
+    column draws from the dimension's key domain.  The ``num_dimensions``
+    join predicates fall into separate equivalence classes, so all the
+    combination rules coincide here — a useful control workload.
+    """
+    if num_dimensions < 1:
+        raise WorkloadError("a star needs at least one dimension")
+    fact_rows = rng.randint(*fact_rows_range)
+    fact_columns: Dict[str, ColumnSpec] = {}
+    specs: List[TableSpec] = []
+    predicates: List[ComparisonPredicate] = []
+    for i in range(1, num_dimensions + 1):
+        dim_rows = rng.randint(*dim_rows_range)
+        specs.append(
+            TableSpec(f"D{i}", dim_rows, {"k": ColumnSpec(distinct=dim_rows)})
+        )
+        fk_distinct = min(fact_rows, rng.randint(max(1, dim_rows // 2), dim_rows))
+        fact_columns[f"fk{i}"] = ColumnSpec(distinct=fk_distinct)
+        predicates.append(join_predicate("F", f"fk{i}", f"D{i}", "k"))
+    specs.insert(0, TableSpec("F", fact_rows, fact_columns))
+    query = Query.build(
+        [spec.name for spec in specs], predicates, Projection(count_star=True)
+    )
+    return GeneratedWorkload(tuple(specs), query)
+
+
+def clique_workload(
+    num_tables: int,
+    rng: random.Random,
+    min_rows: int = 100,
+    max_rows: int = 2000,
+) -> GeneratedWorkload:
+    """A chain workload with every pairwise join predicate made explicit.
+
+    Semantically identical to :func:`chain_workload` after transitive
+    closure; used to check that closure makes chain and clique phrasings
+    produce identical estimates ("ensures that the same QEP is generated
+    for equivalent queries independently of how the queries are
+    specified").
+    """
+    base = chain_workload(num_tables, rng, min_rows, max_rows)
+    names = [spec.name for spec in base.specs]
+    predicates: List[ComparisonPredicate] = []
+    for i, left in enumerate(names):
+        for right in names[i + 1 :]:
+            predicates.append(join_predicate(left, "c", right, "c"))
+    query = Query.build(names, predicates, Projection(count_star=True))
+    return GeneratedWorkload(base.specs, query)
+
+
+def cycle_workload(
+    num_tables: int,
+    rng: random.Random,
+    min_rows: int = 100,
+    max_rows: int = 2000,
+) -> GeneratedWorkload:
+    """A cycle join: the chain closed back on itself.
+
+    ``T1.c = T2.c AND ... AND T(n-1).c = Tn.c AND Tn.c = T1.c`` — the last
+    predicate is *redundant* given the others (transitive closure derives
+    it), so every estimation rule that double-counts it (Rule M) goes wrong
+    even before any implied predicates enter.  A compact regression shape
+    for the dependent-predicates story.
+    """
+    base = chain_workload(num_tables, rng, min_rows, max_rows)
+    names = [spec.name for spec in base.specs]
+    predicates = list(base.query.predicates)
+    predicates.append(join_predicate(names[-1], "c", names[0], "c"))
+    query = Query.build(names, predicates, Projection(count_star=True))
+    return GeneratedWorkload(base.specs, query)
+
+
+def snowflake_workload(
+    num_dimensions: int,
+    num_subdimensions: int,
+    rng: random.Random,
+    fact_rows_range: Tuple[int, int] = (2000, 8000),
+    dim_rows_range: Tuple[int, int] = (100, 800),
+    subdim_rows_range: Tuple[int, int] = (20, 200),
+) -> GeneratedWorkload:
+    """A snowflake: star dimensions that each link onward to sub-dimensions.
+
+    Fact ``F`` joins ``num_dimensions`` dimensions on their keys; each
+    dimension additionally carries ``num_subdimensions`` foreign keys into
+    its own sub-dimension tables.  Each fact-dimension-subdimension path is
+    its own equivalence-class *pair*, exercising multi-class estimation at
+    depth (chains of length 3 per branch) without collapsing into a single
+    class the way plain chains do.
+    """
+    if num_dimensions < 1:
+        raise WorkloadError("a snowflake needs at least one dimension")
+    if num_subdimensions < 0:
+        raise WorkloadError("subdimension count must be >= 0")
+    fact_rows = rng.randint(*fact_rows_range)
+    fact_columns: Dict[str, ColumnSpec] = {}
+    specs: List[TableSpec] = []
+    predicates: List[ComparisonPredicate] = []
+    for i in range(1, num_dimensions + 1):
+        dim_rows = rng.randint(*dim_rows_range)
+        dim_name = f"D{i}"
+        dim_columns: Dict[str, ColumnSpec] = {"k": ColumnSpec(distinct=dim_rows)}
+        fk_distinct = min(fact_rows, rng.randint(max(1, dim_rows // 2), dim_rows))
+        fact_columns[f"fk{i}"] = ColumnSpec(distinct=fk_distinct)
+        predicates.append(join_predicate("F", f"fk{i}", dim_name, "k"))
+        for j in range(1, num_subdimensions + 1):
+            sub_rows = rng.randint(*subdim_rows_range)
+            sub_name = f"D{i}S{j}"
+            specs.append(
+                TableSpec(sub_name, sub_rows, {"k": ColumnSpec(distinct=sub_rows)})
+            )
+            sub_fk = min(dim_rows, rng.randint(max(1, sub_rows // 2), sub_rows))
+            dim_columns[f"sk{j}"] = ColumnSpec(distinct=sub_fk)
+            predicates.append(join_predicate(dim_name, f"sk{j}", sub_name, "k"))
+        specs.append(TableSpec(dim_name, dim_rows, dim_columns))
+    specs.insert(0, TableSpec("F", fact_rows, fact_columns))
+    query = Query.build(
+        [spec.name for spec in specs], predicates, Projection(count_star=True)
+    )
+    return GeneratedWorkload(tuple(specs), query)

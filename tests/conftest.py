@@ -1,0 +1,64 @@
+"""Shared fixtures: the paper's catalogs and queries, small databases."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.sql import parse_query
+from repro.workloads import (
+    example_1b_catalog,
+    example_1b_query,
+    load_smbg_database,
+    section6_catalog,
+    section6_query,
+    smbg_catalog,
+    smbg_query,
+)
+
+
+@pytest.fixture
+def catalog_1b() -> Catalog:
+    """Example 1b statistics (R1/R2/R3 chain)."""
+    return example_1b_catalog()
+
+
+@pytest.fixture
+def query_1b():
+    """Example 1a query over R1, R2, R3."""
+    return example_1b_query()
+
+
+@pytest.fixture
+def catalog_sec6() -> Catalog:
+    return section6_catalog()
+
+
+@pytest.fixture
+def query_sec6():
+    return section6_query()
+
+
+@pytest.fixture
+def catalog_smbg() -> Catalog:
+    """Section 8 statistics at full scale."""
+    return smbg_catalog()
+
+
+@pytest.fixture
+def query_smbg():
+    """Section 8 query (before PTC)."""
+    return smbg_query()
+
+
+@pytest.fixture(scope="session")
+def smbg_database_small():
+    """A 10%-scale S/M/B/G database for execution tests (session-cached)."""
+    return load_smbg_database(scale=0.1, seed=7)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

@@ -1,0 +1,76 @@
+"""DOT export tests: structure of the emitted graphs."""
+
+import pytest
+
+from repro.analysis.graphs import plan_dot, query_graph_dot
+from repro.core import ELS
+from repro.optimizer import Optimizer
+from repro.sql import parse_query
+from repro.workloads import smbg_catalog, smbg_query
+
+
+class TestQueryGraphDot:
+    def test_nodes_and_edges_present(self):
+        query = parse_query("SELECT * FROM A, B WHERE A.x = B.y")
+        dot = query_graph_dot(query)
+        assert dot.startswith("graph query {")
+        assert '"A"' in dot and '"B"' in dot
+        assert '"A" -- "B"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_local_predicates_in_node_label(self):
+        query = parse_query("SELECT * FROM A WHERE A.x < 5")
+        dot = query_graph_dot(query)
+        assert "A.x < 5" in dot
+
+    def test_equivalence_classes_colored_distinctly(self):
+        query = parse_query(
+            "SELECT * FROM A, B, C, D "
+            "WHERE A.x = B.x AND B.x = C.x AND A.y = D.y"
+        )
+        dot = query_graph_dot(query)
+        # Chain class (x) and pair class (y) get two different colors.
+        assert "color=blue" in dot and "color=red" in dot
+
+    def test_non_equi_edge_dashed(self):
+        query = parse_query("SELECT * FROM A, B WHERE A.x < B.y")
+        dot = query_graph_dot(query)
+        assert "style=dashed" in dot and "color=gray" in dot
+
+    def test_title(self):
+        query = parse_query("SELECT * FROM A")
+        assert 'label="my query"' in query_graph_dot(query, title="my query")
+
+    def test_closure_makes_clique_visible(self):
+        from repro.core import close_query
+
+        closed, _ = close_query(smbg_query())
+        dot = query_graph_dot(closed)
+        assert dot.count(" -- ") == 6  # all pairs of S, M, B, G
+
+
+class TestPlanDot:
+    def test_left_deep_plan(self):
+        result = Optimizer(smbg_catalog()).optimize(smbg_query(), ELS)
+        dot = plan_dot(result.plan, title="ELS plan")
+        assert dot.startswith("digraph plan {")
+        assert dot.count("-Join") == 3
+        assert dot.count("Scan") == 4
+        assert dot.count("->") == 6  # binary tree with 7 nodes
+
+    def test_bushy_plan(self):
+        result = Optimizer(smbg_catalog(), enumerator="dp-bushy").optimize(
+            smbg_query(), ELS
+        )
+        dot = plan_dot(result.plan)
+        assert dot.count("->") == 6
+
+    def test_scan_filters_shown(self):
+        result = Optimizer(smbg_catalog()).optimize(smbg_query(), ELS)
+        dot = plan_dot(result.plan)
+        assert "S.s < 100" in dot
+
+    def test_estimates_embedded(self):
+        result = Optimizer(smbg_catalog()).optimize(smbg_query(), ELS)
+        dot = plan_dot(result.plan)
+        assert "rows~99" in dot

@@ -1,0 +1,171 @@
+"""Error metric and summary tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    AsciiTable,
+    format_quantity,
+    log10_ratio,
+    q_error,
+    ratio_error,
+    summarize_errors,
+)
+
+
+class TestRatioError:
+    def test_perfect_estimate(self):
+        assert ratio_error(100, 100) == 1.0
+
+    def test_underestimate_below_one(self):
+        assert ratio_error(1, 1000) == pytest.approx(0.001)
+
+    def test_overestimate_above_one(self):
+        assert ratio_error(1000, 100) == pytest.approx(10.0)
+
+    def test_zero_guarded(self):
+        assert math.isfinite(ratio_error(0, 100))
+        assert math.isfinite(ratio_error(100, 0))
+
+
+class TestQError:
+    def test_perfect(self):
+        assert q_error(50, 50) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(10, 1000) == pytest.approx(q_error(1000, 10))
+
+    def test_example_2_magnitude(self):
+        """Rule M's Example 2 estimate: 1 vs 1000 -> q-error 1000."""
+        assert q_error(1.0, 1000) == pytest.approx(1000.0)
+
+    @given(
+        estimate=st.floats(min_value=1e-6, max_value=1e6),
+        actual=st.floats(min_value=1e-6, max_value=1e6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_at_least_one(self, estimate, actual):
+        assert q_error(estimate, actual) >= 1.0
+
+
+class TestLog10Ratio:
+    def test_signs(self):
+        assert log10_ratio(1, 1000) == pytest.approx(-3.0)
+        assert log10_ratio(1000, 1) == pytest.approx(3.0)
+        assert log10_ratio(5, 5) == pytest.approx(0.0)
+
+
+class TestSummaries:
+    def test_basic_statistics(self):
+        summary = summarize_errors([1.0, 2.0, 4.0, 8.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(3.75)
+        assert summary.geometric_mean == pytest.approx((1 * 2 * 4 * 8) ** 0.25)
+        assert summary.median == pytest.approx(3.0)
+        assert summary.maximum == 8.0
+
+    def test_p90_interpolates(self):
+        summary = summarize_errors([float(i) for i in range(1, 11)])
+        assert summary.p90 == pytest.approx(9.1)
+
+    def test_single_value(self):
+        summary = summarize_errors([2.5])
+        assert summary.median == 2.5 and summary.p90 == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors([1.0, 0.0])
+
+    def test_str_renders(self):
+        assert "gmean" in str(summarize_errors([1.0, 2.0]))
+
+
+class TestFormatQuantity:
+    def test_integers_plain(self):
+        assert format_quantity(1000) == "1000"
+        assert format_quantity(1000.0) == "1000"
+
+    def test_tiny_values_scientific(self):
+        assert format_quantity(4e-21) == "4e-21"
+
+    def test_huge_values_scientific(self):
+        assert "e+" in format_quantity(3.85e9)
+
+    def test_zero_and_nan(self):
+        assert format_quantity(0.0) == "0"
+        assert format_quantity(float("nan")) == "nan"
+
+
+class TestAsciiTable:
+    def test_render_alignment(self):
+        table = AsciiTable(["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("b", 4e-21)
+        text = table.render()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("|") == lines[2].index("|") == lines[3].index("|")
+
+    def test_title(self):
+        table = AsciiTable(["a"], title="My table")
+        table.add_row(1)
+        assert table.render().startswith("My table")
+
+    def test_none_renders_dash(self):
+        table = AsciiTable(["a"])
+        table.add_row(None)
+        assert "-" in table.render().splitlines()[-1]
+
+    def test_arity_checked(self):
+        table = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+
+class TestRankCorrelation:
+    def test_perfect_agreement(self):
+        from repro.analysis import rank_correlation
+
+        assert rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        from repro.analysis import rank_correlation
+
+        assert rank_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariant(self):
+        from repro.analysis import rank_correlation
+
+        xs = [1.0, 5.0, 2.0, 9.0]
+        ys = [x**3 for x in xs]
+        assert rank_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_ties_get_average_ranks(self):
+        from repro.analysis import rank_correlation
+
+        value = rank_correlation([1, 1, 2], [1, 2, 3])
+        assert -1.0 <= value <= 1.0
+
+    def test_constant_series_is_zero(self):
+        from repro.analysis import rank_correlation
+
+        assert rank_correlation([5, 5, 5], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        from repro.analysis import rank_correlation
+
+        with pytest.raises(ValueError):
+            rank_correlation([1], [1, 2])
+
+    def test_too_short_rejected(self):
+        from repro.analysis import rank_correlation
+
+        with pytest.raises(ValueError):
+            rank_correlation([1], [1])

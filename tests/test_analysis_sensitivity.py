@@ -1,0 +1,82 @@
+"""Stale-statistics sensitivity tests."""
+
+import random
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    StalenessPoint,
+    perturb_catalog,
+    run_staleness_study,
+)
+from repro.catalog import Catalog
+from repro.workloads import chain_workload
+
+
+class TestPerturbCatalog:
+    def make(self):
+        return Catalog.from_stats({"R": (1000, {"x": 100, "y": 1000})})
+
+    def test_zero_error_is_identity(self):
+        catalog = self.make()
+        perturbed = perturb_catalog(catalog, 0.0, random.Random(0))
+        assert perturbed.stats("R").row_count == 1000
+        assert perturbed.column_stats("R", "x").distinct == 100
+
+    def test_perturbation_bounded(self):
+        catalog = self.make()
+        rng = random.Random(1)
+        for _ in range(20):
+            perturbed = perturb_catalog(catalog, 0.5, rng)
+            rows = perturbed.stats("R").row_count
+            assert 1000 / 1.6 <= rows <= 1000 * 1.6
+
+    def test_invariants_preserved(self):
+        """distinct <= rows must survive perturbation (TableStats enforces it)."""
+        catalog = self.make()
+        rng = random.Random(2)
+        for _ in range(50):
+            perturbed = perturb_catalog(catalog, 3.0, rng)
+            stats = perturbed.stats("R")
+            for column in ("x", "y"):
+                assert stats.column(column).distinct <= stats.row_count
+
+    def test_source_unchanged(self):
+        catalog = self.make()
+        perturb_catalog(catalog, 2.0, random.Random(3))
+        assert catalog.stats("R").row_count == 1000
+
+    def test_range_and_histograms_kept(self):
+        catalog = self.make()
+        perturbed = perturb_catalog(catalog, 1.0, random.Random(4))
+        column = perturbed.column_stats("R", "x")
+        assert column.low == 1 and column.high == 100
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            perturb_catalog(self.make(), -0.1, random.Random(0))
+
+
+class TestStalenessStudy:
+    def test_grid_shape(self):
+        rng = random.Random(5)
+        workloads = [chain_workload(3, rng, min_rows=100, max_rows=400) for _ in range(2)]
+        points = run_staleness_study(workloads, errors=(0.0, 1.0), seed=9)
+        assert len(points) == 4 * 2  # four algorithms, two error levels
+        assert all(isinstance(p, StalenessPoint) for p in points)
+
+    def test_zero_error_plans_stable(self):
+        rng = random.Random(6)
+        workloads = [chain_workload(3, rng, min_rows=100, max_rows=400)]
+        points = run_staleness_study(workloads, errors=(0.0,), seed=10)
+        for point in points:
+            assert point.plan_stability == 1.0
+
+    def test_error_degrades_estimates(self):
+        rng = random.Random(7)
+        workloads = [
+            chain_workload(3, rng, min_rows=200, max_rows=600) for _ in range(3)
+        ]
+        points = run_staleness_study(workloads, errors=(0.0, 2.0), seed=11)
+        els = {p.error: p for p in points if p.algorithm == "ELS"}
+        assert els[2.0].mean_q_error >= els[0.0].mean_q_error

@@ -1,0 +1,131 @@
+"""Ground-truth execution tests: reference plans against brute force."""
+
+import itertools
+
+import pytest
+
+from repro.analysis import build_reference_plan, execute_query, true_join_size
+from repro.catalog import TableSchema
+from repro.errors import ExecutionError
+from repro.sql import Op, parse_query
+from repro.storage import Database
+
+
+def tiny_database():
+    db = Database()
+    db.load_columns(TableSchema.of("A", "x"), {"x": [1, 2, 2, 3]})
+    db.load_columns(TableSchema.of("B", "x", "y"), {"x": [2, 2, 3, 5], "y": [1, 2, 3, 4]})
+    db.load_columns(TableSchema.of("C", "y"), {"y": [2, 3, 3, 9]})
+    return db
+
+
+def brute_force_count(db, query):
+    tables = [db.table(query.base_table(t)).rows() for t in query.tables]
+    layouts = []
+    offset = 0
+    positions = {}
+    for name in query.tables:
+        schema = db.table(query.base_table(name)).schema
+        for i, column in enumerate(schema.column_names):
+            positions[(name, column)] = offset + i
+        offset += len(schema.column_names)
+
+    def satisfied(combined):
+        for predicate in query.predicates:
+            left = combined[positions[(predicate.left.table, predicate.left.column)]]
+            if hasattr(predicate.right, "value"):
+                right = predicate.right.value
+            else:
+                right = combined[
+                    positions[(predicate.right.table, predicate.right.column)]
+                ]
+            if not predicate.op.evaluate(left, right):
+                return False
+        return True
+
+    count = 0
+    for combo in itertools.product(*tables):
+        combined = tuple(v for row in combo for v in row)
+        if satisfied(combined):
+            count += 1
+    return count
+
+
+class TestTrueJoinSize:
+    def test_two_way_equijoin(self):
+        db = tiny_database()
+        query = parse_query("SELECT COUNT(*) FROM A, B WHERE A.x = B.x")
+        assert true_join_size(query, db) == brute_force_count(db, query)
+
+    def test_three_way_chain(self):
+        db = tiny_database()
+        query = parse_query(
+            "SELECT COUNT(*) FROM A, B, C WHERE A.x = B.x AND B.y = C.y"
+        )
+        assert true_join_size(query, db) == brute_force_count(db, query)
+
+    def test_with_local_predicate(self):
+        db = tiny_database()
+        query = parse_query(
+            "SELECT COUNT(*) FROM A, B WHERE A.x = B.x AND B.y > 1"
+        )
+        assert true_join_size(query, db) == brute_force_count(db, query)
+
+    def test_cartesian_product(self):
+        db = tiny_database()
+        query = parse_query("SELECT COUNT(*) FROM A, C")
+        assert true_join_size(query, db) == 16
+
+    def test_non_equi_join(self):
+        db = tiny_database()
+        query = parse_query("SELECT COUNT(*) FROM A, C WHERE A.x < C.y")
+        assert true_join_size(query, db) == brute_force_count(db, query)
+
+    def test_order_independence(self):
+        db = tiny_database()
+        query = parse_query(
+            "SELECT COUNT(*) FROM A, B, C WHERE A.x = B.x AND B.y = C.y"
+        )
+        counts = {
+            true_join_size(query, db, order=list(order))
+            for order in itertools.permutations(["A", "B", "C"])
+        }
+        assert len(counts) == 1
+
+    def test_single_table(self):
+        db = tiny_database()
+        query = parse_query("SELECT COUNT(*) FROM A WHERE A.x = 2")
+        assert true_join_size(query, db) == 2
+
+    def test_invalid_order_rejected(self):
+        db = tiny_database()
+        query = parse_query("SELECT COUNT(*) FROM A, B WHERE A.x = B.x")
+        with pytest.raises(ExecutionError):
+            build_reference_plan(query, db, order=["A"])
+
+
+class TestExecuteQuery:
+    def test_count_star_projection(self):
+        db = tiny_database()
+        query = parse_query("SELECT COUNT(*) FROM A, B WHERE A.x = B.x")
+        result = execute_query(query, db)
+        assert result.count == brute_force_count(db, query)
+        assert result.rows == []
+
+    def test_column_projection(self):
+        db = tiny_database()
+        query = parse_query("SELECT A.x FROM A, B WHERE A.x = B.x")
+        result = execute_query(query, db)
+        assert all(len(row) == 1 for row in result.rows)
+
+    def test_greedy_order_prefers_connected(self):
+        """The default order should not create avoidable cross products."""
+        db = tiny_database()
+        query = parse_query(
+            "SELECT COUNT(*) FROM A, B, C WHERE A.x = B.x AND B.y = C.y"
+        )
+        plan = build_reference_plan(query, db)
+        node = plan
+        while hasattr(node, "left"):
+            assert node.predicates, "reference plan introduced a cartesian product"
+            node = node.left

@@ -1,0 +1,198 @@
+"""Histogram tests: construction, cumulative fractions, MCVs, invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.histogram import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    MostCommonValues,
+    build_equi_depth,
+    build_equi_width,
+    build_mcv,
+)
+from repro.errors import CatalogError
+from repro.sql.predicates import Op
+
+
+def exact_fraction(values, op, constant):
+    return sum(1 for v in values if op.evaluate(v, constant)) / len(values)
+
+
+class TestBuildEquiWidth:
+    def test_empty_returns_none(self):
+        assert build_equi_width([]) is None
+
+    def test_counts_sum_to_total(self):
+        values = list(range(100))
+        hist = build_equi_width(values, buckets=7)
+        assert sum(hist.counts) == 100
+        assert hist.total == 100
+
+    def test_single_value_domain(self):
+        hist = build_equi_width([5, 5, 5])
+        assert hist.low == hist.high == 5
+        assert hist.counts == (3,)
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(CatalogError):
+            build_equi_width([1, 2], buckets=0)
+
+    def test_validation_counts_match_total(self):
+        with pytest.raises(CatalogError):
+            EquiWidthHistogram(0, 10, (5, 5), total=9)
+
+    def test_bounds_validated(self):
+        with pytest.raises(CatalogError):
+            EquiWidthHistogram(10, 0, (1,), total=1)
+
+
+class TestEquiWidthFractions:
+    def setup_method(self):
+        self.values = list(range(1, 1001))  # uniform 1..1000
+        self.hist = build_equi_width(self.values, buckets=10)
+
+    @pytest.mark.parametrize("op", [Op.LT, Op.LE, Op.GT, Op.GE])
+    @pytest.mark.parametrize("constant", [1, 100, 500, 999, 1000])
+    def test_range_fraction_close_to_exact(self, op, constant):
+        estimate = self.hist.fraction(op, constant)
+        exact = exact_fraction(self.values, op, constant)
+        assert abs(estimate - exact) < 0.02
+
+    def test_below_range_is_zero_or_one(self):
+        assert self.hist.fraction(Op.LT, -5) == 0.0
+        assert self.hist.fraction(Op.GT, -5) == 1.0
+
+    def test_above_range(self):
+        assert self.hist.fraction(Op.LE, 2000) == 1.0
+        assert self.hist.fraction(Op.GT, 2000) == 0.0
+
+    def test_equality_fraction_reasonable(self):
+        estimate = self.hist.fraction(Op.EQ, 500)
+        assert 0 < estimate < 0.05
+        assert abs(estimate - 0.001) < 0.005
+
+    def test_ne_complements_eq(self):
+        eq = self.hist.fraction(Op.EQ, 500)
+        ne = self.hist.fraction(Op.NE, 500)
+        assert abs(eq + ne - 1.0) < 1e-9
+
+    def test_equality_outside_range_is_zero(self):
+        assert self.hist.fraction(Op.EQ, 5000) == 0.0
+
+    def test_fraction_between(self):
+        estimate = self.hist.fraction_between(100, 200)
+        exact = sum(1 for v in self.values if 100 <= v <= 200) / 1000
+        assert abs(estimate - exact) < 0.02
+
+    def test_fraction_between_unbounded_sides(self):
+        assert abs(self.hist.fraction_between(None, 500) - 0.5) < 0.02
+        assert abs(self.hist.fraction_between(500, None) - 0.5) < 0.02
+        assert self.hist.fraction_between(None, None) == 1.0
+
+
+class TestBuildEquiDepth:
+    def test_empty_returns_none(self):
+        assert build_equi_depth([]) is None
+
+    def test_counts_are_balanced(self):
+        rng = random.Random(1)
+        values = [rng.randint(1, 10**6) for _ in range(1000)]
+        hist = build_equi_depth(values, buckets=10)
+        assert sum(hist.counts) == 1000
+        assert max(hist.counts) - min(hist.counts) <= 2
+
+    def test_boundaries_monotone(self):
+        values = [random.Random(2).randint(1, 100) for _ in range(500)]
+        hist = build_equi_depth(values, buckets=8)
+        assert list(hist.boundaries) == sorted(hist.boundaries)
+
+    def test_more_buckets_than_values(self):
+        hist = build_equi_depth([3, 1, 2], buckets=10)
+        assert hist.total == 3
+
+    def test_validation_boundary_count(self):
+        with pytest.raises(CatalogError):
+            EquiDepthHistogram((1, 2), (1, 1), total=2)
+
+    def test_validation_sorted_boundaries(self):
+        with pytest.raises(CatalogError):
+            EquiDepthHistogram((5, 1, 10), (1, 1), total=2)
+
+
+class TestEquiDepthFractions:
+    def test_skewed_data_range_accuracy(self):
+        # Zipf-ish skew: equi-depth should stay accurate where equi-width
+        # loses resolution.
+        rng = random.Random(3)
+        values = [min(int(1 / max(rng.random(), 1e-9)), 10000) for _ in range(2000)]
+        hist = build_equi_depth(values, buckets=20)
+        for constant in (1, 2, 5, 10, 100):
+            estimate = hist.fraction(Op.LE, constant)
+            exact = exact_fraction(values, Op.LE, constant)
+            assert abs(estimate - exact) < 0.08
+
+    def test_extremes(self):
+        hist = build_equi_depth(list(range(100)), buckets=10)
+        assert hist.fraction(Op.LT, 0) == 0.0
+        assert hist.fraction(Op.LE, 99) == 1.0
+        assert hist.fraction(Op.GE, 0) == 1.0
+
+
+class TestMostCommonValues:
+    def test_build_takes_top_k(self):
+        values = ["a"] * 5 + ["b"] * 3 + ["c"] * 1
+        mcv = build_mcv(values, k=2)
+        assert set(mcv.entries) == {"a", "b"}
+        assert mcv.entries["a"] == 5
+
+    def test_equality_fraction(self):
+        mcv = build_mcv([1, 1, 1, 2], k=2)
+        assert mcv.equality_fraction(1) == 0.75
+        assert mcv.equality_fraction(99) is None
+
+    def test_covered_fraction(self):
+        mcv = build_mcv([1, 1, 2, 3], k=1)
+        assert mcv.covered_fraction == 0.5
+
+    def test_covers(self):
+        mcv = build_mcv([1, 2], k=5)
+        assert mcv.covers(1) and not mcv.covers(3)
+
+    def test_empty_total(self):
+        assert MostCommonValues().equality_fraction(1) is None
+
+    def test_zero_k_rejected(self):
+        with pytest.raises(CatalogError):
+            build_mcv([1], k=0)
+
+
+class TestHistogramProperties:
+    @given(
+        values=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=300),
+        constant=st.integers(min_value=-1200, max_value=1200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_monotone_and_bounded(self, values, constant):
+        for hist in (build_equi_width(values, 8), build_equi_depth(values, 8)):
+            le = hist.fraction(Op.LE, constant)
+            lt = hist.fraction(Op.LT, constant)
+            assert 0.0 <= lt <= le <= 1.0
+            assert abs(hist.fraction(Op.GT, constant) - (1.0 - le)) < 1e-9
+            assert abs(hist.fraction(Op.GE, constant) - (1.0 - lt)) < 1e-9
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=200),
+        low=st.integers(min_value=0, max_value=100),
+        span=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_between_matches_cumulative_difference(self, values, low, span):
+        high = low + span
+        for hist in (build_equi_width(values, 5), build_equi_depth(values, 5)):
+            between = hist.fraction_between(low, high)
+            diff = hist.fraction(Op.LE, high) - hist.fraction(Op.LT, low)
+            assert abs(between - max(0.0, diff)) < 1e-9

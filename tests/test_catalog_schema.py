@@ -1,0 +1,78 @@
+"""Schema tests: column types, widths, lookup, validation."""
+
+import pytest
+
+from repro.catalog import ColumnDef, ColumnType, TableSchema
+from repro.errors import CatalogError
+
+
+class TestColumnType:
+    def test_int_validation(self):
+        assert ColumnType.INT.validate(5)
+        assert not ColumnType.INT.validate(5.0)
+        assert not ColumnType.INT.validate("5")
+        assert not ColumnType.INT.validate(True)  # bools are not SQL ints
+
+    def test_float_accepts_int(self):
+        assert ColumnType.FLOAT.validate(5)
+        assert ColumnType.FLOAT.validate(5.5)
+        assert not ColumnType.FLOAT.validate("x")
+        assert not ColumnType.FLOAT.validate(False)
+
+    def test_str_validation(self):
+        assert ColumnType.STR.validate("abc")
+        assert not ColumnType.STR.validate(1)
+
+    def test_python_type(self):
+        assert ColumnType.INT.python_type is int
+        assert ColumnType.STR.python_type is str
+
+
+class TestColumnDef:
+    def test_default_widths(self):
+        assert ColumnDef("x").width_bytes == 4
+        assert ColumnDef("x", ColumnType.FLOAT).width_bytes == 4
+        assert ColumnDef("s", ColumnType.STR).width_bytes == 16
+
+    def test_explicit_width(self):
+        assert ColumnDef("x", ColumnType.INT, width_bytes=8).width_bytes == 8
+
+
+class TestTableSchema:
+    def test_of_builds_int_columns(self):
+        schema = TableSchema.of("R", "a", "b")
+        assert schema.column_names == ("a", "b")
+        assert all(c.type is ColumnType.INT for c in schema.columns)
+
+    def test_of_accepts_columndefs(self):
+        schema = TableSchema.of("R", "a", ColumnDef("s", ColumnType.STR))
+        assert schema.column("s").type is ColumnType.STR
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema.of("R", "a", "a")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("R", ())
+
+    def test_index_of(self):
+        schema = TableSchema.of("R", "a", "b", "c")
+        assert schema.index_of("b") == 1
+        with pytest.raises(CatalogError):
+            schema.index_of("zzz")
+
+    def test_has_column(self):
+        schema = TableSchema.of("R", "a")
+        assert schema.has_column("a")
+        assert not schema.has_column("b")
+
+    def test_row_width(self):
+        schema = TableSchema.of("R", "a", ColumnDef("s", ColumnType.STR))
+        assert schema.row_width_bytes == 20
+
+    def test_renamed_keeps_layout(self):
+        schema = TableSchema.of("R", "a", "b")
+        alias = schema.renamed("r2")
+        assert alias.name == "r2"
+        assert alias.column_names == schema.column_names

@@ -1,0 +1,114 @@
+"""Statistics and catalog tests: validation, lookup, paper-style builders."""
+
+import pytest
+
+from repro.catalog import Catalog, ColumnStats, TableSchema, TableStats
+from repro.errors import CatalogError
+
+
+class TestColumnStats:
+    def test_negative_distinct_rejected(self):
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct=-1)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct=1, low=10, high=0)
+
+    def test_has_range(self):
+        assert ColumnStats(distinct=5, low=1, high=5).has_range
+        assert not ColumnStats(distinct=5).has_range
+        assert not ColumnStats(distinct=5, low=1).has_range
+
+    def test_span(self):
+        assert ColumnStats(distinct=10, low=1, high=11).span == 10.0
+        assert ColumnStats(distinct=10).span is None
+
+    def test_scaled_replaces_distinct_only(self):
+        stats = ColumnStats(distinct=10, low=1, high=10)
+        scaled = stats.scaled(3)
+        assert scaled.distinct == 3
+        assert scaled.low == 1 and scaled.high == 10
+
+
+class TestTableStats:
+    def test_negative_rows_rejected(self):
+        with pytest.raises(CatalogError):
+            TableStats(row_count=-1)
+
+    def test_distinct_exceeding_rows_rejected(self):
+        with pytest.raises(CatalogError):
+            TableStats(row_count=5, columns={"x": ColumnStats(distinct=6)})
+
+    def test_column_lookup(self):
+        stats = TableStats(row_count=10, columns={"x": ColumnStats(distinct=5)})
+        assert stats.column("x").distinct == 5
+        assert stats.has_column("x") and not stats.has_column("y")
+        with pytest.raises(CatalogError):
+            stats.column("y")
+
+    def test_simple_builder_sets_paper_style_ranges(self):
+        stats = TableStats.simple(1000, {"x": 100})
+        column = stats.column("x")
+        assert column.distinct == 100
+        assert column.low == 1 and column.high == 100
+
+    def test_columns_are_copied(self):
+        source = {"x": ColumnStats(distinct=1)}
+        stats = TableStats(row_count=5, columns=source)
+        source["y"] = ColumnStats(distinct=2)
+        assert not stats.has_column("y")
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        catalog.register_simple("R", 100, {"x": 10})
+        assert "R" in catalog
+        assert catalog.stats("R").row_count == 100
+        assert catalog.column_stats("R", "x").distinct == 10
+
+    def test_unknown_table_raises(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.stats("nope")
+        with pytest.raises(CatalogError):
+            catalog.schema("nope")
+
+    def test_stats_must_match_schema(self):
+        catalog = Catalog()
+        schema = TableSchema.of("R", "x")
+        bad = TableStats(row_count=5, columns={"zz": ColumnStats(distinct=1)})
+        with pytest.raises(CatalogError):
+            catalog.register(schema, bad)
+
+    def test_update_stats_requires_registration(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.update_stats("R", TableStats(row_count=1))
+
+    def test_update_stats_replaces(self):
+        catalog = Catalog()
+        catalog.register_simple("R", 100, {"x": 10})
+        catalog.update_stats("R", TableStats.simple(50, {"x": 5}))
+        assert catalog.stats("R").row_count == 50
+
+    def test_from_stats_builder(self):
+        catalog = Catalog.from_stats({"R1": (100, {"x": 10}), "R2": (1000, {"y": 100})})
+        assert catalog.tables() == ("R1", "R2")
+        assert catalog.column_stats("R2", "y").distinct == 100
+
+    def test_schemas_by_column(self):
+        catalog = Catalog.from_stats({"R": (10, {"a": 5, "b": 2})})
+        assert catalog.schemas_by_column() == {"R": ("a", "b")}
+
+    def test_paper_example_1b_catalog(self):
+        catalog = Catalog.from_stats(
+            {
+                "R1": (100, {"x": 10}),
+                "R2": (1000, {"y": 100}),
+                "R3": (1000, {"z": 1000}),
+            }
+        )
+        assert catalog.column_stats("R1", "x").distinct == 10
+        assert catalog.column_stats("R3", "z").distinct == 1000

@@ -1,0 +1,208 @@
+"""CLI tests: every subcommand against a statistics file on disk."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def stats_file(tmp_path):
+    path = tmp_path / "stats.json"
+    path.write_text(
+        json.dumps(
+            {
+                "R1": {"rows": 100, "columns": {"x": 10}},
+                "R2": {"rows": 1000, "columns": {"y": 100}},
+                "R3": {"rows": 1000, "columns": {"z": 1000}},
+            }
+        )
+    )
+    return str(path)
+
+
+QUERY = "SELECT * FROM R1, R2, R3 WHERE R1.x = R2.y AND R2.y = R3.z"
+
+
+class TestEstimate:
+    def test_els_default(self, stats_file, capsys):
+        code = main(["estimate", "--stats", stats_file, "--query", QUERY])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "final estimate: 1000" in out
+
+    def test_explicit_order(self, stats_file, capsys):
+        code = main(
+            [
+                "estimate",
+                "--stats",
+                stats_file,
+                "--query",
+                QUERY,
+                "--order",
+                "R2,R3,R1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "R1" in out and "final estimate: 1000" in out
+
+    def test_rule_m_underestimates(self, stats_file, capsys):
+        code = main(
+            [
+                "estimate",
+                "--stats",
+                stats_file,
+                "--query",
+                QUERY,
+                "--algorithm",
+                "sm",
+                "--order",
+                "R2,R3,R1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "final estimate: 1" in out.splitlines()[-1]
+
+    def test_no_ptc_flag(self, stats_file, capsys):
+        code = main(
+            [
+                "estimate",
+                "--stats",
+                stats_file,
+                "--query",
+                QUERY,
+                "--no-ptc",
+                "--order",
+                "R1,R3,R2",  # R1 >< R3 is a cartesian product without PTC
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "100000" in out  # 100 * 1000 cartesian intermediate
+
+    def test_unqualified_columns_resolved_from_stats(self, stats_file, capsys):
+        code = main(
+            [
+                "estimate",
+                "--stats",
+                stats_file,
+                "--query",
+                "SELECT * FROM R1, R2 WHERE x = y",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_stats_path_is_error_exit(self, capsys):
+        code = main(["estimate", "--stats", "/nonexistent.json", "--query", QUERY])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_plan_printed(self, stats_file, capsys):
+        code = main(["optimize", "--stats", stats_file, "--query", QUERY])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Join" in out and "join order:" in out and "estimated cost:" in out
+
+    def test_greedy_enumerator(self, stats_file, capsys):
+        code = main(
+            [
+                "optimize",
+                "--stats",
+                stats_file,
+                "--query",
+                QUERY,
+                "--enumerator",
+                "greedy",
+            ]
+        )
+        assert code == 0
+
+
+class TestClosure:
+    def test_implied_predicates_listed(self, stats_file, capsys):
+        code = main(["closure", "--stats", stats_file, "--query", QUERY])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "R1.x = R3.z" in out
+        assert "[rule a]" in out
+
+    def test_no_implied(self, stats_file, capsys):
+        code = main(
+            [
+                "closure",
+                "--stats",
+                stats_file,
+                "--query",
+                "SELECT * FROM R1, R2 WHERE R1.x = R2.y",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no implied predicates" in out
+
+
+class TestDemo:
+    def test_demo_runs_small(self, capsys):
+        code = main(["demo", "--scale", "0.02"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ELS" in out and "SM (no PTC)" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_algorithm_exits(self, stats_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "estimate",
+                    "--stats",
+                    stats_file,
+                    "--query",
+                    QUERY,
+                    "--algorithm",
+                    "magic",
+                ]
+            )
+
+
+class TestNewEnumerators:
+    @pytest.mark.parametrize("enumerator", ["dp-bushy", "random", "annealing"])
+    def test_optimize_with_enumerator(self, stats_file, capsys, enumerator):
+        code = main(
+            [
+                "optimize",
+                "--stats",
+                stats_file,
+                "--query",
+                QUERY,
+                "--enumerator",
+                enumerator,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "join order:" in out
+
+    def test_frequency_stats_flag_accepted(self, stats_file, capsys):
+        code = main(
+            [
+                "estimate",
+                "--stats",
+                stats_file,
+                "--query",
+                QUERY,
+                "--frequency-stats",
+            ]
+        )
+        assert code == 0
+        # Stats-JSON files carry no MCVs/histograms, so the flag is inert.
+        assert "final estimate: 1000" in capsys.readouterr().out

@@ -1,0 +1,190 @@
+"""Transitive closure tests: each of the paper's five rules, fixpoint, dedup."""
+
+import pytest
+
+from repro.core.closure import ClosureRule, close_query, transitive_closure
+from repro.sql import (
+    ColumnRef,
+    Op,
+    column_equality,
+    join_predicate,
+    local_predicate,
+    parse_query,
+)
+from repro.sql.predicates import ComparisonPredicate, Literal
+
+
+class TestRuleA:
+    """(R1.x = R2.y) AND (R2.y = R3.z) => (R1.x = R3.z)."""
+
+    def test_join_join_to_join(self):
+        result = transitive_closure(
+            (
+                join_predicate("R1", "x", "R2", "y"),
+                join_predicate("R2", "y", "R3", "z"),
+            )
+        )
+        implied = result.implied_by_rule(ClosureRule.JOIN_JOIN_TO_JOIN)
+        assert join_predicate("R1", "x", "R3", "z") in implied
+
+    def test_chain_of_four_closes_completely(self):
+        result = transitive_closure(
+            tuple(
+                join_predicate(f"T{i}", "c", f"T{i+1}", "c") for i in range(1, 4)
+            )
+        )
+        # 4 tables in one class -> C(4,2) = 6 pairwise join predicates.
+        joins = [p for p in result.predicates if p.is_join]
+        assert len(joins) == 6
+
+
+class TestRuleB:
+    """(R1.x = R2.y) AND (R1.x = R2.w) => (R2.y = R2.w)."""
+
+    def test_join_join_to_local(self):
+        result = transitive_closure(
+            (
+                join_predicate("R1", "x", "R2", "y"),
+                join_predicate("R1", "x", "R2", "w"),
+            )
+        )
+        implied = result.implied_by_rule(ClosureRule.JOIN_JOIN_TO_LOCAL)
+        assert column_equality("R2", "y", "w") in implied
+
+
+class TestRuleC:
+    """(R1.x = R1.y) AND (R1.y = R1.z) => (R1.x = R1.z)."""
+
+    def test_local_local_to_local(self):
+        result = transitive_closure(
+            (column_equality("R1", "x", "y"), column_equality("R1", "y", "z"))
+        )
+        implied = result.implied_by_rule(ClosureRule.LOCAL_LOCAL_TO_LOCAL)
+        assert column_equality("R1", "x", "z") in implied
+
+
+class TestRuleD:
+    """(R1.x = R2.y) AND (R1.x = R1.v) => (R2.y = R1.v)."""
+
+    def test_join_local_to_join(self):
+        result = transitive_closure(
+            (join_predicate("R1", "x", "R2", "y"), column_equality("R1", "x", "v"))
+        )
+        implied = result.implied_by_rule(ClosureRule.JOIN_LOCAL_TO_JOIN)
+        assert join_predicate("R1", "v", "R2", "y") in implied
+
+
+class TestRuleE:
+    """(R1.x = R2.y) AND (R1.x op c) => (R2.y op c)."""
+
+    @pytest.mark.parametrize("op", [Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE])
+    def test_all_comparison_operators_propagate(self, op):
+        result = transitive_closure(
+            (join_predicate("R1", "x", "R2", "y"), local_predicate("R1", "x", op, 100))
+        )
+        implied = result.implied_by_rule(ClosureRule.JOIN_LOCAL_TO_CONSTANT)
+        assert local_predicate("R2", "y", op, 100) in implied
+
+    def test_constant_propagates_to_entire_class(self):
+        result = transitive_closure(
+            (
+                join_predicate("S", "s", "M", "m"),
+                join_predicate("M", "m", "B", "b"),
+                local_predicate("S", "s", Op.LT, 100),
+            )
+        )
+        constants = [
+            p for p in result.predicates if p.kind.value == "constant-local"
+        ]
+        tables = {p.left.table for p in constants}
+        assert tables == {"S", "M", "B"}
+
+    def test_constant_propagates_within_a_table(self):
+        result = transitive_closure(
+            (column_equality("R", "a", "b"), local_predicate("R", "a", Op.GT, 7))
+        )
+        assert local_predicate("R", "b", Op.GT, 7) in result.predicates
+
+
+class TestClosureMechanics:
+    def test_duplicates_removed_from_input(self):
+        p = local_predicate("R", "x", Op.GT, 500)
+        result = transitive_closure((p, p))
+        assert result.predicates.count(p) == 1
+
+    def test_no_implied_predicates_for_independent_joins(self):
+        result = transitive_closure(
+            (join_predicate("A", "x", "B", "y"), join_predicate("C", "u", "D", "v"))
+        )
+        assert result.implied == ()
+
+    def test_closure_is_idempotent(self):
+        first = transitive_closure(
+            (
+                join_predicate("R1", "x", "R2", "y"),
+                join_predicate("R2", "y", "R3", "z"),
+                local_predicate("R1", "x", Op.LT, 10),
+            )
+        )
+        second = transitive_closure(first.predicates)
+        assert set(second.predicates) == set(first.predicates)
+        assert second.implied == ()
+
+    def test_equivalence_classes_attached(self):
+        result = transitive_closure(
+            (join_predicate("R1", "x", "R2", "y"), join_predicate("R2", "y", "R3", "z"))
+        )
+        assert result.equivalence.same(ColumnRef("R1", "x"), ColumnRef("R3", "z"))
+
+    def test_implied_predicates_have_sources(self):
+        result = transitive_closure(
+            (join_predicate("R1", "x", "R2", "y"), join_predicate("R2", "y", "R3", "z"))
+        )
+        (implied,) = result.implied
+        assert len(implied.sources) == 2
+        assert "rule a" in str(implied)
+
+    def test_nonequality_join_predicates_pass_through(self):
+        lt = join_predicate("A", "x", "B", "y", Op.LT)
+        result = transitive_closure((lt,))
+        assert result.predicates == (lt,)
+        assert result.implied == ()
+
+    def test_string_constants_propagate(self):
+        result = transitive_closure(
+            (
+                join_predicate("A", "x", "B", "y"),
+                ComparisonPredicate(ColumnRef("A", "x"), Op.EQ, Literal("k")),
+            )
+        )
+        assert (
+            ComparisonPredicate(ColumnRef("B", "y"), Op.EQ, Literal("k"))
+            in result.predicates
+        )
+
+
+class TestPaperExperimentClosure:
+    def test_smbg_query_closure_shape(self):
+        """Section 8: the transformed query has 6 join predicates and local
+        predicates on every join column of the class."""
+        schemas = {"S": ["s"], "M": ["m"], "B": ["b"], "G": ["g"]}
+        query = parse_query(
+            "SELECT COUNT(*) FROM S, M, B, G "
+            "WHERE s = m AND m = b AND b = g AND s < 100",
+            schemas=schemas,
+        )
+        closed, result = close_query(query)
+        joins = [p for p in closed.predicates if p.is_join]
+        locals_ = [p for p in closed.predicates if p.is_local]
+        assert len(joins) == 6  # all pairs of {s, m, b, g}
+        assert len(locals_) == 4  # s<100 plus implied m<100, b<100, g<100
+        assert local_predicate("G", "g", Op.LT, 100) in closed.predicates
+
+    def test_close_query_preserves_projection_and_tables(self):
+        schemas = {"S": ["s"], "M": ["m"]}
+        query = parse_query(
+            "SELECT COUNT(*) FROM S, M WHERE s = m AND s < 100", schemas=schemas
+        )
+        closed, _ = close_query(query)
+        assert closed.tables == query.tables
+        assert closed.projection.count_star

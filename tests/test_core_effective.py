@@ -1,0 +1,198 @@
+"""Effective statistics tests: Section 5 folding and Section 6 groups."""
+
+import pytest
+
+from repro.catalog import TableStats
+from repro.core import ELS, SM, EquivalenceClasses, compute_effective_table
+from repro.core.config import EstimatorConfig
+from repro.errors import EstimationError
+from repro.sql import Op, column_equality, join_predicate, local_predicate
+
+
+def equivalence_for(*predicates):
+    return EquivalenceClasses.from_predicates(list(predicates))
+
+
+class TestNoLocalPredicates:
+    def test_identity_when_no_predicates(self):
+        stats = TableStats.simple(1000, {"x": 100})
+        effective = compute_effective_table("R", stats, [], EquivalenceClasses(), ELS)
+        assert effective.rows == 1000
+        assert effective.distinct("x") == 100
+        assert effective.local_selectivity == 1.0
+        assert effective.groups == ()
+
+    def test_unfiltered_key_column_not_urn_reduced(self):
+        """A key column of an unfiltered table keeps d = ||R|| (the urn
+        model must not fire without a selection)."""
+        stats = TableStats.simple(1000, {"k": 1000})
+        effective = compute_effective_table("R", stats, [], EquivalenceClasses(), ELS)
+        assert effective.distinct("k") == 1000
+
+
+class TestSection5Folding:
+    def make(self, config=ELS):
+        stats = TableStats.simple(100000, {"y": 100000, "x": 10000})
+        predicates = [local_predicate("R", "y", Op.LE, 50000)]
+        return compute_effective_table(
+            "R", stats, predicates, equivalence_for(*predicates), config
+        )
+
+    def test_rows_reduced_by_selectivity(self):
+        effective = self.make()
+        assert effective.rows == pytest.approx(50000, rel=0.01)
+        assert effective.rows_after_constants == effective.rows
+
+    def test_filtered_column_scales_directly(self):
+        """d'_y = d_y * S_L for the filtered column itself."""
+        effective = self.make()
+        assert effective.distinct("y") == pytest.approx(50000, rel=0.01)
+
+    def test_other_column_uses_urn_model(self):
+        """Section 5's numeric example: d_x = 10000 -> ~9933, not 5000."""
+        effective = self.make()
+        assert effective.distinct("x") == pytest.approx(9933, rel=0.001)
+
+    def test_proportional_when_urn_disabled(self):
+        effective = self.make(ELS.but(use_urn_model=False))
+        assert effective.distinct("x") == pytest.approx(5000, rel=0.01)
+
+    def test_standard_config_keeps_original_columns(self):
+        """Algorithm SM 'computes join selectivities independent of the
+        effect of local predicates': rows shrink, columns do not."""
+        effective = self.make(SM)
+        assert effective.rows == pytest.approx(50000, rel=0.01)
+        assert effective.distinct("x") == 10000
+        assert effective.distinct("y") == 100000
+
+    def test_equality_literal_pins_distinct_to_one(self):
+        stats = TableStats.simple(1000, {"y": 100})
+        predicates = [local_predicate("R", "y", Op.EQ, 7)]
+        effective = compute_effective_table(
+            "R", stats, predicates, equivalence_for(*predicates), ELS
+        )
+        assert effective.distinct("y") == 1.0
+        assert effective.rows == pytest.approx(10.0)
+
+    def test_multiple_columns_independence(self):
+        stats = TableStats.simple(10000, {"a": 100, "b": 100})
+        predicates = [
+            local_predicate("R", "a", Op.EQ, 1),
+            local_predicate("R", "b", Op.EQ, 2),
+        ]
+        effective = compute_effective_table(
+            "R", stats, predicates, equivalence_for(*predicates), ELS
+        )
+        assert effective.local_selectivity == pytest.approx(1e-4)
+        assert effective.rows == pytest.approx(1.0)
+
+
+class TestSection6Groups:
+    def make(self, config=ELS):
+        """The Section 6 example: ||R2||=1000, d_y=10, d_w=50."""
+        stats = TableStats.simple(1000, {"y": 10, "w": 50})
+        j1 = join_predicate("R1", "x", "R2", "y")
+        j2 = join_predicate("R1", "x", "R2", "w")
+        implied = column_equality("R2", "y", "w")
+        return compute_effective_table(
+            "R2", stats, [implied], equivalence_for(j1, j2, implied), config
+        )
+
+    def test_rows_divided_by_larger_cardinality(self):
+        """||R2||' = ceil(1000 / 50) = 20."""
+        assert self.make().rows == 20.0
+
+    def test_group_effective_cardinality_is_urn_of_smallest(self):
+        """Effective join cardinality = ceil(10 * (1 - 0.9^20)) = 9."""
+        effective = self.make()
+        (group,) = effective.groups
+        assert group.distinct == 9.0
+        assert group.columns == frozenset({"y", "w"})
+        assert group.row_divisor == 50.0
+
+    def test_both_columns_answer_with_group_distinct(self):
+        effective = self.make()
+        assert effective.distinct("y") == 9.0
+        assert effective.distinct("w") == 9.0
+
+    def test_group_of(self):
+        effective = self.make()
+        assert effective.group_of("y") is not None
+        assert effective.group_of("nope") is None
+
+    def test_standard_treatment_scales_rows_only(self):
+        effective = self.make(SM)
+        assert effective.rows == pytest.approx(20.0)
+        assert effective.groups == ()
+        assert effective.distinct("y") == 10.0  # untouched
+
+    def test_three_column_generalization(self):
+        """Generalized Section 6: rows / (d_(2) * d_(3)), urn of d_(1)."""
+        stats = TableStats.simple(100000, {"a": 5, "b": 20, "c": 40})
+        preds = [
+            column_equality("R", "a", "b"),
+            column_equality("R", "b", "c"),
+        ]
+        effective = compute_effective_table(
+            "R", stats, preds, equivalence_for(*preds), ELS
+        )
+        assert effective.rows == 125.0  # ceil(100000 / (20 * 40))
+        (group,) = effective.groups
+        assert group.distinct == 5.0  # urn(5, 125) saturates at 5
+
+    def test_constant_predicate_applies_before_group(self):
+        """Section 5 runs before Section 6: the divisor uses effective d."""
+        stats = TableStats.simple(1000, {"y": 10, "w": 50})
+        constant = local_predicate("R2", "w", Op.EQ, 3)
+        implied = column_equality("R2", "y", "w")
+        j1 = join_predicate("R1", "x", "R2", "y")
+        effective = compute_effective_table(
+            "R2", stats, [constant, implied], equivalence_for(j1, constant, implied), ELS
+        )
+        # w = 3 -> 20 rows, d_w' = 1; group divisor = d_y'(larger of 1, ~10).
+        assert effective.rows_after_constants == pytest.approx(20.0)
+        assert effective.rows <= 20.0
+
+
+class TestValidation:
+    def test_foreign_predicate_rejected(self):
+        stats = TableStats.simple(10, {"x": 5})
+        with pytest.raises(EstimationError):
+            compute_effective_table(
+                "R",
+                stats,
+                [local_predicate("S", "x", Op.EQ, 1)],
+                EquivalenceClasses(),
+                ELS,
+            )
+
+    def test_join_predicate_rejected_as_local(self):
+        stats = TableStats.simple(10, {"x": 5})
+        with pytest.raises(EstimationError):
+            compute_effective_table(
+                "R",
+                stats,
+                [join_predicate("R", "x", "S", "y")],
+                EquivalenceClasses(),
+                ELS,
+            )
+
+    def test_unknown_column_distinct_raises(self):
+        stats = TableStats.simple(10, {"x": 5})
+        effective = compute_effective_table("R", stats, [], EquivalenceClasses(), ELS)
+        with pytest.raises(EstimationError):
+            effective.distinct("zz")
+
+
+class TestColumnInequality:
+    def test_same_table_inequality_scales_rows_by_default(self):
+        from repro.core.local import DEFAULT_RANGE_SELECTIVITY
+        from repro.sql.predicates import ColumnRef, ComparisonPredicate
+
+        stats = TableStats.simple(900, {"a": 30, "b": 30})
+        pred = ComparisonPredicate(ColumnRef("R", "a"), Op.LT, ColumnRef("R", "b"))
+        effective = compute_effective_table(
+            "R", stats, [pred], equivalence_for(pred), ELS
+        )
+        assert effective.rows == pytest.approx(900 * DEFAULT_RANGE_SELECTIVITY)
+        assert effective.distinct("a") == 30.0

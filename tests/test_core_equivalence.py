@@ -1,0 +1,131 @@
+"""Union-find equivalence class tests."""
+
+from repro.core import EquivalenceClasses
+from repro.sql import ColumnRef, Op, column_equality, join_predicate, local_predicate
+
+
+def col(table, column):
+    return ColumnRef(table, column)
+
+
+class TestBasicUnionFind:
+    def test_unseen_column_is_singleton(self):
+        classes = EquivalenceClasses()
+        assert classes.find(col("R", "x")) == col("R", "x")
+        assert not classes.same(col("R", "x"), col("S", "y"))
+
+    def test_union_merges(self):
+        classes = EquivalenceClasses()
+        classes.union(col("R", "x"), col("S", "y"))
+        assert classes.same(col("R", "x"), col("S", "y"))
+
+    def test_transitive_merging(self):
+        classes = EquivalenceClasses()
+        classes.union(col("R", "x"), col("S", "y"))
+        classes.union(col("S", "y"), col("T", "z"))
+        assert classes.same(col("R", "x"), col("T", "z"))
+
+    def test_union_idempotent(self):
+        classes = EquivalenceClasses()
+        classes.union(col("R", "x"), col("S", "y"))
+        classes.union(col("R", "x"), col("S", "y"))
+        assert len(classes.members(col("R", "x"))) == 2
+
+    def test_members(self):
+        classes = EquivalenceClasses()
+        classes.union(col("R", "x"), col("S", "y"))
+        classes.add(col("T", "z"))
+        assert classes.members(col("R", "x")) == frozenset({col("R", "x"), col("S", "y")})
+        assert classes.members(col("T", "z")) == frozenset({col("T", "z")})
+
+    def test_class_id_is_union_order_independent(self):
+        a = EquivalenceClasses()
+        a.union(col("R", "x"), col("S", "y"))
+        a.union(col("S", "y"), col("T", "z"))
+        b = EquivalenceClasses()
+        b.union(col("T", "z"), col("S", "y"))
+        b.union(col("S", "y"), col("R", "x"))
+        assert a.class_id(col("T", "z")) == b.class_id(col("R", "x"))
+
+    def test_len_counts_classes(self):
+        classes = EquivalenceClasses()
+        classes.union(col("R", "x"), col("S", "y"))
+        classes.add(col("T", "z"))
+        assert len(classes) == 2
+
+
+class TestFromPredicates:
+    def test_equality_join_predicates_merge(self):
+        classes = EquivalenceClasses.from_predicates(
+            [join_predicate("R", "x", "S", "y"), join_predicate("S", "y", "T", "z")]
+        )
+        assert classes.same(col("R", "x"), col("T", "z"))
+
+    def test_local_column_equality_merges(self):
+        classes = EquivalenceClasses.from_predicates([column_equality("R", "a", "b")])
+        assert classes.same(col("R", "a"), col("R", "b"))
+
+    def test_nonequality_join_does_not_merge(self):
+        classes = EquivalenceClasses.from_predicates(
+            [join_predicate("R", "x", "S", "y", Op.LT)]
+        )
+        assert not classes.same(col("R", "x"), col("S", "y"))
+        # But the columns are registered.
+        assert col("R", "x") in classes.columns()
+
+    def test_constant_predicates_register_but_do_not_merge(self):
+        classes = EquivalenceClasses.from_predicates(
+            [local_predicate("R", "x", Op.LT, 5)]
+        )
+        assert classes.columns() == (col("R", "x"),)
+
+    def test_example_1a_single_class(self):
+        # J1: R1.x = R2.y, J2: R2.y = R3.z => x, y, z j-equivalent.
+        classes = EquivalenceClasses.from_predicates(
+            [join_predicate("R1", "x", "R2", "y"), join_predicate("R2", "y", "R3", "z")]
+        )
+        assert classes.same(col("R1", "x"), col("R3", "z"))
+        assert len(classes.nontrivial_classes()) == 1
+
+
+class TestClassEnumeration:
+    def test_classes_deterministic_order(self):
+        classes = EquivalenceClasses()
+        classes.union(col("Z", "z"), col("Y", "y"))
+        classes.union(col("A", "a"), col("B", "b"))
+        groups = classes.classes()
+        assert min(groups[0]) < min(groups[1])
+
+    def test_nontrivial_excludes_singletons(self):
+        classes = EquivalenceClasses()
+        classes.union(col("R", "x"), col("S", "y"))
+        classes.add(col("T", "z"))
+        assert len(classes.classes()) == 2
+        assert len(classes.nontrivial_classes()) == 1
+
+    def test_single_table_groups_detects_section6_case(self):
+        # (R1.x = R2.y) AND (R1.x = R2.w): columns y, w of R2 j-equivalent.
+        classes = EquivalenceClasses.from_predicates(
+            [
+                join_predicate("R1", "x", "R2", "y"),
+                join_predicate("R1", "x", "R2", "w"),
+            ]
+        )
+        groups = classes.single_table_groups("R2")
+        assert groups == (frozenset({col("R2", "y"), col("R2", "w")}),)
+        assert classes.single_table_groups("R1") == ()
+
+    def test_single_table_groups_three_columns(self):
+        classes = EquivalenceClasses.from_predicates(
+            [
+                column_equality("R", "a", "b"),
+                column_equality("R", "b", "c"),
+            ]
+        )
+        (group,) = classes.single_table_groups("R")
+        assert len(group) == 3
+
+    def test_repr_lists_classes(self):
+        classes = EquivalenceClasses()
+        classes.union(col("R", "x"), col("S", "y"))
+        assert "R.x" in repr(classes) and "S.y" in repr(classes)

@@ -1,0 +1,279 @@
+"""Incremental estimator tests: the paper's examples, exact numbers."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core import ELS, SM, SSS, EstimatorConfig, JoinSizeEstimator, SelectivityRule
+from repro.core.estimator import two_way_join_size
+from repro.errors import EstimationError
+from repro.sql import Op, join_predicate, local_predicate, parse_query
+from repro.sql.query import Query
+
+
+class TestTwoWayJoinSize:
+    def test_equation_1(self):
+        """||R2 >< R3|| = 1000 * 1000 * 0.001 = 1000 (Example 1b)."""
+        assert two_way_join_size(1000, 100, 1000, 1000) == pytest.approx(1000.0)
+
+    def test_symmetry(self):
+        assert two_way_join_size(10, 5, 20, 8) == two_way_join_size(20, 8, 10, 5)
+
+
+class TestExample1b:
+    def test_join_selectivities(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        assert estimator.selectivity_of(
+            join_predicate("R1", "x", "R2", "y")
+        ) == pytest.approx(0.01)
+        assert estimator.selectivity_of(
+            join_predicate("R2", "y", "R3", "z")
+        ) == pytest.approx(0.001)
+        assert estimator.selectivity_of(
+            join_predicate("R1", "x", "R3", "z")
+        ) == pytest.approx(0.001)
+
+    def test_r2_r3_intermediate(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        state = estimator.start("R2")
+        state, _ = estimator.join(state, "R3")
+        assert state.rows == pytest.approx(1000.0)
+
+    def test_three_way_equation_3(self, catalog_1b, query_1b):
+        """||R1 >< R2 >< R3|| = (100*1000*1000)/(100*1000) = 1000."""
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        assert estimator.estimate(["R1", "R2", "R3"]) == pytest.approx(1000.0)
+        assert estimator.closed_form() == pytest.approx(1000.0)
+
+
+class TestExample2RuleM:
+    def test_rule_m_underestimates_to_one(self, catalog_1b, query_1b):
+        """(R2 >< R3) >< R1 under Rule M: 1000 * 100 * 0.01 * 0.001 = 1."""
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, SM)
+        result = estimator.estimate_order(["R2", "R3", "R1"])
+        assert result.intermediate_sizes[0] == pytest.approx(1000.0)
+        assert result.rows == pytest.approx(1.0)
+
+
+class TestExample3RuleSS:
+    def test_rule_ss_underestimates_to_100(self, catalog_1b, query_1b):
+        """Rule SS picks S_J3 = 0.001: 1000 * 100 * 0.001 = 100."""
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, SSS)
+        assert estimator.estimate(["R2", "R3", "R1"]) == pytest.approx(100.0)
+
+    def test_rule_ls_is_exact(self, catalog_1b, query_1b):
+        """Rule LS picks S_J1 = 0.01: 1000 * 100 * 0.01 = 1000 (correct)."""
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        assert estimator.estimate(["R2", "R3", "R1"]) == pytest.approx(1000.0)
+
+    def test_step_reports_used_predicate(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        result = estimator.estimate_order(["R2", "R3", "R1"])
+        final_step = result.steps[-1]
+        assert len(final_step.eligible) == 2  # J1 and J3
+        assert len(final_step.used) == 1  # LS keeps one per class
+        assert final_step.used[0].selectivity == pytest.approx(0.01)
+
+
+class TestRepresentativeRule:
+    """Section 3.3: no constant representative is correct for all orders."""
+
+    @pytest.mark.parametrize(
+        "representative,expected", [(0.01, 10000.0), (0.001, 100.0)]
+    )
+    def test_sweep_matches_paper(self, catalog_1b, query_1b, representative, expected):
+        config = EstimatorConfig(
+            rule=SelectivityRule.REPRESENTATIVE,
+            representative_selectivity=representative,
+        )
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, config)
+        assert estimator.estimate(["R2", "R3", "R1"]) == pytest.approx(expected)
+
+    def test_derived_representative_from_class(self, catalog_1b, query_1b):
+        config = EstimatorConfig(
+            rule=SelectivityRule.REPRESENTATIVE, representative_choice="largest"
+        )
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, config)
+        # largest selectivity in the class is 0.01.
+        assert estimator.estimate(["R2", "R3", "R1"]) == pytest.approx(10000.0)
+
+
+class TestOrderDependence:
+    def test_ls_is_order_invariant_with_closure(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        import itertools
+
+        estimates = {
+            estimator.estimate(list(order))
+            for order in itertools.permutations(["R1", "R2", "R3"])
+        }
+        assert all(e == pytest.approx(1000.0) for e in estimates)
+
+    def test_ss_is_order_dependent(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, SSS)
+        a = estimator.estimate(["R2", "R3", "R1"])
+        b = estimator.estimate(["R1", "R2", "R3"])
+        assert a != pytest.approx(b)
+
+
+class TestEligibility:
+    def test_eligible_only_links_to_joined_tables(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        eligible = estimator.eligible(frozenset({"R2"}), "R1")
+        assert len(eligible) == 1
+        assert eligible[0].predicate == join_predicate("R1", "x", "R2", "y")
+
+    def test_eligible_includes_implied_predicates(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        eligible = estimator.eligible(frozenset({"R2", "R3"}), "R1")
+        assert len(eligible) == 2  # J1 plus implied J3
+
+    def test_without_closure_no_implied_predicates(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS, apply_closure=False)
+        eligible = estimator.eligible(frozenset({"R2", "R3"}), "R1")
+        assert len(eligible) == 1
+
+    def test_cartesian_step_selectivity_one(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS, apply_closure=False)
+        state = estimator.start("R1")
+        state, step = estimator.join(state, "R3")  # no predicate without PTC
+        assert step.is_cartesian
+        assert state.rows == pytest.approx(100.0 * 1000.0)
+
+
+class TestLocalPredicateFolding:
+    def make_catalog(self):
+        return Catalog.from_stats(
+            {"R": (1000, {"x": 100}), "S": (5000, {"y": 500})}
+        )
+
+    def test_effective_rows_flow_into_estimate(self):
+        catalog = self.make_catalog()
+        query = Query.build(
+            ["R", "S"],
+            [
+                join_predicate("R", "x", "S", "y"),
+                local_predicate("R", "x", Op.EQ, 5),
+            ],
+        )
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        # R filtered to 10 rows with d_x' = 1; selectivity 1/max(1, 500).
+        assert estimator.base_rows("R") == pytest.approx(10.0)
+        estimate = estimator.estimate(["R", "S"])
+        assert estimate == pytest.approx(10.0 * 5000.0 / 500.0)
+
+    def test_standard_ignores_column_effects(self):
+        catalog = self.make_catalog()
+        query = Query.build(
+            ["R", "S"],
+            [
+                join_predicate("R", "x", "S", "y"),
+                local_predicate("R", "x", Op.EQ, 5),
+            ],
+        )
+        estimator = JoinSizeEstimator(query, catalog, SM, apply_closure=False)
+        assert estimator.base_rows("R") == pytest.approx(10.0)
+        # Standard algorithm still uses d_x = 100 -> selectivity 1/500.
+        assert estimator.estimate(["R", "S"]) == pytest.approx(10.0 * 5000.0 / 500.0)
+
+    def test_closure_propagates_local_to_other_table(self):
+        """With PTC, x = 5 implies y = 5, shrinking S too."""
+        catalog = self.make_catalog()
+        query = Query.build(
+            ["R", "S"],
+            [
+                join_predicate("R", "x", "S", "y"),
+                local_predicate("R", "x", Op.EQ, 5),
+            ],
+        )
+        estimator = JoinSizeEstimator(query, catalog, ELS, apply_closure=True)
+        assert estimator.base_rows("S") == pytest.approx(10.0)  # 5000 / 500
+
+
+class TestErrors:
+    def test_unknown_table_in_order(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        with pytest.raises(EstimationError):
+            estimator.estimate(["R1", "QQ"])
+
+    def test_repeated_table_in_order(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        with pytest.raises(EstimationError):
+            estimator.estimate(["R1", "R1"])
+
+    def test_join_already_joined_table(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        state = estimator.start("R1")
+        with pytest.raises(EstimationError):
+            estimator.join(state, "R1")
+
+    def test_empty_order(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        with pytest.raises(EstimationError):
+            estimator.estimate([])
+
+    def test_selectivity_of_unknown_predicate(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        with pytest.raises(EstimationError):
+            estimator.selectivity_of(join_predicate("R1", "a", "R2", "y"))
+
+    def test_closed_form_unknown_table(self, catalog_1b, query_1b):
+        estimator = JoinSizeEstimator(query_1b, catalog_1b, ELS)
+        with pytest.raises(EstimationError):
+            estimator.closed_form(["R1", "QQ"])
+
+    def test_missing_catalog_table(self, query_1b):
+        with pytest.raises(Exception):
+            JoinSizeEstimator(query_1b, Catalog(), ELS)
+
+
+class TestNonEquiJoins:
+    def test_default_selectivity_applied(self):
+        catalog = Catalog.from_stats({"A": (100, {"x": 10}), "B": (200, {"y": 20})})
+        query = Query.build(["A", "B"], [join_predicate("A", "x", "B", "y", Op.LT)])
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        assert estimator.estimate(["A", "B"]) == pytest.approx(
+            100 * 200 * ELS.default_join_selectivity
+        )
+
+    def test_non_equi_always_multiplies(self):
+        catalog = Catalog.from_stats({"A": (100, {"x": 10}), "B": (200, {"y": 20})})
+        query = Query.build(
+            ["A", "B"],
+            [
+                join_predicate("A", "x", "B", "y"),
+                join_predicate("A", "x", "B", "y", Op.LT),
+            ],
+        )
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        expected = 100 * 200 * (1 / 20) * ELS.default_join_selectivity
+        assert estimator.estimate(["A", "B"]) == pytest.approx(expected)
+
+
+class TestSMBGEstimates:
+    """The Section 8 estimate columns, against the paper's exact hand math."""
+
+    def test_sm_no_ptc(self, catalog_smbg, query_smbg):
+        estimator = JoinSizeEstimator(query_smbg, catalog_smbg, SM, apply_closure=False)
+        sizes = estimator.estimate_order(["S", "M", "B", "G"]).intermediate_sizes
+        for size in sizes:
+            assert size == pytest.approx(99.1, rel=0.01)
+
+    def test_sm_with_ptc_collapses(self, catalog_smbg, query_smbg):
+        estimator = JoinSizeEstimator(query_smbg, catalog_smbg, SM)
+        sizes = estimator.estimate_order(["S", "B", "M", "G"]).intermediate_sizes
+        assert sizes[0] == pytest.approx(0.2, rel=0.05)
+        assert sizes[1] == pytest.approx(4e-8, rel=0.1)
+        assert sizes[2] == pytest.approx(4e-21, rel=0.15)
+
+    def test_sss_with_ptc(self, catalog_smbg, query_smbg):
+        estimator = JoinSizeEstimator(query_smbg, catalog_smbg, SSS)
+        sizes = estimator.estimate_order(["S", "B", "M", "G"]).intermediate_sizes
+        assert sizes[0] == pytest.approx(0.2, rel=0.05)
+        assert sizes[1] == pytest.approx(4e-4, rel=0.1)
+        assert sizes[2] == pytest.approx(4e-7, rel=0.1)
+
+    def test_els_estimates_are_correct(self, catalog_smbg, query_smbg):
+        estimator = JoinSizeEstimator(query_smbg, catalog_smbg, ELS)
+        sizes = estimator.estimate_order(["B", "G", "M", "S"]).intermediate_sizes
+        for size in sizes:
+            assert size == pytest.approx(99.0, rel=0.02)

@@ -1,0 +1,143 @@
+"""Histogram-overlap join estimation tests (containment relaxation)."""
+
+import pytest
+
+from repro.catalog import ColumnStats, build_equi_depth, build_equi_width
+from repro.core.histjoin import histogram_join_selectivity, histogram_join_size
+from repro.core.skew import exact_join_size
+from repro.errors import EstimationError
+
+
+def stats_from_values(values, buckets=10, kind="depth"):
+    build = build_equi_depth if kind == "depth" else build_equi_width
+    return ColumnStats(
+        distinct=len(set(values)),
+        low=min(values),
+        high=max(values),
+        histogram=build(values, buckets),
+    )
+
+
+def range_only_stats(values):
+    return ColumnStats(distinct=len(set(values)), low=min(values), high=max(values))
+
+
+def truth(left_values, right_values):
+    left = {v: left_values.count(v) for v in set(left_values)}
+    right = {v: right_values.count(v) for v in set(right_values)}
+    return exact_join_size(left, right)
+
+
+class TestBasicShapes:
+    def test_identical_uniform_domains_near_equation_1(self):
+        left_values = list(range(1, 101)) * 5  # 500 rows, d=100
+        right_values = list(range(1, 101)) * 3  # 300 rows, d=100
+        left = stats_from_values(left_values)
+        right = stats_from_values(right_values)
+        size = histogram_join_size(500, left, 300, right)
+        equation_1 = 500 * 300 / 100
+        assert size == pytest.approx(equation_1, rel=0.15)
+        assert truth(left_values, right_values) == equation_1
+
+    def test_disjoint_domains_estimate_zero(self):
+        """The containment assumption's worst case, fixed."""
+        left = stats_from_values(list(range(1, 101)))
+        right = stats_from_values(list(range(1000, 1100)))
+        assert histogram_join_size(100, left, 100, right) == 0.0
+
+    def test_partial_overlap_beats_equation_1(self):
+        """Half-overlapping domains: Equation 1 ignores the offset entirely."""
+        left_values = list(range(1, 201)) * 5  # domain 1..200
+        right_values = list(range(101, 301)) * 5  # domain 101..300
+        left = stats_from_values(left_values, buckets=20)
+        right = stats_from_values(right_values, buckets=20)
+        exact = truth(left_values, right_values)  # only 100 shared values
+        histogram_estimate = histogram_join_size(1000, left, 1000, right)
+        equation_1 = 1000 * 1000 / 200
+        assert abs(histogram_estimate - exact) < abs(equation_1 - exact) / 3
+
+    def test_range_only_fallback(self):
+        """Min/max without histograms still capture the overlap."""
+        left = range_only_stats(list(range(1, 101)))
+        right = range_only_stats(list(range(1000, 1100)))
+        assert histogram_join_size(100, left, 100, right) == 0.0
+
+    def test_no_information_falls_back_to_equation_1(self):
+        left = ColumnStats(distinct=100)
+        right = ColumnStats(distinct=1000)
+        assert histogram_join_size(100, left, 1000, right) == pytest.approx(100.0)
+
+
+class TestEdgeCases:
+    def test_zero_rows(self):
+        stats = stats_from_values([1, 2, 3])
+        assert histogram_join_size(0, stats, 10, stats) == 0.0
+
+    def test_negative_rows_rejected(self):
+        stats = stats_from_values([1, 2, 3])
+        with pytest.raises(EstimationError):
+            histogram_join_size(-1, stats, 1, stats)
+
+    def test_single_value_domains(self):
+        left = stats_from_values([7] * 10)
+        right = stats_from_values([7] * 20)
+        size = histogram_join_size(10, left, 20, right)
+        assert size == pytest.approx(200.0)
+
+    def test_point_overlap(self):
+        left = stats_from_values(list(range(1, 11)))
+        right = stats_from_values(list(range(10, 21)))
+        size = histogram_join_size(10, left, 11, right)
+        # Only value 10 is shared: truth is 1.
+        assert 0.0 <= size <= 5.0
+
+    def test_equi_width_histograms_supported(self):
+        left = stats_from_values(list(range(1, 101)) * 2, kind="width")
+        right = stats_from_values(list(range(1, 101)) * 2, kind="width")
+        size = histogram_join_size(200, left, 200, right)
+        assert size == pytest.approx(400.0, rel=0.2)
+
+    def test_extra_segments_refine(self):
+        left = stats_from_values(list(range(1, 201)) * 5, buckets=4)
+        right = stats_from_values(list(range(101, 301)) * 5, buckets=4)
+        coarse = histogram_join_size(1000, left, 1000, right, segments=0)
+        fine = histogram_join_size(1000, left, 1000, right, segments=16)
+        exact = 100 * 5 * 5  # 100 shared values, 5 rows each side
+        assert abs(fine - exact) <= abs(coarse - exact) + 1e-9
+
+
+class TestSelectivity:
+    def test_bounded(self):
+        stats = stats_from_values([1] * 50)
+        selectivity = histogram_join_selectivity(50, stats, 50, stats)
+        assert 0.0 < selectivity <= 1.0
+
+    def test_zero_rows(self):
+        stats = stats_from_values([1, 2])
+        assert histogram_join_selectivity(0, stats, 5, stats) == 0.0
+
+
+class TestEstimatorIntegration:
+    def test_partial_overlap_through_estimator(self):
+        from repro.catalog import Catalog, TableSchema
+        from repro.catalog.collector import collect_table_stats
+        from repro.core import ELS, JoinSizeEstimator
+        from repro.sql import Projection, Query, join_predicate
+        from repro.storage import Table
+
+        left_values = list(range(1, 201)) * 5
+        right_values = list(range(101, 301)) * 5
+        catalog = Catalog()
+        for name, values in (("L", left_values), ("R", right_values)):
+            table = Table(TableSchema.of(name, "c"))
+            table.extend([(v,) for v in values])
+            catalog.register(table.schema, collect_table_stats(table, buckets=20))
+        query = Query.build(
+            ["L", "R"], [join_predicate("L", "c", "R", "c")], Projection(count_star=True)
+        )
+        plain = JoinSizeEstimator(query, catalog, ELS).estimate(["L", "R"])
+        extended = JoinSizeEstimator(
+            query, catalog, ELS.but(use_frequency_stats=True)
+        ).estimate(["L", "R"])
+        exact = truth(left_values, right_values)
+        assert abs(extended - exact) < abs(plain - exact) / 2

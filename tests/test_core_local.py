@@ -1,0 +1,251 @@
+"""Local predicate selectivity tests: single predicates and [16] combination."""
+
+import pytest
+
+from repro.catalog import ColumnStats, build_equi_depth, build_mcv
+from repro.core.local import (
+    DEFAULT_BETWEEN_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    ColumnFilterEffect,
+    combine_column_predicates,
+    constant_selectivity,
+)
+from repro.errors import EstimationError
+from repro.sql import Op, join_predicate, local_predicate
+
+
+def stats_uniform(distinct=1000, low=1, high=1000):
+    return ColumnStats(distinct=distinct, low=low, high=high)
+
+
+class TestEqualitySelectivity:
+    def test_uniformity_gives_one_over_d(self):
+        pred = local_predicate("R", "x", Op.EQ, 5)
+        assert constant_selectivity(pred, stats_uniform()) == pytest.approx(1 / 1000)
+
+    def test_mcv_exact_fraction_wins(self):
+        mcv = build_mcv([1] * 90 + [2] * 10, k=2)
+        stats = ColumnStats(distinct=2, low=1, high=2, mcv=mcv)
+        pred = local_predicate("R", "x", Op.EQ, 1)
+        assert constant_selectivity(pred, stats) == pytest.approx(0.9)
+
+    def test_equality_outside_range_is_zero(self):
+        pred = local_predicate("R", "x", Op.EQ, 5000)
+        assert constant_selectivity(pred, stats_uniform()) == 0.0
+
+    def test_ne_complements_eq(self):
+        eq = constant_selectivity(local_predicate("R", "x", Op.EQ, 5), stats_uniform())
+        ne = constant_selectivity(local_predicate("R", "x", Op.NE, 5), stats_uniform())
+        assert eq + ne == pytest.approx(1.0)
+
+    def test_string_equality_uses_distinct(self):
+        stats = ColumnStats(distinct=50)
+        pred = local_predicate("R", "name", Op.EQ, "bob")
+        assert constant_selectivity(pred, stats) == pytest.approx(1 / 50)
+
+
+class TestRangeSelectivity:
+    def test_paper_experiment_selectivity(self):
+        """s < 100 over domain 1..1000 with d=1000 -> ~0.099 (99 values)."""
+        pred = local_predicate("S", "s", Op.LT, 100)
+        selectivity = constant_selectivity(pred, stats_uniform())
+        assert selectivity == pytest.approx(99 / 999, rel=1e-6)
+
+    def test_le_adds_one_value(self):
+        lt = constant_selectivity(local_predicate("R", "x", Op.LT, 100), stats_uniform())
+        le = constant_selectivity(local_predicate("R", "x", Op.LE, 100), stats_uniform())
+        assert le == pytest.approx(lt + 1 / 1000)
+
+    def test_gt_ge_symmetry(self):
+        ge = constant_selectivity(local_predicate("R", "x", Op.GE, 100), stats_uniform())
+        lt = constant_selectivity(local_predicate("R", "x", Op.LT, 100), stats_uniform())
+        assert ge + lt == pytest.approx(1.0)
+
+    def test_below_domain_clamps(self):
+        assert (
+            constant_selectivity(local_predicate("R", "x", Op.LT, -5), stats_uniform())
+            == 0.0
+        )
+        assert (
+            constant_selectivity(local_predicate("R", "x", Op.GE, -5), stats_uniform())
+            == 1.0
+        )
+
+    def test_histogram_preferred_over_uniformity(self):
+        # Heavily skewed data: uniformity says ~0.5, histogram knows better.
+        values = [1] * 900 + list(range(2, 102))
+        hist = build_equi_depth(values, buckets=10)
+        stats = ColumnStats(distinct=101, low=1, high=101, histogram=hist)
+        pred = local_predicate("R", "x", Op.LE, 1)
+        selectivity = constant_selectivity(pred, stats)
+        assert selectivity > 0.5  # uniformity would give ~0.01
+
+    def test_default_when_no_information(self):
+        stats = ColumnStats(distinct=0)
+        pred = local_predicate("R", "x", Op.LT, 10)
+        assert constant_selectivity(pred, stats) == DEFAULT_RANGE_SELECTIVITY
+
+    def test_single_value_domain(self):
+        stats = ColumnStats(distinct=1, low=7, high=7)
+        assert (
+            constant_selectivity(local_predicate("R", "x", Op.LT, 10), stats) == 1.0
+        )
+        assert constant_selectivity(local_predicate("R", "x", Op.GT, 10), stats) == 0.0
+
+    def test_join_predicate_rejected(self):
+        with pytest.raises(EstimationError):
+            constant_selectivity(join_predicate("R", "x", "S", "y"), stats_uniform())
+
+
+class TestCombination:
+    """The [16] rules: most restrictive equality, else tightest range pair."""
+
+    def test_single_predicate_passthrough(self):
+        effect = combine_column_predicates(
+            "x", [local_predicate("R", "x", Op.LT, 100)], stats_uniform()
+        )
+        assert effect.selectivity == pytest.approx(99 / 999, rel=1e-6)
+        assert effect.distinct_after == pytest.approx(1000 * 99 / 999, rel=1e-6)
+
+    def test_equality_dominates_ranges(self):
+        effect = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.LT, 100),
+                local_predicate("R", "x", Op.EQ, 50),
+            ],
+            stats_uniform(),
+        )
+        assert effect.selectivity == pytest.approx(1 / 1000)
+        assert effect.distinct_after == 1.0
+
+    def test_contradictory_equalities_zero(self):
+        effect = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.EQ, 5),
+                local_predicate("R", "x", Op.EQ, 7),
+            ],
+            stats_uniform(),
+        )
+        assert effect.selectivity == 0.0
+        assert effect.distinct_after == 0.0
+
+    def test_equality_violating_range_zero(self):
+        effect = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.EQ, 500),
+                local_predicate("R", "x", Op.LT, 100),
+            ],
+            stats_uniform(),
+        )
+        assert effect.selectivity == 0.0
+
+    def test_equality_violating_ne_zero(self):
+        effect = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.EQ, 5),
+                local_predicate("R", "x", Op.NE, 5),
+            ],
+            stats_uniform(),
+        )
+        assert effect.selectivity == 0.0
+
+    def test_tightest_bounds_selected(self):
+        # x > 100 AND x > 300 AND x < 900 AND x < 700 -> (300, 700)
+        effect = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.GT, 100),
+                local_predicate("R", "x", Op.GT, 300),
+                local_predicate("R", "x", Op.LT, 900),
+                local_predicate("R", "x", Op.LT, 700),
+            ],
+            stats_uniform(),
+        )
+        expected = (700 - 300) / 999 - 1 / 1000  # interval interior
+        assert effect.selectivity == pytest.approx(expected, rel=0.05)
+
+    def test_empty_interval_zero(self):
+        effect = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.GT, 700),
+                local_predicate("R", "x", Op.LT, 300),
+            ],
+            stats_uniform(),
+        )
+        assert effect.selectivity == 0.0
+
+    def test_touching_bounds_need_both_inclusive(self):
+        closed = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.GE, 500),
+                local_predicate("R", "x", Op.LE, 500),
+            ],
+            stats_uniform(),
+        )
+        open_ = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.GT, 500),
+                local_predicate("R", "x", Op.LT, 500),
+            ],
+            stats_uniform(),
+        )
+        assert closed.selectivity > 0.0
+        assert open_.selectivity == 0.0
+
+    def test_redundant_duplicate_range_not_double_counted(self):
+        once = combine_column_predicates(
+            "x", [local_predicate("R", "x", Op.LT, 500)], stats_uniform()
+        )
+        twice = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.LT, 500),
+                local_predicate("R", "x", Op.LT, 500),
+            ],
+            stats_uniform(),
+        )
+        assert twice.selectivity == pytest.approx(once.selectivity)
+
+    def test_ne_predicates_multiply(self):
+        effect = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.LT, 500),
+                local_predicate("R", "x", Op.NE, 100),
+            ],
+            stats_uniform(),
+        )
+        base = combine_column_predicates(
+            "x", [local_predicate("R", "x", Op.LT, 500)], stats_uniform()
+        )
+        assert effect.selectivity == pytest.approx(base.selectivity * (1 - 1 / 1000))
+
+    def test_between_default_without_stats(self):
+        stats = ColumnStats(distinct=0)
+        effect = combine_column_predicates(
+            "x",
+            [
+                local_predicate("R", "x", Op.GT, 1),
+                local_predicate("R", "x", Op.LT, 9),
+            ],
+            stats,
+        )
+        assert effect.selectivity == DEFAULT_BETWEEN_SELECTIVITY
+
+    def test_wrong_column_rejected(self):
+        with pytest.raises(EstimationError):
+            combine_column_predicates(
+                "x", [local_predicate("R", "y", Op.LT, 5)], stats_uniform()
+            )
+
+    def test_effect_is_value_object(self):
+        effect = ColumnFilterEffect("x", 0.5, 10.0)
+        assert effect.column == "x"
+        assert effect.selectivity == 0.5

@@ -1,0 +1,154 @@
+"""Join selectivity and combination-rule tests."""
+
+import pytest
+
+from repro.core.config import ELS, EstimatorConfig, SelectivityRule
+from repro.core.rules import (
+    combine_all,
+    combine_class_selectivities,
+    derive_representative,
+    join_selectivity,
+)
+from repro.errors import EstimationError
+
+
+class TestJoinSelectivity:
+    def test_equation_2(self):
+        """S_J = 1 / max(d1, d2)."""
+        assert join_selectivity(10, 100) == pytest.approx(0.01)
+        assert join_selectivity(100, 10) == pytest.approx(0.01)
+
+    def test_example_1b_selectivities(self):
+        assert join_selectivity(10, 100) == pytest.approx(0.01)  # J1
+        assert join_selectivity(100, 1000) == pytest.approx(0.001)  # J2
+        assert join_selectivity(10, 1000) == pytest.approx(0.001)  # J3
+
+    def test_zero_cardinality_gives_zero(self):
+        assert join_selectivity(0, 0) == 0.0
+
+    def test_fractional_cardinalities(self):
+        assert join_selectivity(0.5, 2.0) == pytest.approx(0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EstimationError):
+            join_selectivity(-1, 5)
+
+
+class TestCombineClass:
+    SELECTIVITIES = [0.01, 0.001, 0.005]
+
+    def test_multiplicative(self):
+        result = combine_class_selectivities(
+            self.SELECTIVITIES, SelectivityRule.MULTIPLICATIVE
+        )
+        assert result == pytest.approx(0.01 * 0.001 * 0.005)
+
+    def test_smallest(self):
+        assert combine_class_selectivities(
+            self.SELECTIVITIES, SelectivityRule.SMALLEST
+        ) == pytest.approx(0.001)
+
+    def test_largest(self):
+        assert combine_class_selectivities(
+            self.SELECTIVITIES, SelectivityRule.LARGEST
+        ) == pytest.approx(0.01)
+
+    def test_representative_uses_given_value(self):
+        assert (
+            combine_class_selectivities(
+                self.SELECTIVITIES, SelectivityRule.REPRESENTATIVE, representative=0.5
+            )
+            == 0.5
+        )
+
+    def test_representative_requires_value(self):
+        with pytest.raises(EstimationError):
+            combine_class_selectivities(
+                self.SELECTIVITIES, SelectivityRule.REPRESENTATIVE
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            combine_class_selectivities([], SelectivityRule.LARGEST)
+
+    def test_single_selectivity_rule_independent(self):
+        for rule in (
+            SelectivityRule.MULTIPLICATIVE,
+            SelectivityRule.SMALLEST,
+            SelectivityRule.LARGEST,
+        ):
+            assert combine_class_selectivities([0.25], rule) == 0.25
+
+    def test_rule_ordering_invariant(self):
+        """Within one class: M <= SS <= LS always (selectivities <= 1)."""
+        values = [0.3, 0.01, 0.2]
+        m = combine_class_selectivities(values, SelectivityRule.MULTIPLICATIVE)
+        ss = combine_class_selectivities(values, SelectivityRule.SMALLEST)
+        ls = combine_class_selectivities(values, SelectivityRule.LARGEST)
+        assert m <= ss <= ls
+
+
+class TestCombineAll:
+    def test_classes_multiply(self):
+        config = EstimatorConfig(rule=SelectivityRule.LARGEST)
+        result = combine_all({"c1": [0.1, 0.2], "c2": [0.5]}, config)
+        assert result == pytest.approx(0.2 * 0.5)
+
+    def test_representative_from_config_constant(self):
+        config = EstimatorConfig(
+            rule=SelectivityRule.REPRESENTATIVE, representative_selectivity=0.25
+        )
+        result = combine_all({"c1": [0.1, 0.2]}, config)
+        assert result == 0.25
+
+    def test_representative_mapping_overrides(self):
+        config = EstimatorConfig(rule=SelectivityRule.REPRESENTATIVE)
+        result = combine_all({"c1": [0.1]}, config, representatives={"c1": 0.4})
+        assert result == 0.4
+
+    def test_empty_mapping_is_identity(self):
+        assert combine_all({}, ELS) == 1.0
+
+
+class TestDeriveRepresentative:
+    def test_smallest_and_largest(self):
+        assert derive_representative([0.1, 0.5], "smallest") == 0.1
+        assert derive_representative([0.1, 0.5], "largest") == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            derive_representative([], "smallest")
+
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(EstimationError):
+            derive_representative([0.1], "median")
+
+
+class TestConfig:
+    def test_paper_presets(self):
+        from repro.core.config import SM, SSS
+
+        assert ELS.rule is SelectivityRule.LARGEST
+        assert ELS.fold_local_into_columns and ELS.handle_single_table_jequiv
+        assert SM.rule is SelectivityRule.MULTIPLICATIVE
+        assert not SM.fold_local_into_columns
+        assert SSS.rule is SelectivityRule.SMALLEST
+
+    def test_but_creates_modified_copy(self):
+        ablated = ELS.but(use_urn_model=False)
+        assert not ablated.use_urn_model
+        assert ELS.use_urn_model  # original untouched
+
+    def test_invalid_representative_choice(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(representative_choice="mean")
+
+    def test_invalid_representative_selectivity(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(representative_selectivity=0.0)
+        with pytest.raises(ValueError):
+            EstimatorConfig(representative_selectivity=1.5)
+
+    def test_invalid_default_join_selectivity(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(default_join_selectivity=0.0)

@@ -1,0 +1,177 @@
+"""Skew-aware join estimation tests (the Section 9 future-work extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import ColumnStats, build_mcv
+from repro.core import ELS, JoinSizeEstimator
+from repro.core.skew import (
+    exact_join_size,
+    frequency_join_selectivity,
+    frequency_join_size,
+)
+from repro.errors import EstimationError
+
+
+def stats_for(values, mcv_k=0):
+    mcv = build_mcv(values, mcv_k) if mcv_k else None
+    numeric = all(isinstance(v, (int, float)) for v in values)
+    return ColumnStats(
+        distinct=len(set(values)),
+        low=min(values) if numeric and values else None,
+        high=max(values) if numeric and values else None,
+        mcv=mcv,
+    )
+
+
+class TestExactJoinSize:
+    def test_matches_brute_force(self):
+        left = {1: 3, 2: 1, 5: 2}
+        right = {1: 2, 5: 4, 9: 1}
+        brute = sum(
+            left.get(v, 0) * right.get(v, 0) for v in set(left) | set(right)
+        )
+        assert exact_join_size(left, right) == brute == 14
+
+    def test_disjoint_domains(self):
+        assert exact_join_size({1: 5}, {2: 5}) == 0
+
+    def test_empty_side(self):
+        assert exact_join_size({}, {1: 10}) == 0
+
+    @given(
+        left=st.lists(st.integers(min_value=0, max_value=6), max_size=40),
+        right=st.lists(st.integers(min_value=0, max_value=6), max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_identity_against_lists(self, left, right):
+        left_freq = {v: left.count(v) for v in set(left)}
+        right_freq = {v: right.count(v) for v in set(right)}
+        brute = sum(left.count(v) * right.count(v) for v in set(left) | set(right))
+        assert exact_join_size(left_freq, right_freq) == brute
+
+
+class TestFrequencyJoinSize:
+    def test_degenerates_to_equation_1_without_mcvs(self):
+        left = stats_for(list(range(1, 101)))
+        right = stats_for(list(range(1, 1001)))
+        size = frequency_join_size(100, left, 1000, right)
+        assert size == pytest.approx(100 * 1000 / 1000)
+
+    def test_full_mcv_coverage_is_exact(self):
+        """When the MCV lists cover every value, the estimate is exact."""
+        left_values = [1] * 50 + [2] * 30 + [3] * 20
+        right_values = [1] * 5 + [2] * 10 + [4] * 85
+        left = stats_for(left_values, mcv_k=10)
+        right = stats_for(right_values, mcv_k=10)
+        size = frequency_join_size(100, left, 100, right)
+        exact = 50 * 5 + 30 * 10
+        assert size == pytest.approx(exact)
+
+    def test_skewed_vs_uniform_assumption(self):
+        """Zipf-ish data: Equation 1 badly underestimates the hot-value
+        mass; the frequency estimate recovers it."""
+        rng = np.random.default_rng(4)
+        left_values = [1] * 900 + list(range(2, 102))
+        right_values = [1] * 800 + list(range(2, 202))
+        exact = exact_join_size(
+            {v: left_values.count(v) for v in set(left_values)},
+            {v: right_values.count(v) for v in set(right_values)},
+        )
+        uniform_estimate = len(left_values) * len(right_values) / 201
+        left = stats_for(left_values, mcv_k=5)
+        right = stats_for(right_values, mcv_k=5)
+        frequency_estimate = frequency_join_size(
+            len(left_values), left, len(right_values), right
+        )
+        assert abs(frequency_estimate - exact) < abs(uniform_estimate - exact) / 10
+
+    def test_zero_rows(self):
+        left = stats_for([1, 2], mcv_k=2)
+        right = stats_for([1, 2], mcv_k=2)
+        assert frequency_join_size(0, left, 10, right) == 0.0
+
+    def test_negative_rows_rejected(self):
+        left = stats_for([1])
+        with pytest.raises(EstimationError):
+            frequency_join_size(-1, left, 1, left)
+
+    def test_mcv_counts_scaled_to_effective_rows(self):
+        """After a 50% local selection, MCV frequencies halve."""
+        values = [1] * 80 + [2] * 20
+        stats = stats_for(values, mcv_k=2)
+        other = stats_for(list(range(1, 11)))
+        full = frequency_join_size(100, stats, 10, other)
+        halved = frequency_join_size(50, stats, 10, other)
+        assert halved == pytest.approx(full / 2)
+
+
+class TestFrequencySelectivity:
+    def test_bounded_by_one(self):
+        values = [1] * 100
+        stats = stats_for(values, mcv_k=1)
+        assert frequency_join_selectivity(100, stats, 100, stats) == 1.0
+
+    def test_zero_for_empty_side(self):
+        stats = stats_for([1], mcv_k=1)
+        assert frequency_join_selectivity(0, stats, 5, stats) == 0.0
+
+
+class TestEstimatorIntegration:
+    def build(self, mcv_k, histogram=None):
+        """A 2-table join with one hot value on each side."""
+        from repro.catalog import Catalog, HistogramKind, TableSchema, TableStats
+        from repro.catalog.collector import collect_table_stats
+        from repro.sql import Projection, Query, join_predicate
+        from repro.storage import Table
+
+        kind = histogram if histogram is not None else HistogramKind.EQUI_DEPTH
+        left_values = [1] * 500 + list(range(2, 502))
+        right_values = [1] * 300 + list(range(2, 702))
+        catalog = Catalog()
+        for name, values in (("L", left_values), ("R", right_values)):
+            table = Table(TableSchema.of(name, "c"))
+            table.extend([(v,) for v in values])
+            catalog.register(
+                table.schema, collect_table_stats(table, kind, mcv_k=mcv_k)
+            )
+        query = Query.build(
+            ["L", "R"], [join_predicate("L", "c", "R", "c")], Projection(count_star=True)
+        )
+        truth = exact_join_size(
+            {v: left_values.count(v) for v in set(left_values)},
+            {v: right_values.count(v) for v in set(right_values)},
+        )
+        return catalog, query, truth
+
+    def test_extension_beats_equation_2_on_hot_values(self):
+        catalog, query, truth = self.build(mcv_k=5)
+        plain = JoinSizeEstimator(query, catalog, ELS).estimate(["L", "R"])
+        extended = JoinSizeEstimator(
+            query, catalog, ELS.but(use_frequency_stats=True)
+        ).estimate(["L", "R"])
+        assert abs(extended - truth) < abs(plain - truth) / 10
+
+    def test_extension_inert_without_distribution_stats(self):
+        from repro.catalog import HistogramKind
+
+        catalog, query, _ = self.build(mcv_k=0, histogram=HistogramKind.NONE)
+        plain = JoinSizeEstimator(query, catalog, ELS).estimate(["L", "R"])
+        extended = JoinSizeEstimator(
+            query, catalog, ELS.but(use_frequency_stats=True)
+        ).estimate(["L", "R"])
+        assert plain == pytest.approx(extended)
+
+    def test_extension_harmless_on_uniform_keys(self):
+        from repro.core import SM
+        from repro.workloads import smbg_catalog, smbg_query
+
+        catalog = smbg_catalog(scale=0.1)
+        query = smbg_query(threshold=10)
+        plain = JoinSizeEstimator(query, catalog, ELS).estimate(["S", "M", "B", "G"])
+        extended = JoinSizeEstimator(
+            query, catalog, ELS.but(use_frequency_stats=True)
+        ).estimate(["S", "M", "B", "G"])
+        assert plain == pytest.approx(extended)

@@ -1,0 +1,123 @@
+"""Urn model tests: the paper's Section 5 anchors plus invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.urn import expected_distinct, proportional_distinct, urn_distinct
+
+
+class TestPaperAnchors:
+    def test_section5_numeric_example(self):
+        """d_x = 10000, ||R|| = 100000, ||R||' = 50000 -> urn gives 9933."""
+        assert urn_distinct(10000, 50000) == 9933
+
+    def test_section5_proportional_comparison(self):
+        """The 'other common estimate' gives 5000 on the same numbers."""
+        assert proportional_distinct(10000, 50000, 100000) == 5000.0
+
+    def test_section5_full_selection(self):
+        """||R||' = ||R|| -> urn estimate is (essentially) d_x = 10000."""
+        assert urn_distinct(10000, 100000) == 10000
+
+    def test_section6_group_cardinality(self):
+        """d_y = 10, ||R2||' = 20 -> ceil(10 * (1 - 0.9^20)) = 9."""
+        assert urn_distinct(10, 20) == 9
+
+
+class TestExpectedDistinct:
+    def test_zero_rows(self):
+        assert expected_distinct(100, 0) == 0.0
+
+    def test_zero_urns(self):
+        assert expected_distinct(0, 10) == 0.0
+
+    def test_single_urn(self):
+        assert expected_distinct(1, 5) == 1.0
+
+    def test_one_ball(self):
+        assert expected_distinct(10, 1) == pytest.approx(1.0)
+
+    def test_closed_form_matches_direct_power(self):
+        n, k = 50, 120
+        direct = n * (1 - (1 - 1 / n) ** k)
+        assert expected_distinct(n, k) == pytest.approx(direct, rel=1e-12)
+
+    def test_fractional_rows_accepted(self):
+        value = expected_distinct(10, 2.5)
+        assert 0 < value < 10
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            expected_distinct(-1, 5)
+        with pytest.raises(ValueError):
+            expected_distinct(5, -1)
+
+    def test_numerically_stable_for_huge_inputs(self):
+        value = expected_distinct(10**9, 10**12)
+        assert value == pytest.approx(10**9, rel=1e-6)
+        assert not math.isnan(value)
+
+
+class TestUrnDistinct:
+    def test_never_exceeds_distinct(self):
+        assert urn_distinct(10, 10**9) == 10
+
+    def test_ceiling_applied(self):
+        # E = 10 * (1 - 0.9^2) = 1.9 -> ceil -> 2
+        assert urn_distinct(10, 2) == 2
+
+    def test_zero_cases(self):
+        assert urn_distinct(0, 5) == 0
+        assert urn_distinct(5, 0) == 0
+
+
+class TestProportional:
+    def test_full_selection_is_identity(self):
+        assert proportional_distinct(100, 1000, 1000) == 100.0
+
+    def test_clamped_at_full(self):
+        assert proportional_distinct(100, 2000, 1000) == 100.0
+
+    def test_empty_table(self):
+        assert proportional_distinct(10, 0, 0) == 0.0
+        with pytest.raises(ValueError):
+            proportional_distinct(10, 5, 0)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=10**6),
+        k=st.integers(min_value=0, max_value=10**7),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_bounds(self, n, k):
+        """0 <= E <= min(n, k) always (cannot fill more urns than balls)."""
+        value = expected_distinct(n, k)
+        assert 0.0 <= value <= min(n, k) + 1e-9
+
+    @given(
+        n=st.integers(min_value=2, max_value=10**4),
+        k=st.integers(min_value=1, max_value=10**5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_balls(self, n, k):
+        assert expected_distinct(n, k + 1) >= expected_distinct(n, k)
+
+    @given(
+        k=st.integers(min_value=2, max_value=10**5),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_urn_at_least_proportional_in_papers_regime(self, k, data):
+        """Selecting half the rows of a table with >= 2 rows per distinct
+        value keeps more distincts than proportional scaling suggests —
+        the Section 5 comparison (9933 vs 5000) generalizes throughout
+        this regime (k = N/2, rows-per-value N/n >= 2)."""
+        n = data.draw(st.integers(min_value=1, max_value=k))
+        total = 2 * k
+        urn = expected_distinct(n, k)
+        proportional = proportional_distinct(n, k, total)
+        assert urn >= proportional - 1e-9

@@ -1,0 +1,122 @@
+"""Property tests for effective-statistics invariants (Sections 5-6).
+
+Whatever the local predicates, effective statistics must stay physically
+meaningful: row counts cannot grow or go negative, effective column
+cardinalities cannot exceed their originals or the effective row count's
+ceiling, and a group's effective cardinality cannot exceed its smallest
+member.  Hypothesis sweeps statistics and predicate mixes.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import TableStats
+from repro.core import ELS, EquivalenceClasses, compute_effective_table
+from repro.sql import Op, column_equality, local_predicate
+
+
+@st.composite
+def table_with_predicates(draw):
+    rows = draw(st.integers(min_value=1, max_value=10**6))
+    n_columns = draw(st.integers(min_value=1, max_value=4))
+    distincts = {
+        f"c{i}": draw(st.integers(min_value=1, max_value=rows))
+        for i in range(n_columns)
+    }
+    predicates = []
+    for name, distinct in distincts.items():
+        if draw(st.booleans()):
+            op = draw(st.sampled_from([Op.EQ, Op.LT, Op.LE, Op.GT, Op.GE, Op.NE]))
+            constant = draw(st.integers(min_value=-5, max_value=distinct + 5))
+            predicates.append(local_predicate("R", name, op, constant))
+    return rows, distincts, predicates
+
+
+class TestSection5Invariants:
+    @given(config=table_with_predicates())
+    @settings(max_examples=120, deadline=None)
+    def test_rows_bounded(self, config):
+        rows, distincts, predicates = config
+        stats = TableStats.simple(rows, distincts)
+        equivalence = EquivalenceClasses.from_predicates(predicates)
+        effective = compute_effective_table("R", stats, predicates, equivalence, ELS)
+        assert 0.0 <= effective.rows <= rows + 1e-9
+        assert 0.0 <= effective.rows_after_constants <= rows + 1e-9
+        assert 0.0 <= effective.local_selectivity <= 1.0 + 1e-12
+
+    @given(config=table_with_predicates())
+    @settings(max_examples=120, deadline=None)
+    def test_column_cardinalities_bounded(self, config):
+        rows, distincts, predicates = config
+        stats = TableStats.simple(rows, distincts)
+        equivalence = EquivalenceClasses.from_predicates(predicates)
+        effective = compute_effective_table("R", stats, predicates, equivalence, ELS)
+        for name, original in distincts.items():
+            d = effective.distinct(name)
+            assert 0.0 <= d <= original + 1e-9
+            # A column cannot retain more distinct values than rows remain
+            # (ceil, since paper formulas round up).
+            assert d <= math.ceil(effective.rows_after_constants) + 1e-9 or d <= 1.0
+
+    @given(config=table_with_predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_standard_config_never_touches_columns(self, config):
+        from repro.core import SM
+
+        rows, distincts, predicates = config
+        stats = TableStats.simple(rows, distincts)
+        equivalence = EquivalenceClasses.from_predicates(predicates)
+        effective = compute_effective_table("R", stats, predicates, equivalence, SM)
+        for name, original in distincts.items():
+            assert effective.distinct(name) == float(original)
+
+
+class TestSection6Invariants:
+    @given(
+        rows=st.integers(min_value=1, max_value=10**5),
+        d_pairs=st.lists(
+            st.integers(min_value=1, max_value=1000), min_size=2, max_size=4
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_group_invariants(self, rows, d_pairs):
+        distincts = {
+            f"g{i}": min(d, rows) for i, d in enumerate(d_pairs)
+        }
+        names = list(distincts)
+        stats = TableStats.simple(rows, distincts)
+        predicates = [
+            column_equality("R", names[i], names[i + 1])
+            for i in range(len(names) - 1)
+        ]
+        equivalence = EquivalenceClasses.from_predicates(predicates)
+        effective = compute_effective_table("R", stats, predicates, equivalence, ELS)
+        (group,) = effective.groups
+        smallest = min(distincts.values())
+        assert 0.0 <= group.distinct <= smallest
+        assert effective.rows <= rows
+        # Paper formula: rows divided by all ds except the smallest, ceiled.
+        divisor = 1.0
+        for d in sorted(distincts.values())[1:]:
+            divisor *= d
+        assert effective.rows == float(math.ceil(rows / divisor))
+
+    @given(
+        rows=st.integers(min_value=1, max_value=10**4),
+        d1=st.integers(min_value=1, max_value=100),
+        d2=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_group_matches_two_column_formula(self, rows, d1, d2):
+        d1, d2 = min(d1, rows), min(d2, rows)
+        stats = TableStats.simple(rows, {"y": d1, "w": d2})
+        predicate = column_equality("R", "y", "w")
+        equivalence = EquivalenceClasses.from_predicates([predicate])
+        effective = compute_effective_table(
+            "R", stats, [predicate], equivalence, ELS
+        )
+        expected_rows = math.ceil(rows / max(d1, d2))
+        assert effective.rows == float(expected_rows)

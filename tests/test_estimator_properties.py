@@ -1,0 +1,199 @@
+"""Property-based tests for the estimator's core guarantees.
+
+The central theorem of the paper (Section 7): under the stated assumptions
+and with full transitive closure, Rule LS computes, incrementally and for
+*every* join order, the closed-form result size of Equation 3.  Hypothesis
+checks this over random statistics, together with the M <= SS <= LS
+dominance ordering that explains why the baselines underestimate.
+"""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog
+from repro.core import ELS, SM, SSS, JoinSizeEstimator
+from repro.sql import Projection, Query, join_predicate
+
+MAX_TABLES = 5
+
+
+@st.composite
+def chain_statistics(draw, min_tables=2, max_tables=MAX_TABLES):
+    """Random (rows, distinct) pairs for a single-class chain query."""
+    n = draw(st.integers(min_value=min_tables, max_value=max_tables))
+    stats = []
+    for _ in range(n):
+        rows = draw(st.integers(min_value=1, max_value=10**6))
+        distinct = draw(st.integers(min_value=1, max_value=rows))
+        stats.append((rows, distinct))
+    return stats
+
+
+def build_chain(stats):
+    """Catalog + chain query T1.c = T2.c = ... from (rows, distinct) pairs."""
+    catalog = Catalog.from_stats(
+        {
+            f"T{i}": (rows, {"c": distinct})
+            for i, (rows, distinct) in enumerate(stats, start=1)
+        }
+    )
+    names = [f"T{i}" for i in range(1, len(stats) + 1)]
+    predicates = [
+        join_predicate(names[i], "c", names[i + 1], "c")
+        for i in range(len(names) - 1)
+    ]
+    query = Query.build(names, predicates, Projection(count_star=True))
+    return catalog, query
+
+
+def equation_3(stats):
+    """prod(rows) / prod(all distincts except the smallest)."""
+    rows = 1.0
+    for r, _ in stats:
+        rows *= r
+    distincts = sorted(d for _, d in stats)
+    for d in distincts[1:]:
+        rows = rows / d if d > 0 else 0.0
+    return rows
+
+
+class TestRuleLSMatchesClosedForm:
+    @given(stats=chain_statistics())
+    @settings(max_examples=100, deadline=None)
+    def test_els_equals_equation_3_for_every_order(self, stats):
+        catalog, query = build_chain(stats)
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        expected = equation_3(stats)
+        names = list(query.tables)
+        for order in itertools.permutations(names):
+            estimate = estimator.estimate(list(order))
+            assert estimate == pytest.approx(expected, rel=1e-9)
+
+    @given(stats=chain_statistics())
+    @settings(max_examples=100, deadline=None)
+    def test_closed_form_oracle_agrees(self, stats):
+        catalog, query = build_chain(stats)
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        assert estimator.closed_form() == pytest.approx(equation_3(stats), rel=1e-9)
+
+    @given(stats=chain_statistics())
+    @settings(max_examples=60, deadline=None)
+    def test_els_prefix_estimates_match_prefix_closed_form(self, stats):
+        catalog, query = build_chain(stats)
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        names = list(query.tables)
+        result = estimator.estimate_order(names)
+        for k in range(2, len(names) + 1):
+            prefix_expected = equation_3(stats[:k])
+            assert result.steps[k - 1].rows == pytest.approx(
+                prefix_expected, rel=1e-9
+            )
+
+
+class TestRuleDominance:
+    @given(stats=chain_statistics(min_tables=3))
+    @settings(max_examples=100, deadline=None)
+    def test_m_le_ss_le_ls(self, stats):
+        """Rule M never estimates above Rule SS, which never estimates
+        above Rule LS — the paper's underestimation story, universally."""
+        catalog, query = build_chain(stats)
+        order = list(query.tables)
+        m = JoinSizeEstimator(query, catalog, SM).estimate(order)
+        ss = JoinSizeEstimator(query, catalog, SSS).estimate(order)
+        ls = JoinSizeEstimator(query, catalog, ELS).estimate(order)
+        assert m <= ss * (1 + 1e-9)
+        assert ss <= ls * (1 + 1e-9)
+
+    @given(stats=chain_statistics(min_tables=3))
+    @settings(max_examples=60, deadline=None)
+    def test_ls_never_underestimates_equation_3(self, stats):
+        """LS is exact, so in particular it never falls below the closed
+        form; M and SS never exceed it (single class, chain order)."""
+        catalog, query = build_chain(stats)
+        order = list(query.tables)
+        expected = equation_3(stats)
+        assert JoinSizeEstimator(query, catalog, ELS).estimate(
+            order
+        ) == pytest.approx(expected, rel=1e-9)
+        assert (
+            JoinSizeEstimator(query, catalog, SM).estimate(order)
+            <= expected * (1 + 1e-9)
+        )
+
+
+class TestMultipleClasses:
+    @given(
+        fact_rows=st.integers(min_value=10, max_value=10**5),
+        dims=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10**4),  # dim rows
+                st.integers(min_value=1, max_value=10**4),  # fk distinct
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_star_query_classes_multiply(self, fact_rows, dims):
+        """With one class per dimension, the estimate is the product of
+        independent per-class reductions (the independence assumption)."""
+        entries = {}
+        fact_columns = {}
+        predicates = []
+        expected = float(fact_rows)
+        names = ["F"]
+        for i, (dim_rows, fk_distinct) in enumerate(dims, start=1):
+            fk_distinct = min(fk_distinct, fact_rows)
+            key_distinct = dim_rows  # key column
+            fact_columns[f"fk{i}"] = fk_distinct
+            entries[f"D{i}"] = (dim_rows, {"k": key_distinct})
+            predicates.append(join_predicate("F", f"fk{i}", f"D{i}", "k"))
+            names.append(f"D{i}")
+            expected *= dim_rows / max(fk_distinct, key_distinct)
+        entries["F"] = (fact_rows, fact_columns)
+        catalog = Catalog.from_stats(entries)
+        query = Query.build(names, predicates, Projection(count_star=True))
+        estimate = JoinSizeEstimator(query, catalog, ELS).estimate(names)
+        assert estimate == pytest.approx(expected, rel=1e-9)
+
+    @given(stats=chain_statistics(min_tables=3, max_tables=4))
+    @settings(max_examples=40, deadline=None)
+    def test_clique_phrasing_equals_chain_phrasing(self, stats):
+        """Closure makes chain and clique spellings estimate identically."""
+        catalog, chain_query = build_chain(stats)
+        names = list(chain_query.tables)
+        clique_predicates = [
+            join_predicate(a, "c", b, "c")
+            for a, b in itertools.combinations(names, 2)
+        ]
+        clique_query = Query.build(names, clique_predicates, Projection(count_star=True))
+        chain_estimate = JoinSizeEstimator(chain_query, catalog, ELS).estimate(names)
+        clique_estimate = JoinSizeEstimator(clique_query, catalog, ELS).estimate(names)
+        assert chain_estimate == pytest.approx(clique_estimate, rel=1e-9)
+
+
+class TestSanityInvariants:
+    @given(stats=chain_statistics())
+    @settings(max_examples=60, deadline=None)
+    def test_estimates_are_finite_and_nonnegative(self, stats):
+        catalog, query = build_chain(stats)
+        for config in (ELS, SM, SSS):
+            estimate = JoinSizeEstimator(query, catalog, config).estimate(
+                list(query.tables)
+            )
+            assert estimate >= 0.0
+            assert math.isfinite(estimate)
+
+    @given(stats=chain_statistics())
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_bounded_by_cartesian_product(self, stats):
+        catalog, query = build_chain(stats)
+        cartesian = 1.0
+        for rows, _ in stats:
+            cartesian *= rows
+        estimate = JoinSizeEstimator(query, catalog, ELS).estimate(list(query.tables))
+        assert estimate <= cartesian * (1 + 1e-9)

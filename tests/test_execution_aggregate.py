@@ -1,0 +1,123 @@
+"""Hash aggregation tests."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution import ExecutionMetrics, TableScanOp
+from repro.execution.aggregate import AggregateFunction, AggregateSpec, HashAggregateOp
+from repro.sql import ColumnRef
+
+
+def scan(rows, columns=("g", "v")):
+    metrics = ExecutionMetrics()
+    return TableScanOp("R", list(columns), rows, metrics), metrics
+
+
+def spec(function, column=None, alias=""):
+    ref = ColumnRef("R", column) if column else None
+    return AggregateSpec(AggregateFunction(function), ref, alias)
+
+
+class TestSpecs:
+    def test_count_star_rejects_column(self):
+        with pytest.raises(ExecutionError):
+            AggregateSpec(AggregateFunction.COUNT, ColumnRef("R", "v"))
+
+    def test_sum_requires_column(self):
+        with pytest.raises(ExecutionError):
+            AggregateSpec(AggregateFunction.SUM)
+
+    def test_default_alias(self):
+        assert spec("sum", "v").alias == "sum_v"
+        assert spec("count").alias == "count_star"
+
+    def test_explicit_alias(self):
+        assert spec("min", "v", alias="lowest").alias == "lowest"
+
+
+class TestScalarAggregates:
+    ROWS = [(1, 10), (1, 20), (2, 5), (3, 5)]
+
+    def run(self, *specs):
+        source, metrics = scan(self.ROWS)
+        op = HashAggregateOp(source, [], list(specs), metrics)
+        return op.rows()
+
+    def test_count(self):
+        assert self.run(spec("count")) == [(4,)]
+
+    def test_sum_min_max_avg(self):
+        rows = self.run(
+            spec("sum", "v"), spec("min", "v"), spec("max", "v"), spec("avg", "v")
+        )
+        assert rows == [(40.0, 5, 20, 10.0)]
+
+    def test_empty_input_scalar_semantics(self):
+        source, metrics = scan([])
+        op = HashAggregateOp(
+            source, [], [spec("count"), spec("sum", "v")], metrics
+        )
+        assert op.rows() == [(0, None)]
+
+    def test_no_aggregates_rejected(self):
+        source, metrics = scan(self.ROWS)
+        with pytest.raises(ExecutionError):
+            HashAggregateOp(source, [], [], metrics)
+
+
+class TestGroupBy:
+    ROWS = [(1, 10), (1, 20), (2, 5), (3, 5)]
+
+    def test_count_per_group(self):
+        source, metrics = scan(self.ROWS)
+        op = HashAggregateOp(
+            source, [ColumnRef("R", "g")], [spec("count")], metrics
+        )
+        assert op.rows() == [(1, 2), (2, 1), (3, 1)]
+
+    def test_sum_per_group(self):
+        source, metrics = scan(self.ROWS)
+        op = HashAggregateOp(
+            source, [ColumnRef("R", "g")], [spec("sum", "v")], metrics
+        )
+        assert op.rows() == [(1, 30.0), (2, 5.0), (3, 5.0)]
+
+    def test_group_by_empty_input_emits_nothing(self):
+        source, metrics = scan([])
+        op = HashAggregateOp(
+            source, [ColumnRef("R", "g")], [spec("count")], metrics
+        )
+        assert op.rows() == []
+
+    def test_output_layout(self):
+        source, metrics = scan(self.ROWS)
+        op = HashAggregateOp(
+            source,
+            [ColumnRef("R", "g")],
+            [spec("count"), spec("max", "v", alias="peak")],
+            metrics,
+        )
+        assert op.layout.columns == (
+            ColumnRef("R", "g"),
+            ColumnRef("agg", "count_star"),
+            ColumnRef("agg", "peak"),
+        )
+
+    def test_multi_column_group(self):
+        rows = [(1, 1, 100), (1, 1, 200), (1, 2, 300)]
+        metrics = ExecutionMetrics()
+        source = TableScanOp("R", ["a", "b", "v"], rows, metrics)
+        op = HashAggregateOp(
+            source,
+            [ColumnRef("R", "a"), ColumnRef("R", "b")],
+            [AggregateSpec(AggregateFunction.SUM, ColumnRef("R", "v"))],
+            metrics,
+        )
+        assert op.rows() == [(1, 1, 300.0), (1, 2, 300.0)]
+
+    def test_metrics_recorded(self):
+        source, metrics = scan(self.ROWS)
+        op = HashAggregateOp(source, [ColumnRef("R", "g")], [spec("count")], metrics)
+        op.rows()
+        assert op.stats.rows_in == 4
+        assert op.stats.rows_out == 3

@@ -1,0 +1,161 @@
+"""Executor tests: plan trees against stored data, end to end."""
+
+import pytest
+
+from repro.catalog import TableSchema
+from repro.execution import Executor
+from repro.optimizer import JoinMethod, JoinPlan, ScanPlan
+from repro.sql import Op, Projection, join_predicate, local_predicate
+from repro.sql.predicates import ColumnRef
+from repro.storage import Database
+
+
+def make_database():
+    db = Database()
+    db.load_columns(TableSchema.of("R", "x", "y"), {"x": [1, 2, 3, 4], "y": [10, 20, 30, 40]})
+    db.load_columns(TableSchema.of("S", "x", "z"), {"x": [2, 3, 3, 9], "z": [5, 6, 7, 8]})
+    return db
+
+
+def scan_plan(relation, base=None, predicates=(), rows=0.0):
+    return ScanPlan(
+        relation=relation,
+        base_table=base or relation,
+        local_predicates=tuple(predicates),
+        estimated_rows=rows,
+        estimated_cost=0.0,
+        row_width=8,
+    )
+
+
+def join_plan(left, right, predicates, method=JoinMethod.HASH):
+    return JoinPlan(
+        left=left,
+        right=right,
+        method=method,
+        predicates=tuple(predicates),
+        estimated_rows=0.0,
+        estimated_cost=0.0,
+        row_width=left.row_width + right.row_width,
+    )
+
+
+class TestScansAndFilters:
+    def test_plain_scan(self):
+        result = Executor(make_database()).execute(scan_plan("R"))
+        assert result.count == 4
+        assert result.columns == (ColumnRef("R", "x"), ColumnRef("R", "y"))
+
+    def test_scan_with_filter(self):
+        plan = scan_plan("R", predicates=[local_predicate("R", "x", Op.GT, 2)])
+        result = Executor(make_database()).execute(plan)
+        assert result.count == 2
+
+    def test_alias_scan(self):
+        plan = scan_plan("r2", base="R")
+        result = Executor(make_database()).execute(plan)
+        assert result.count == 4
+        assert result.columns[0] == ColumnRef("r2", "x")
+
+
+class TestJoins:
+    @pytest.mark.parametrize(
+        "method", [JoinMethod.NESTED_LOOPS, JoinMethod.SORT_MERGE, JoinMethod.HASH]
+    )
+    def test_two_way_join_counts(self, method):
+        plan = join_plan(
+            scan_plan("R"),
+            scan_plan("S"),
+            [join_predicate("R", "x", "S", "x")],
+            method,
+        )
+        result = Executor(make_database()).execute(plan)
+        # R.x = 2 matches one S row; R.x = 3 matches two.
+        assert result.count == 3
+
+    def test_join_output_layout(self):
+        plan = join_plan(
+            scan_plan("R"), scan_plan("S"), [join_predicate("R", "x", "S", "x")]
+        )
+        result = Executor(make_database()).execute(plan)
+        assert result.columns == (
+            ColumnRef("R", "x"),
+            ColumnRef("R", "y"),
+            ColumnRef("S", "x"),
+            ColumnRef("S", "z"),
+        )
+
+    def test_self_join_via_aliases(self):
+        plan = join_plan(
+            scan_plan("a", base="R"),
+            scan_plan("b", base="R"),
+            [join_predicate("a", "x", "b", "x")],
+        )
+        result = Executor(make_database()).execute(plan)
+        assert result.count == 4  # keys join 1-1 with themselves
+
+    def test_cartesian_nested_loops(self):
+        plan = join_plan(
+            scan_plan("R"), scan_plan("S"), [], JoinMethod.NESTED_LOOPS
+        )
+        result = Executor(make_database()).execute(plan)
+        assert result.count == 16
+
+    def test_three_way_left_deep(self):
+        db = make_database()
+        db.load_columns(TableSchema.of("T", "z"), {"z": [5, 6]})
+        inner = join_plan(
+            scan_plan("R"), scan_plan("S"), [join_predicate("R", "x", "S", "x")]
+        )
+        plan = join_plan(inner, scan_plan("T"), [join_predicate("S", "z", "T", "z")])
+        result = Executor(db).execute(plan)
+        # Matches: (2: z=5 in T), (3: z=6 in T), (3: z=7 not in T).
+        assert result.count == 2
+
+
+class TestProjectionHandling:
+    def test_count_star(self):
+        result = Executor(make_database()).execute(
+            scan_plan("R"), Projection(count_star=True)
+        )
+        assert result.count == 4
+        assert result.rows == []  # rows dropped for COUNT(*)
+
+    def test_column_projection(self):
+        result = Executor(make_database()).execute(
+            scan_plan("R"), Projection(columns=(ColumnRef("R", "y"),))
+        )
+        assert result.rows == [(10,), (20,), (30,), (40,)]
+
+    def test_count_helper(self):
+        result = Executor(make_database()).count(scan_plan("S"))
+        assert result.count == 4
+
+
+class TestMetrics:
+    def test_wall_time_recorded(self):
+        result = Executor(make_database()).execute(scan_plan("R"))
+        assert result.wall_seconds >= 0.0
+
+    def test_operator_stats_present(self):
+        plan = join_plan(
+            scan_plan("R"), scan_plan("S"), [join_predicate("R", "x", "S", "x")]
+        )
+        result = Executor(make_database()).execute(plan)
+        labels = [op.label for op in result.metrics.operators]
+        assert "scan(R)" in labels and "scan(S)" in labels
+        assert any("join" in label for label in labels)
+
+    def test_by_label_disambiguates(self):
+        plan = join_plan(
+            scan_plan("a", base="R"),
+            scan_plan("b", base="R"),
+            [join_predicate("a", "x", "b", "x")],
+        )
+        result = Executor(make_database()).execute(plan)
+        by_label = result.metrics.by_label()
+        assert "scan(a)" in by_label and "scan(b)" in by_label
+
+    def test_summary_renders(self):
+        result = Executor(make_database()).execute(scan_plan("R"))
+        assert "wall:" in result.metrics.summary()

@@ -1,0 +1,131 @@
+"""Layout and predicate compilation tests."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution import Layout, compile_conjunction, compile_join_condition, compile_predicate
+from repro.sql import ColumnRef, Op, join_predicate, local_predicate
+from repro.sql.predicates import ComparisonPredicate
+
+
+def layout_r():
+    return Layout([ColumnRef("R", "x"), ColumnRef("R", "y")])
+
+
+class TestLayout:
+    def test_positions(self):
+        layout = layout_r()
+        assert layout.position(ColumnRef("R", "x")) == 0
+        assert layout.position(ColumnRef("R", "y")) == 1
+
+    def test_contains(self):
+        layout = layout_r()
+        assert ColumnRef("R", "x") in layout
+        assert ColumnRef("S", "x") not in layout
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExecutionError):
+            layout_r().position(ColumnRef("Z", "q"))
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ExecutionError):
+            Layout([ColumnRef("R", "x"), ColumnRef("R", "x")])
+
+    def test_concat(self):
+        left = layout_r()
+        right = Layout([ColumnRef("S", "z")])
+        combined = left.concat(right)
+        assert len(combined) == 3
+        assert combined.position(ColumnRef("S", "z")) == 2
+
+
+class TestCompilePredicate:
+    def test_constant_comparison(self):
+        check = compile_predicate(local_predicate("R", "x", Op.LT, 5), layout_r())
+        assert check((3, 0)) and not check((7, 0))
+
+    def test_column_column_comparison(self):
+        pred = ComparisonPredicate(ColumnRef("R", "x"), Op.EQ, ColumnRef("R", "y"))
+        check = compile_predicate(pred, layout_r())
+        assert check((4, 4)) and not check((4, 5))
+
+    def test_conjunction_all_must_hold(self):
+        check = compile_conjunction(
+            [
+                local_predicate("R", "x", Op.GE, 2),
+                local_predicate("R", "x", Op.LE, 4),
+            ],
+            layout_r(),
+        )
+        assert check((3, 0))
+        assert not check((1, 0)) and not check((5, 0))
+
+    def test_empty_conjunction_true(self):
+        assert compile_conjunction([], layout_r())((1, 2))
+
+
+class TestCompileJoinCondition:
+    LEFT = Layout([ColumnRef("R", "x"), ColumnRef("R", "y")])
+    RIGHT = Layout([ColumnRef("S", "a"), ColumnRef("S", "b")])
+
+    def test_equi_keys_extracted(self):
+        keys, residual = compile_join_condition(
+            [join_predicate("R", "x", "S", "a")], self.LEFT, self.RIGHT
+        )
+        assert keys == [(0, 0)]
+        assert residual((1, 2), (1, 9))
+
+    def test_key_direction_normalized(self):
+        """S.a = R.x with R on the left still yields (left_pos, right_pos)."""
+        pred = ComparisonPredicate(ColumnRef("S", "a"), Op.EQ, ColumnRef("R", "x"))
+        keys, _ = compile_join_condition([pred], self.LEFT, self.RIGHT)
+        assert keys == [(0, 0)]
+
+    def test_non_equi_becomes_residual(self):
+        keys, residual = compile_join_condition(
+            [join_predicate("R", "x", "S", "a", Op.LT)], self.LEFT, self.RIGHT
+        )
+        assert keys == []
+        assert residual((1, 0), (2, 0))
+        assert not residual((3, 0), (2, 0))
+
+    def test_swapped_non_equi_flips_operator(self):
+        pred = ComparisonPredicate(ColumnRef("S", "a"), Op.LT, ColumnRef("R", "x"))
+        _, residual = compile_join_condition([pred], self.LEFT, self.RIGHT)
+        # S.a < R.x means left row x must exceed right row a.
+        assert residual((5, 0), (3, 0))
+        assert not residual((2, 0), (3, 0))
+
+    def test_constant_predicate_on_either_side(self):
+        _, residual = compile_join_condition(
+            [local_predicate("R", "x", Op.GT, 10), local_predicate("S", "b", Op.EQ, 7)],
+            self.LEFT,
+            self.RIGHT,
+        )
+        assert residual((11, 0), (0, 7))
+        assert not residual((9, 0), (0, 7))
+        assert not residual((11, 0), (0, 8))
+
+    def test_same_side_column_comparison(self):
+        pred = ComparisonPredicate(ColumnRef("R", "x"), Op.EQ, ColumnRef("R", "y"))
+        keys, residual = compile_join_condition([pred], self.LEFT, self.RIGHT)
+        assert keys == []
+        assert residual((4, 4), (0, 0))
+        assert not residual((4, 5), (0, 0))
+
+    def test_foreign_column_rejected(self):
+        with pytest.raises(ExecutionError):
+            compile_join_condition(
+                [join_predicate("R", "x", "Z", "q")], self.LEFT, self.RIGHT
+            )
+
+    def test_multiple_keys(self):
+        keys, _ = compile_join_condition(
+            [
+                join_predicate("R", "x", "S", "a"),
+                join_predicate("R", "y", "S", "b"),
+            ],
+            self.LEFT,
+            self.RIGHT,
+        )
+        assert sorted(keys) == [(0, 0), (1, 1)]

@@ -1,0 +1,236 @@
+"""Operator tests: every physical operator against brute-force expectation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.execution import (
+    ExecutionMetrics,
+    FilterOp,
+    HashJoinOp,
+    NestedLoopJoinOp,
+    ProjectOp,
+    SortMergeJoinOp,
+    TableScanOp,
+)
+from repro.sql import ColumnRef, Op, join_predicate, local_predicate
+
+
+def scan(relation, columns, rows, metrics, pages=0.0):
+    return TableScanOp(relation, columns, rows, metrics, pages)
+
+
+def brute_force_join(left_rows, right_rows, condition):
+    return [l + r for l in left_rows for r in right_rows if condition(l, r)]
+
+
+class TestTableScan:
+    def test_emits_all_rows(self):
+        metrics = ExecutionMetrics()
+        op = scan("R", ["x"], [(1,), (2,)], metrics)
+        assert op.rows() == [(1,), (2,)]
+        assert op.stats.rows_out == 2
+
+    def test_layout_qualified_by_relation(self):
+        metrics = ExecutionMetrics()
+        op = scan("alias", ["x"], [], metrics)
+        assert op.layout.columns == (ColumnRef("alias", "x"),)
+
+    def test_pages_charged(self):
+        metrics = ExecutionMetrics()
+        op = scan("R", ["x"], [(1,)], metrics, pages=7.0)
+        op.rows()
+        assert metrics.total_pages_read == 7.0
+
+
+class TestFilter:
+    def test_filters_rows(self):
+        metrics = ExecutionMetrics()
+        source = scan("R", ["x"], [(i,) for i in range(10)], metrics)
+        op = FilterOp(source, [local_predicate("R", "x", Op.LT, 5)], metrics)
+        assert op.rows() == [(i,) for i in range(5)]
+        assert op.stats.rows_in == 10 and op.stats.rows_out == 5
+
+    def test_conjunction(self):
+        metrics = ExecutionMetrics()
+        source = scan("R", ["x"], [(i,) for i in range(10)], metrics)
+        op = FilterOp(
+            source,
+            [
+                local_predicate("R", "x", Op.GE, 3),
+                local_predicate("R", "x", Op.LE, 6),
+            ],
+            metrics,
+        )
+        assert [r[0] for r in op.rows()] == [3, 4, 5, 6]
+
+
+class TestProject:
+    def test_keeps_selected_columns(self):
+        metrics = ExecutionMetrics()
+        source = scan("R", ["x", "y"], [(1, 10), (2, 20)], metrics)
+        op = ProjectOp(source, [ColumnRef("R", "y")], metrics)
+        assert op.rows() == [(10,), (20,)]
+
+    def test_reorders_columns(self):
+        metrics = ExecutionMetrics()
+        source = scan("R", ["x", "y"], [(1, 10)], metrics)
+        op = ProjectOp(source, [ColumnRef("R", "y"), ColumnRef("R", "x")], metrics)
+        assert op.rows() == [(10, 1)]
+
+
+JOIN_CLASSES = [NestedLoopJoinOp, HashJoinOp, SortMergeJoinOp]
+
+
+class TestEquiJoins:
+    LEFT_ROWS = [(1, "a"), (2, "b"), (2, "c"), (3, "d")]
+    RIGHT_ROWS = [(2, "x"), (2, "y"), (3, "z"), (4, "w")]
+
+    @pytest.mark.parametrize("join_class", JOIN_CLASSES)
+    def test_matches_brute_force(self, join_class):
+        metrics = ExecutionMetrics()
+        # Numeric-only variant so sort-merge keys are orderable.
+        left = scan("L", ["k", "v"], [(k, i) for i, (k, _) in enumerate(self.LEFT_ROWS)], metrics)
+        right = scan("R", ["k", "v"], [(k, i) for i, (k, _) in enumerate(self.RIGHT_ROWS)], metrics)
+        op = join_class(left, right, [join_predicate("L", "k", "R", "k")], metrics)
+        expected = brute_force_join(
+            left.rows(), right.rows(), lambda l, r: l[0] == r[0]
+        )
+        assert sorted(op.rows()) == sorted(expected)
+
+    @pytest.mark.parametrize("join_class", JOIN_CLASSES)
+    def test_duplicate_keys_cross_product(self, join_class):
+        metrics = ExecutionMetrics()
+        left = scan("L", ["k"], [(1,), (1,), (1,)], metrics)
+        right = scan("R", ["k"], [(1,), (1,)], metrics)
+        op = join_class(left, right, [join_predicate("L", "k", "R", "k")], metrics)
+        assert len(op.rows()) == 6
+
+    @pytest.mark.parametrize("join_class", JOIN_CLASSES)
+    def test_empty_inputs(self, join_class):
+        metrics = ExecutionMetrics()
+        left = scan("L", ["k"], [], metrics)
+        right = scan("R", ["k"], [(1,)], metrics)
+        op = join_class(left, right, [join_predicate("L", "k", "R", "k")], metrics)
+        assert op.rows() == []
+
+    @pytest.mark.parametrize("join_class", JOIN_CLASSES)
+    def test_no_matches(self, join_class):
+        metrics = ExecutionMetrics()
+        left = scan("L", ["k"], [(1,)], metrics)
+        right = scan("R", ["k"], [(2,)], metrics)
+        op = join_class(left, right, [join_predicate("L", "k", "R", "k")], metrics)
+        assert op.rows() == []
+
+    @pytest.mark.parametrize("join_class", JOIN_CLASSES)
+    def test_residual_predicate_applied(self, join_class):
+        metrics = ExecutionMetrics()
+        left = scan("L", ["k", "v"], [(1, 10), (1, 30)], metrics)
+        right = scan("R", ["k", "w"], [(1, 20)], metrics)
+        op = join_class(
+            left,
+            right,
+            [
+                join_predicate("L", "k", "R", "k"),
+                join_predicate("L", "v", "R", "w", Op.LT),
+            ],
+            metrics,
+        )
+        rows = op.rows()
+        assert rows == [(1, 10, 1, 20)]
+
+    @pytest.mark.parametrize("join_class", JOIN_CLASSES)
+    def test_multi_key_join(self, join_class):
+        metrics = ExecutionMetrics()
+        left = scan("L", ["a", "b"], [(1, 1), (1, 2), (2, 1)], metrics)
+        right = scan("R", ["a", "b"], [(1, 1), (2, 1)], metrics)
+        op = join_class(
+            left,
+            right,
+            [join_predicate("L", "a", "R", "a"), join_predicate("L", "b", "R", "b")],
+            metrics,
+        )
+        assert sorted(op.rows()) == [(1, 1, 1, 1), (2, 1, 2, 1)]
+
+
+class TestNestedLoopsSpecifics:
+    def test_cartesian_product_supported(self):
+        metrics = ExecutionMetrics()
+        left = scan("L", ["x"], [(1,), (2,)], metrics)
+        right = scan("R", ["y"], [(10,), (20,)], metrics)
+        op = NestedLoopJoinOp(left, right, [], metrics)
+        assert len(op.rows()) == 4
+
+    def test_non_equi_only_join(self):
+        metrics = ExecutionMetrics()
+        left = scan("L", ["x"], [(1,), (5,)], metrics)
+        right = scan("R", ["y"], [(3,)], metrics)
+        op = NestedLoopJoinOp(
+            left, right, [join_predicate("L", "x", "R", "y", Op.LT)], metrics
+        )
+        assert op.rows() == [(1, 3)]
+
+    def test_comparison_count_is_quadratic(self):
+        metrics = ExecutionMetrics()
+        left = scan("L", ["x"], [(i,) for i in range(10)], metrics)
+        right = scan("R", ["y"], [(i,) for i in range(20)], metrics)
+        op = NestedLoopJoinOp(
+            left, right, [join_predicate("L", "x", "R", "y")], metrics
+        )
+        op.rows()
+        assert op.stats.comparisons == 200
+
+
+class TestKeyedJoinRequirements:
+    def test_hash_join_requires_key(self):
+        metrics = ExecutionMetrics()
+        left = scan("L", ["x"], [], metrics)
+        right = scan("R", ["y"], [], metrics)
+        with pytest.raises(ExecutionError):
+            HashJoinOp(left, right, [], metrics)
+
+    def test_sort_merge_requires_key(self):
+        metrics = ExecutionMetrics()
+        left = scan("L", ["x"], [], metrics)
+        right = scan("R", ["y"], [], metrics)
+        with pytest.raises(ExecutionError):
+            SortMergeJoinOp(
+                left, right, [join_predicate("L", "x", "R", "y", Op.LT)], metrics
+            )
+
+
+class TestJoinProperties:
+    @given(
+        left=st.lists(st.integers(min_value=0, max_value=8), max_size=30),
+        right=st.lists(st.integers(min_value=0, max_value=8), max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_methods_agree(self, left, right):
+        """NL, hash, and sort-merge must produce identical multisets."""
+        results = []
+        for join_class in JOIN_CLASSES:
+            metrics = ExecutionMetrics()
+            l_op = scan("L", ["k"], [(v,) for v in left], metrics)
+            r_op = scan("R", ["k"], [(v,) for v in right], metrics)
+            op = join_class(l_op, r_op, [join_predicate("L", "k", "R", "k")], metrics)
+            results.append(sorted(op.rows()))
+        assert results[0] == results[1] == results[2]
+
+    @given(
+        left=st.lists(st.integers(min_value=0, max_value=5), max_size=20),
+        right=st.lists(st.integers(min_value=0, max_value=5), max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_join_size_formula_on_keys(self, left, right):
+        """|L >< R| equals sum over values of count_L(v) * count_R(v)."""
+        expected = sum(
+            left.count(v) * right.count(v) for v in set(left) | set(right)
+        )
+        metrics = ExecutionMetrics()
+        l_op = scan("L", ["k"], [(v,) for v in left], metrics)
+        r_op = scan("R", ["k"], [(v,) for v in right], metrics)
+        op = HashJoinOp(l_op, r_op, [join_predicate("L", "k", "R", "k")], metrics)
+        assert len(op.rows()) == expected

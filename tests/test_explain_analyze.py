@@ -1,0 +1,66 @@
+"""EXPLAIN ANALYZE tests: node-by-node estimate vs actual alignment."""
+
+import pytest
+
+from repro.analysis.explain_analyze import explain_analyze, render_explain_analyze
+from repro.core import ELS, SM
+from repro.optimizer import Optimizer
+from repro.workloads import load_smbg_database, smbg_query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    database = load_smbg_database(scale=0.05, seed=3)
+    query = smbg_query(threshold=10)
+    return database, query
+
+
+class TestExplainAnalyze:
+    def test_every_node_compared(self, setup):
+        database, query = setup
+        result = Optimizer(database.catalog).optimize(query, ELS)
+        comparisons, run = explain_analyze(result.plan, database)
+        # 4 scans + 3 joins.
+        assert len(comparisons) == 7
+        assert run.count == 9
+
+    def test_els_nodes_accurate(self, setup):
+        database, query = setup
+        result = Optimizer(database.catalog).optimize(query, ELS)
+        comparisons, _ = explain_analyze(result.plan, database)
+        for node in comparisons:
+            assert node.q_error < 1.6, node.label
+
+    def test_sm_join_nodes_misestimate(self, setup):
+        """Rule M's per-node q-errors blow up exactly at the joins where
+        redundant selectivities pile on."""
+        database, query = setup
+        result = Optimizer(database.catalog).optimize(query, SM)
+        comparisons, _ = explain_analyze(result.plan, database)
+        join_errors = [c.q_error for c in comparisons if "join" in c.label]
+        assert max(join_errors) > 100
+
+    def test_scan_nodes_reflect_filters(self, setup):
+        database, query = setup
+        result = Optimizer(database.catalog).optimize(query, ELS)
+        comparisons, _ = explain_analyze(result.plan, database)
+        scans = [c for c in comparisons if c.label.startswith("scan")]
+        assert len(scans) == 4
+        for scan in scans:
+            assert scan.actual_rows == 9  # all tables filtered to < 10
+
+    def test_bushy_plan_supported(self, setup):
+        database, query = setup
+        result = Optimizer(database.catalog, enumerator="dp-bushy").optimize(
+            query, ELS
+        )
+        comparisons, _ = explain_analyze(result.plan, database)
+        assert len(comparisons) == 7
+
+    def test_render_contains_all_nodes(self, setup):
+        database, query = setup
+        result = Optimizer(database.catalog).optimize(query, ELS)
+        comparisons, _ = explain_analyze(result.plan, database)
+        text = render_explain_analyze(comparisons)
+        assert text.count("scan(") == 4
+        assert "q-error" in text

@@ -1,0 +1,197 @@
+"""Failure injection: every layer must fail loudly, specifically, and early.
+
+A library is adoptable when misuse produces actionable errors rather than
+silent nonsense.  These tests drive each subsystem with broken inputs —
+missing statistics, dangling columns, malformed plans, inconsistent
+states — and pin the exception type (always a :class:`ReproError`
+subclass) so error-handling contracts cannot regress silently.
+"""
+
+import pytest
+
+from repro.catalog import Catalog, TableSchema, TableStats
+from repro.core import ELS, JoinSizeEstimator
+from repro.errors import (
+    CatalogError,
+    EstimationError,
+    ExecutionError,
+    OptimizationError,
+    ReproError,
+    StorageError,
+)
+from repro.execution import Executor
+from repro.optimizer import JoinMethod, JoinPlan, Optimizer, ScanPlan
+from repro.sql import Op, Projection, Query, join_predicate, local_predicate
+from repro.storage import Database
+
+
+class TestCatalogFailures:
+    def test_missing_table_statistics(self):
+        catalog = Catalog.from_stats({"A": (10, {"x": 5})})
+        query = Query.build(
+            ["A", "B"], [join_predicate("A", "x", "B", "y")], Projection(count_star=True)
+        )
+        with pytest.raises(CatalogError):
+            JoinSizeEstimator(query, catalog, ELS)
+
+    def test_missing_column_statistics(self):
+        catalog = Catalog()
+        schema = TableSchema.of("A", "x", "y")
+        catalog.register(schema, TableStats(10, {"x": _stats(5)}))
+        catalog.register_simple("B", 10, {"z": 5})
+        query = Query.build(
+            ["A", "B"],
+            [join_predicate("A", "y", "B", "z")],  # y has no recorded stats
+            Projection(count_star=True),
+        )
+        with pytest.raises(ReproError):
+            JoinSizeEstimator(query, catalog, ELS).estimate(["A", "B"])
+
+    def test_local_predicate_on_unknown_column(self):
+        catalog = Catalog.from_stats({"A": (10, {"x": 5})})
+        query = Query.build(
+            ["A"], [local_predicate("A", "ghost", Op.EQ, 1)], Projection(count_star=True)
+        )
+        with pytest.raises(CatalogError):
+            JoinSizeEstimator(query, catalog, ELS)
+
+
+class TestStorageFailures:
+    def test_executing_against_missing_table(self):
+        plan = ScanPlan("A", "A", (), 0.0, 0.0, 8)
+        with pytest.raises(StorageError):
+            Executor(Database()).count(plan)
+
+    def test_plan_references_missing_column(self):
+        db = Database()
+        db.load_columns(TableSchema.of("A", "x"), {"x": [1]})
+        plan = ScanPlan(
+            "A", "A", (local_predicate("A", "ghost", Op.EQ, 1),), 0.0, 0.0, 8
+        )
+        with pytest.raises(ExecutionError):
+            Executor(db).count(plan)
+
+    def test_join_predicate_outside_inputs(self):
+        db = Database()
+        db.load_columns(TableSchema.of("A", "x"), {"x": [1]})
+        db.load_columns(TableSchema.of("B", "y"), {"y": [1]})
+        plan = JoinPlan(
+            left=ScanPlan("A", "A", (), 0.0, 0.0, 8),
+            right=ScanPlan("B", "B", (), 0.0, 0.0, 8),
+            method=JoinMethod.NESTED_LOOPS,
+            predicates=(join_predicate("A", "x", "Z", "q"),),
+            estimated_rows=0.0,
+            estimated_cost=0.0,
+            row_width=16,
+        )
+        with pytest.raises(ExecutionError):
+            Executor(db).count(plan)
+
+    def test_keyed_join_without_key(self):
+        db = Database()
+        db.load_columns(TableSchema.of("A", "x"), {"x": [1]})
+        db.load_columns(TableSchema.of("B", "y"), {"y": [1]})
+        plan = JoinPlan(
+            left=ScanPlan("A", "A", (), 0.0, 0.0, 8),
+            right=ScanPlan("B", "B", (), 0.0, 0.0, 8),
+            method=JoinMethod.SORT_MERGE,
+            predicates=(),  # cartesian under a keyed method
+            estimated_rows=0.0,
+            estimated_cost=0.0,
+            row_width=16,
+        )
+        with pytest.raises(ExecutionError):
+            Executor(db).count(plan)
+
+
+class TestOptimizerFailures:
+    def test_optimizing_without_statistics(self):
+        query = Query.build(["A"], [], Projection(count_star=True))
+        with pytest.raises(CatalogError):
+            Optimizer(Catalog()).optimize(query)
+
+    def test_unknown_enumerator(self):
+        with pytest.raises(OptimizationError):
+            Optimizer(Catalog(), enumerator="oracle")
+
+
+class TestEstimatorStateFailures:
+    def setup_method(self):
+        self.catalog = Catalog.from_stats(
+            {"A": (10, {"x": 5}), "B": (20, {"y": 10})}
+        )
+        self.query = Query.build(
+            ["A", "B"], [join_predicate("A", "x", "B", "y")], Projection(count_star=True)
+        )
+        self.estimator = JoinSizeEstimator(self.query, self.catalog, ELS)
+
+    def test_start_unknown_table(self):
+        with pytest.raises(EstimationError):
+            self.estimator.start("ZZ")
+
+    def test_empty_state_rejected(self):
+        from repro.core.estimator import EstimateState
+
+        with pytest.raises(EstimationError):
+            EstimateState(frozenset(), 1.0)
+
+    def test_all_errors_are_repro_errors(self):
+        """Callers can catch the whole library with one except clause."""
+        for error_type in (
+            CatalogError,
+            EstimationError,
+            ExecutionError,
+            OptimizationError,
+            StorageError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+
+class TestSelfJoinEstimation:
+    """Aliased scans of one base table are distinct relations everywhere."""
+
+    def make(self):
+        catalog = Catalog.from_stats({"R": (1000, {"x": 100})})
+        query = Query.build(
+            ["a", "b"],
+            [join_predicate("a", "x", "b", "x")],
+            Projection(count_star=True),
+            aliases={"a": "R", "b": "R"},
+        )
+        return catalog, query
+
+    def test_self_join_estimate(self):
+        catalog, query = self.make()
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        # Equation 1 with d1 = d2 = 100: 1000 * 1000 / 100.
+        assert estimator.estimate(["a", "b"]) == pytest.approx(10000.0)
+
+    def test_self_join_with_local_predicate(self):
+        catalog = Catalog.from_stats({"R": (1000, {"x": 100})})
+        query = Query.build(
+            ["a", "b"],
+            [
+                join_predicate("a", "x", "b", "x"),
+                local_predicate("a", "x", Op.EQ, 7),
+            ],
+            Projection(count_star=True),
+            aliases={"a": "R", "b": "R"},
+        )
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        # Closure propagates x = 7 to b as well: 10 * 10 * 1/max(1,1).
+        assert estimator.estimate(["a", "b"]) == pytest.approx(100.0)
+
+    def test_self_join_executes_correctly(self):
+        from repro.analysis import true_join_size
+        from repro.workloads import TableSpec, build_database
+
+        database = build_database([TableSpec.uniform("R", 100, {"x": 10})], seed=0)
+        catalog, query = self.make()
+        # Each value appears 10 times; self-join size = 10 * 10 * 10.
+        assert true_join_size(query, database) == 1000
+
+
+def _stats(distinct):
+    from repro.catalog import ColumnStats
+
+    return ColumnStats(distinct=distinct)

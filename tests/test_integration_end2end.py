@@ -1,0 +1,109 @@
+"""End-to-end integration: the Section 8 experiment at reduced scale.
+
+Generate the S/M/B/G database, optimize under each of the paper's four
+algorithm setups, execute the chosen plans, and assert the paper's
+qualitative results: ELS estimates correctly, the baselines collapse to
+(near) zero, every plan returns the same true count, and the ELS plan is
+no more expensive than any baseline's plan.
+"""
+
+import pytest
+
+from repro.analysis import true_join_size
+from repro.core import ELS, SM, SSS, JoinSizeEstimator
+from repro.execution import Executor
+from repro.optimizer import Optimizer
+from repro.workloads import smbg_query
+
+
+SCALE = 0.1  # S=100, M=1000, B=5000, G=10000
+THRESHOLD = 10  # s < 10 -> 9 selected rows at this scale
+
+
+@pytest.fixture(scope="module")
+def experiment(smbg_database_small):
+    database = smbg_database_small
+    query = smbg_query(threshold=THRESHOLD)
+    optimizer = Optimizer(database.catalog)
+    executor = Executor(database)
+    return database, query, optimizer, executor
+
+
+ALGORITHMS = [
+    ("SM (no PTC)", SM, False),
+    ("SM + PTC", SM, True),
+    ("SSS + PTC", SSS, True),
+    ("ELS", ELS, True),
+]
+
+
+class TestSection8EndToEnd:
+    def test_true_count_invariant(self, experiment):
+        """'The correct join result size after any subset of joins has been
+        performed can be shown to be exactly' the selection size."""
+        database, query, _, _ = experiment
+        assert true_join_size(query, database) == THRESHOLD - 1
+
+    @pytest.mark.parametrize("name,config,closure", ALGORITHMS)
+    def test_every_chosen_plan_returns_true_count(
+        self, experiment, name, config, closure
+    ):
+        database, query, optimizer, executor = experiment
+        result = optimizer.optimize(query, config, apply_closure=closure)
+        run = executor.count(result.plan)
+        assert run.count == THRESHOLD - 1, f"{name} plan returned a wrong count"
+
+    def test_els_estimates_match_truth(self, experiment):
+        _, query, optimizer, _ = experiment
+        result = optimizer.optimize(query, ELS)
+        for size in result.intermediate_sizes:
+            assert size == pytest.approx(THRESHOLD - 1, rel=0.15)
+
+    def test_sm_ptc_collapses_to_zero(self, experiment):
+        _, query, optimizer, _ = experiment
+        result = optimizer.optimize(query, SM)
+        assert result.intermediate_sizes[-1] < 1e-6
+
+    def test_sss_between_sm_and_els(self, experiment):
+        _, query, optimizer, _ = experiment
+        sm = optimizer.optimize(query, SM).intermediate_sizes[-1]
+        sss = optimizer.optimize(query, SSS).intermediate_sizes[-1]
+        els = optimizer.optimize(query, ELS).intermediate_sizes[-1]
+        assert sm < sss < els
+
+    def test_els_plan_not_more_expensive(self, experiment):
+        """ELS's correct estimates must never pick a worse plan than the
+        baselines pick (measured by tuple comparisons of real execution —
+        at this reduced scale every table fits in a handful of pages, so
+        CPU work is the discriminating cost)."""
+        database, query, optimizer, executor = experiment
+        work = {}
+        for name, config, closure in ALGORITHMS:
+            result = optimizer.optimize(query, config, apply_closure=closure)
+            run = executor.count(result.plan)
+            work[name] = run.metrics.total_comparisons
+        assert work["ELS"] <= min(work.values()) * 1.1
+
+    def test_no_ptc_plan_does_more_work(self, experiment):
+        """Without PTC there is no early selection on M, B, G; the executed
+        plan must do measurably more work (the 610s-vs-50s effect)."""
+        database, query, optimizer, executor = experiment
+        no_ptc = optimizer.optimize(query, SM, apply_closure=False)
+        els = optimizer.optimize(query, ELS)
+        no_ptc_work = executor.count(no_ptc.plan).metrics.total_comparisons
+        els_work = executor.count(els.plan).metrics.total_comparisons
+        assert no_ptc_work > els_work * 3
+
+    def test_estimator_plugs_into_optimizer_consistently(self, experiment):
+        """The optimizer's reported estimates equal a fresh estimator's
+        walk of the same join order."""
+        _, query, optimizer, _ = experiment
+        result = optimizer.optimize(query, ELS)
+        fresh = JoinSizeEstimator(
+            query, optimizer_catalog(optimizer), ELS
+        ).estimate_order(list(result.join_order))
+        assert fresh.intermediate_sizes == pytest.approx(result.intermediate_sizes)
+
+
+def optimizer_catalog(optimizer):
+    return optimizer._catalog  # noqa: SLF001 - test-only introspection

@@ -1,0 +1,162 @@
+"""Edge coverage across modules: string keys, metrics, mixed-type domains."""
+
+import pytest
+
+from repro.catalog import TableSchema
+from repro.execution import (
+    ExecutionMetrics,
+    HashJoinOp,
+    NestedLoopJoinOp,
+    TableScanOp,
+)
+from repro.sql import Op, join_predicate, local_predicate, parse_query
+from repro.storage import Database
+
+
+class TestStringKeyJoins:
+    """Joins and filters over string columns (no histograms, no ranges)."""
+
+    def make_database(self):
+        from repro.catalog.schema import ColumnDef, ColumnType
+
+        db = Database()
+        db.load_columns(
+            TableSchema(
+                "Users",
+                (ColumnDef("name", ColumnType.STR), ColumnDef("dept", ColumnType.STR)),
+            ),
+            {"name": ["ann", "bob", "cal"], "dept": ["hr", "it", "it"]},
+        )
+        db.load_columns(
+            TableSchema("Depts", (ColumnDef("dept", ColumnType.STR),)),
+            {"dept": ["hr", "it", "pr"]},
+        )
+        db.analyze()
+        return db
+
+    def test_string_equijoin_executes(self):
+        from repro.analysis import true_join_size
+
+        db = self.make_database()
+        query = parse_query(
+            "SELECT COUNT(*) FROM Users, Depts WHERE Users.dept = Depts.dept"
+        )
+        assert true_join_size(query, db) == 3
+
+    def test_string_local_predicate(self):
+        from repro.analysis import true_join_size
+
+        db = self.make_database()
+        query = parse_query(
+            "SELECT COUNT(*) FROM Users WHERE Users.dept = 'it'"
+        )
+        assert true_join_size(query, db) == 2
+
+    def test_string_estimation_uses_distinct(self):
+        from repro.core import ELS, JoinSizeEstimator
+
+        db = self.make_database()
+        query = parse_query(
+            "SELECT COUNT(*) FROM Users, Depts WHERE Users.dept = Depts.dept"
+        )
+        estimator = JoinSizeEstimator(query, db.catalog, ELS)
+        # 3 * 3 / max(2, 3) = 3.
+        assert estimator.estimate(["Users", "Depts"]) == pytest.approx(3.0)
+
+    def test_optimizer_handles_string_tables(self):
+        from repro.core import ELS
+        from repro.execution import Executor
+        from repro.optimizer import Optimizer
+
+        db = self.make_database()
+        query = parse_query(
+            "SELECT COUNT(*) FROM Users, Depts WHERE Users.dept = Depts.dept "
+            "AND Users.name <> 'bob'"
+        )
+        result = Optimizer(db.catalog).optimize(query, ELS)
+        assert Executor(db).count(result.plan).count == 2
+
+
+class TestHashJoinStringKeys:
+    def test_string_keys(self):
+        metrics = ExecutionMetrics()
+        left = TableScanOp("L", ["k"], [("a",), ("b",)], metrics)
+        right = TableScanOp("R", ["k"], [("b",), ("b",), ("c",)], metrics)
+        op = HashJoinOp(left, right, [join_predicate("L", "k", "R", "k")], metrics)
+        assert op.rows() == [("b", "b"), ("b", "b")]
+
+    def test_mixed_numeric_keys_match_by_equality(self):
+        """1 == 1.0 in Python; the join honors SQL-ish numeric equality."""
+        metrics = ExecutionMetrics()
+        left = TableScanOp("L", ["k"], [(1,)], metrics)
+        right = TableScanOp("R", ["k"], [(1.0,)], metrics)
+        op = NestedLoopJoinOp(
+            left, right, [join_predicate("L", "k", "R", "k")], metrics
+        )
+        assert len(op.rows()) == 1
+
+
+class TestMetricsEdges:
+    def test_snapshot_is_independent_copy(self):
+        from repro.execution.metrics import OperatorStats
+
+        stats = OperatorStats("x", rows_out=5)
+        copy = stats.snapshot()
+        stats.rows_out = 99
+        assert copy.rows_out == 5
+
+    def test_empty_metrics_summary(self):
+        metrics = ExecutionMetrics()
+        assert "wall:" in metrics.summary()
+        assert metrics.total_rows_out == 0
+        assert metrics.total_pages_read == 0.0
+
+
+class TestCliWithBetween:
+    def test_closure_propagates_between_bounds(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        stats = tmp_path / "s.json"
+        stats.write_text(
+            json.dumps(
+                {
+                    "A": {"rows": 100, "columns": {"x": 100}},
+                    "B": {"rows": 100, "columns": {"y": 100}},
+                }
+            )
+        )
+        code = main(
+            [
+                "closure",
+                "--stats",
+                str(stats),
+                "--query",
+                "SELECT COUNT(*) FROM A, B WHERE A.x = B.y AND A.x BETWEEN 10 AND 20",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "B.y >= 10" in out and "B.y <= 20" in out
+
+
+class TestZeroRowTables:
+    def test_estimation_with_empty_table(self):
+        from repro.catalog import Catalog
+        from repro.core import ELS, JoinSizeEstimator
+        from repro.sql import Projection, Query
+
+        catalog = Catalog.from_stats({"E": (0, {"x": 0}), "B": (10, {"x": 5})})
+        query = Query.build(["E", "B"], [], Projection(count_star=True))
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        assert estimator.estimate(["E", "B"]) == 0.0
+
+    def test_executing_empty_join(self):
+        from repro.analysis import true_join_size
+
+        db = Database()
+        db.load_columns(TableSchema.of("E", "x"), {"x": []})
+        db.load_columns(TableSchema.of("B", "x"), {"x": [1, 2]})
+        query = parse_query("SELECT COUNT(*) FROM E, B WHERE E.x = B.x")
+        assert true_join_size(query, db) == 0

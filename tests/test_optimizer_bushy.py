@@ -1,0 +1,176 @@
+"""Bushy enumeration and set-to-set estimation tests."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core import ELS, SM, JoinSizeEstimator
+from repro.errors import EstimationError
+from repro.execution import Executor
+from repro.optimizer import (
+    CostModel,
+    JoinPlan,
+    Optimizer,
+    ScanPlan,
+    enumerate_dp,
+    enumerate_dp_bushy,
+    leaf_order,
+)
+from repro.sql import Projection, Query, join_predicate
+from repro.workloads import load_smbg_database, smbg_catalog, smbg_query
+
+
+def chain_setup(entries, predicates):
+    catalog = Catalog.from_stats(entries)
+    query = Query.build(list(entries), predicates, Projection(count_star=True))
+    estimator = JoinSizeEstimator(query, catalog, ELS)
+    widths = {n: 4 for n in entries}
+    rows = {n: r for n, (r, _) in entries.items()}
+    return estimator, widths, rows
+
+
+class TestJoinStates:
+    def setup_method(self):
+        self.catalog = Catalog.from_stats(
+            {
+                "R1": (100, {"x": 10}),
+                "R2": (1000, {"y": 100}),
+                "R3": (1000, {"z": 1000}),
+                "R4": (500, {"w": 500}),
+            }
+        )
+        predicates = [
+            join_predicate("R1", "x", "R2", "y"),
+            join_predicate("R2", "y", "R3", "z"),
+            join_predicate("R3", "z", "R4", "w"),
+        ]
+        query = Query.build(
+            ["R1", "R2", "R3", "R4"], predicates, Projection(count_star=True)
+        )
+        self.estimator = JoinSizeEstimator(query, self.catalog, ELS)
+
+    def test_pair_of_pairs_matches_closed_form(self):
+        """(R1 >< R2) >< (R3 >< R4) must equal Equation 3 under Rule LS."""
+        left = self.estimator.estimate_order(["R1", "R2"])
+        right = self.estimator.estimate_order(["R3", "R4"])
+        from repro.core.estimator import EstimateState
+
+        state, step = self.estimator.join_states(
+            EstimateState(frozenset({"R1", "R2"}), left.rows),
+            EstimateState(frozenset({"R3", "R4"}), right.rows),
+        )
+        assert state.rows == pytest.approx(self.estimator.closed_form())
+        assert not step.is_cartesian
+
+    def test_overlapping_sets_rejected(self):
+        a = self.estimator.start("R1")
+        with pytest.raises(EstimationError):
+            self.estimator.join_states(a, a)
+
+    def test_cartesian_pair(self):
+        """Without closure, R1 and R3 have no crossing predicate.
+
+        Note the original (pre-closure) query must be rebuilt here —
+        ``self.estimator.query`` is the closed rewrite.
+        """
+        predicates = [
+            join_predicate("R1", "x", "R2", "y"),
+            join_predicate("R2", "y", "R3", "z"),
+            join_predicate("R3", "z", "R4", "w"),
+        ]
+        query = Query.build(
+            ["R1", "R2", "R3", "R4"], predicates, Projection(count_star=True)
+        )
+        estimator = JoinSizeEstimator(query, self.catalog, ELS, apply_closure=False)
+        state, step = estimator.join_states(
+            estimator.start("R1"), estimator.start("R3")
+        )
+        assert step.is_cartesian
+        assert state.rows == pytest.approx(100 * 1000)
+
+    def test_single_table_join_states_equals_join(self):
+        state_a = self.estimator.start("R1")
+        state_b = self.estimator.start("R2")
+        bushy, _ = self.estimator.join_states(state_a, state_b)
+        linear, _ = self.estimator.join(state_a, "R2")
+        assert bushy.rows == pytest.approx(linear.rows)
+
+    def test_eligible_between_requires_containment(self):
+        eligible = self.estimator.eligible_between(
+            frozenset({"R1"}), frozenset({"R2"})
+        )
+        assert all(p.predicate.tables == {"R1", "R2"} for p in eligible)
+
+
+class TestBushyEnumeration:
+    ENTRIES = {
+        "A": (100, {"c": 100}),
+        "B": (10000, {"c": 10000}),
+        "C": (100000, {"c": 100000}),
+        "D": (500, {"c": 500}),
+    }
+    PREDICATES = [
+        join_predicate("A", "c", "B", "c"),
+        join_predicate("B", "c", "C", "c"),
+        join_predicate("C", "c", "D", "c"),
+    ]
+
+    def test_bushy_covers_all_tables(self):
+        estimator, widths, rows = chain_setup(self.ENTRIES, self.PREDICATES)
+        plan = enumerate_dp_bushy(estimator, CostModel(), widths, rows)
+        assert plan.tables == frozenset(self.ENTRIES)
+
+    def test_bushy_never_worse_than_left_deep(self):
+        """Left-deep plans are a subset of bushy plans, so the bushy
+        optimum's cost is <= the left-deep optimum's cost."""
+        estimator, widths, rows = chain_setup(self.ENTRIES, self.PREDICATES)
+        left_deep = enumerate_dp(estimator, CostModel(), widths, rows)
+        bushy = enumerate_dp_bushy(estimator, CostModel(), widths, rows)
+        assert bushy.estimated_cost <= left_deep.estimated_cost + 1e-9
+
+    def test_bushy_estimates_match_closed_form(self):
+        estimator, widths, rows = chain_setup(self.ENTRIES, self.PREDICATES)
+        plan = enumerate_dp_bushy(estimator, CostModel(), widths, rows)
+        assert plan.estimated_rows == pytest.approx(estimator.closed_form())
+
+    def test_single_table(self):
+        estimator, widths, rows = chain_setup({"A": (5, {"c": 5})}, [])
+        plan = enumerate_dp_bushy(estimator, CostModel(), widths, rows)
+        assert isinstance(plan, ScanPlan)
+
+    def test_disconnected_query_falls_back_to_cartesian(self):
+        estimator, widths, rows = chain_setup(
+            {"A": (10, {"c": 10}), "B": (20, {"c": 20})}, []
+        )
+        plan = enumerate_dp_bushy(estimator, CostModel(), widths, rows)
+        assert isinstance(plan, JoinPlan) and plan.is_cartesian
+
+
+class TestBushyEndToEnd:
+    def test_optimizer_facade_accepts_bushy(self):
+        optimizer = Optimizer(smbg_catalog(), enumerator="dp-bushy")
+        result = optimizer.optimize(smbg_query(), ELS)
+        assert set(result.join_order) == {"S", "M", "B", "G"}
+        assert result.estimated_rows == pytest.approx(99.0, rel=0.02)
+
+    def test_bushy_plan_executes_correctly(self):
+        database = load_smbg_database(scale=0.05, seed=3)
+        query = smbg_query(threshold=10)
+        optimizer = Optimizer(database.catalog, enumerator="dp-bushy")
+        result = optimizer.optimize(query, ELS)
+        run = Executor(database).count(result.plan)
+        assert run.count == 9
+
+    def test_bushy_plan_may_be_genuinely_bushy(self):
+        """At full-scale statistics the chosen S/M/B/G plan joins (G, M)
+        under B — verify some right child is a join, and leaf_order and
+        joins_of handle it."""
+        optimizer = Optimizer(smbg_catalog(), enumerator="dp-bushy")
+        result = optimizer.optimize(smbg_query(), ELS)
+        from repro.optimizer import joins_of
+
+        joins = joins_of(result.plan)
+        assert len(joins) == 3
+        has_bushy = any(isinstance(j.right, JoinPlan) for j in joins)
+        # Not guaranteed in general, but stable for this catalog and seed.
+        assert has_bushy
+        assert len(leaf_order(result.plan)) == 4

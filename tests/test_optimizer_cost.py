@@ -1,0 +1,85 @@
+"""Cost model tests: page math and method cost relationships."""
+
+import pytest
+
+from repro.optimizer import CostModel
+
+
+class TestPages:
+    def test_zero_rows_zero_pages(self):
+        assert CostModel().pages(0, 8) == 0.0
+
+    def test_ceiling(self):
+        model = CostModel(page_size=4096)
+        assert model.pages(1, 8) == 1.0
+        assert model.pages(512, 8) == 1.0
+        assert model.pages(513, 8) == 2.0
+
+    def test_wide_rows_take_more_pages(self):
+        model = CostModel(page_size=4096)
+        assert model.pages(1000, 40) > model.pages(1000, 8)
+
+
+class TestScanCost:
+    def test_scan_cost_scales_with_rows(self):
+        model = CostModel()
+        assert model.scan_cost(10**6, 8) > model.scan_cost(10**3, 8)
+
+    def test_predicates_add_cpu(self):
+        model = CostModel()
+        assert model.scan_cost(1000, 8, predicates=3) > model.scan_cost(
+            1000, 8, predicates=1
+        )
+
+
+class TestJoinCosts:
+    MODEL = CostModel(buffer_pages=16)
+
+    def test_nested_loops_small_inner_cheap(self):
+        small = self.MODEL.nested_loops_cost(100, 8, 100, 8)
+        large = self.MODEL.nested_loops_cost(100, 8, 10**6, 8)
+        assert large > small * 10
+
+    def test_nested_loops_buffer_threshold(self):
+        """An inner that fits in the buffer is read once regardless of the
+        outer size; one that does not is re-read per outer block."""
+        fits = self.MODEL.nested_loops_cost(10**5, 8, 1000, 8)
+        spills = self.MODEL.nested_loops_cost(10**5, 8, 10**5, 8)
+        assert spills > fits
+
+    def test_sort_merge_beats_nl_for_two_large_inputs(self):
+        n = 10**5
+        nl = self.MODEL.nested_loops_cost(n, 8, n, 8)
+        sm = self.MODEL.sort_merge_cost(n, 8, n, 8)
+        assert sm < nl
+
+    def test_nl_beats_sort_merge_for_tiny_outer(self):
+        nl = self.MODEL.nested_loops_cost(10, 8, 100, 8)
+        sm = self.MODEL.sort_merge_cost(10, 8, 100, 8)
+        assert nl < sm
+
+    def test_hash_cheapest_for_large_equijoins(self):
+        n = 10**5
+        hj = self.MODEL.hash_cost(n, 8, n, 8)
+        sm = self.MODEL.sort_merge_cost(n, 8, n, 8)
+        assert hj < sm
+
+    def test_costs_nonnegative_and_monotone(self):
+        model = CostModel()
+        for fn in (model.nested_loops_cost, model.sort_merge_cost, model.hash_cost):
+            assert fn(0, 8, 0, 8) >= 0.0
+            assert fn(1000, 8, 1000, 8) <= fn(2000, 8, 2000, 8)
+
+
+class TestOutputCost:
+    def test_materialization_charged_by_default(self):
+        model = CostModel()
+        assert model.output_cost(10**5, 16) > 0.0
+
+    def test_materialization_can_be_disabled(self):
+        model = CostModel(materialize_output=False)
+        assert model.output_cost(10**5, 16) == 0.0
+
+    def test_empty_output_free_io(self):
+        model = CostModel()
+        assert model.output_cost(0, 16) == 0.0

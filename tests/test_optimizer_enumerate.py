@@ -1,0 +1,147 @@
+"""Enumerator tests: DP and greedy plan construction, cartesian deferral."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core import ELS, JoinSizeEstimator
+from repro.errors import OptimizationError
+from repro.optimizer import CostModel, JoinMethod, enumerate_dp, enumerate_greedy, leaf_order
+from repro.optimizer.plans import JoinPlan, ScanPlan
+from repro.sql import Projection, Query, join_predicate
+
+
+def make_estimator(entries, predicates, tables=None):
+    catalog = Catalog.from_stats(entries)
+    names = tables or list(entries)
+    query = Query.build(names, predicates, Projection(count_star=True))
+    return JoinSizeEstimator(query, catalog, ELS)
+
+
+def widths_and_rows(entries):
+    widths = {name: 4 * len(columns) for name, (_, columns) in entries.items()}
+    rows = {name: rows_ for name, (rows_, _) in entries.items()}
+    return widths, rows
+
+
+CHAIN = {
+    "A": (100, {"c": 100}),
+    "B": (10000, {"c": 10000}),
+    "C": (100000, {"c": 100000}),
+}
+CHAIN_PREDS = [
+    join_predicate("A", "c", "B", "c"),
+    join_predicate("B", "c", "C", "c"),
+]
+
+
+class TestDP:
+    def test_single_table_returns_scan(self):
+        entries = {"A": (100, {"c": 100})}
+        estimator = make_estimator(entries, [])
+        widths, rows = widths_and_rows(entries)
+        plan = enumerate_dp(estimator, CostModel(), widths, rows)
+        assert isinstance(plan, ScanPlan)
+        assert plan.relation == "A"
+
+    def test_covers_all_tables(self):
+        estimator = make_estimator(CHAIN, CHAIN_PREDS)
+        widths, rows = widths_and_rows(CHAIN)
+        plan = enumerate_dp(estimator, CostModel(), widths, rows)
+        assert plan.tables == frozenset({"A", "B", "C"})
+
+    def test_small_table_joined_early(self):
+        """With a tiny A and a huge C, no sane plan starts with C as outer."""
+        estimator = make_estimator(CHAIN, CHAIN_PREDS)
+        widths, rows = widths_and_rows(CHAIN)
+        plan = enumerate_dp(estimator, CostModel(), widths, rows)
+        order = leaf_order(plan)
+        assert order.index("A") < order.index("C")
+
+    def test_no_cartesian_when_connected_plan_exists(self):
+        estimator = make_estimator(CHAIN, CHAIN_PREDS)
+        widths, rows = widths_and_rows(CHAIN)
+        plan = enumerate_dp(estimator, CostModel(), widths, rows)
+        node = plan
+        while isinstance(node, JoinPlan):
+            assert not node.is_cartesian
+            node = node.left
+
+    def test_cartesian_fallback_for_disconnected_query(self):
+        entries = {"A": (10, {"c": 10}), "B": (20, {"c": 20})}
+        estimator = make_estimator(entries, [])
+        widths, rows = widths_and_rows(entries)
+        plan = enumerate_dp(estimator, CostModel(), widths, rows)
+        assert isinstance(plan, JoinPlan)
+        assert plan.is_cartesian
+        assert plan.estimated_rows == pytest.approx(200.0)
+
+    def test_methods_restricted(self):
+        estimator = make_estimator(CHAIN, CHAIN_PREDS)
+        widths, rows = widths_and_rows(CHAIN)
+        plan = enumerate_dp(
+            estimator, CostModel(), widths, rows, methods=(JoinMethod.NESTED_LOOPS,)
+        )
+        node = plan
+        while isinstance(node, JoinPlan):
+            assert node.method is JoinMethod.NESTED_LOOPS
+            node = node.left
+
+    def test_hash_method_available_when_enabled(self):
+        estimator = make_estimator(CHAIN, CHAIN_PREDS)
+        widths, rows = widths_and_rows(CHAIN)
+        plan = enumerate_dp(
+            estimator,
+            CostModel(),
+            widths,
+            rows,
+            methods=(JoinMethod.NESTED_LOOPS, JoinMethod.HASH),
+        )
+        methods = set()
+        node = plan
+        while isinstance(node, JoinPlan):
+            methods.add(node.method)
+            node = node.left
+        assert JoinMethod.HASH in methods
+
+    def test_plan_carries_estimates(self):
+        estimator = make_estimator(CHAIN, CHAIN_PREDS)
+        widths, rows = widths_and_rows(CHAIN)
+        plan = enumerate_dp(estimator, CostModel(), widths, rows)
+        assert plan.estimated_rows > 0
+        assert plan.estimated_cost > 0
+        # The root estimate agrees with re-walking the estimator.
+        assert plan.estimated_rows == pytest.approx(
+            estimator.estimate(list(leaf_order(plan)))
+        )
+
+
+class TestGreedy:
+    def test_greedy_covers_all_tables(self):
+        estimator = make_estimator(CHAIN, CHAIN_PREDS)
+        widths, rows = widths_and_rows(CHAIN)
+        plan = enumerate_greedy(estimator, CostModel(), widths, rows)
+        assert plan.tables == frozenset({"A", "B", "C"})
+
+    def test_greedy_matches_dp_on_small_chain(self):
+        estimator = make_estimator(CHAIN, CHAIN_PREDS)
+        widths, rows = widths_and_rows(CHAIN)
+        dp_plan = enumerate_dp(estimator, CostModel(), widths, rows)
+        greedy_plan = enumerate_greedy(estimator, CostModel(), widths, rows)
+        assert greedy_plan.estimated_cost <= dp_plan.estimated_cost * 3
+
+    def test_greedy_handles_many_tables(self):
+        entries = {f"T{i}": (1000, {"c": 1000}) for i in range(1, 13)}
+        predicates = [
+            join_predicate(f"T{i}", "c", f"T{i+1}", "c") for i in range(1, 12)
+        ]
+        estimator = make_estimator(entries, predicates, tables=list(entries))
+        widths, rows = widths_and_rows(entries)
+        plan = enumerate_greedy(estimator, CostModel(), widths, rows)
+        assert len(leaf_order(plan)) == 12
+
+    def test_greedy_single_table(self):
+        entries = {"A": (5, {"c": 5})}
+        estimator = make_estimator(entries, [])
+        widths, rows = widths_and_rows(entries)
+        plan = enumerate_greedy(estimator, CostModel(), widths, rows)
+        assert isinstance(plan, ScanPlan)

@@ -1,0 +1,96 @@
+"""Plan tree tests: structure, leaf order, explain output."""
+
+from repro.optimizer import JoinMethod, JoinPlan, ScanPlan, explain, joins_of, leaf_order
+from repro.sql import Op, join_predicate, local_predicate
+
+
+def scan(name, rows=100.0):
+    return ScanPlan(
+        relation=name,
+        base_table=name,
+        local_predicates=(),
+        estimated_rows=rows,
+        estimated_cost=1.0,
+        row_width=8,
+    )
+
+
+def join(left, right, predicates=(), method=JoinMethod.SORT_MERGE, rows=50.0):
+    return JoinPlan(
+        left=left,
+        right=right,
+        method=method,
+        predicates=tuple(predicates),
+        estimated_rows=rows,
+        estimated_cost=left.estimated_cost + right.estimated_cost + 1.0,
+        row_width=left.row_width + right.row_width,
+    )
+
+
+class TestStructure:
+    def test_scan_tables(self):
+        assert scan("R").tables == frozenset({"R"})
+        assert scan("R").is_scan
+
+    def test_join_tables_union(self):
+        plan = join(join(scan("A"), scan("B")), scan("C"))
+        assert plan.tables == frozenset({"A", "B", "C"})
+        assert not plan.is_scan
+
+    def test_cartesian_flag(self):
+        assert join(scan("A"), scan("B")).is_cartesian
+        pred = join_predicate("A", "x", "B", "y")
+        assert not join(scan("A"), scan("B"), [pred]).is_cartesian
+
+    def test_row_width_accumulates(self):
+        plan = join(join(scan("A"), scan("B")), scan("C"))
+        assert plan.row_width == 24
+
+
+class TestLeafOrder:
+    def test_single_scan(self):
+        assert leaf_order(scan("R")) == ("R",)
+
+    def test_left_deep_order(self):
+        plan = join(join(scan("B"), scan("G")), scan("M"))
+        assert leaf_order(plan) == ("B", "G", "M")
+
+    def test_four_way(self):
+        plan = join(join(join(scan("B"), scan("G")), scan("M")), scan("S"))
+        assert leaf_order(plan) == ("B", "G", "M", "S")
+
+
+class TestJoinsOf:
+    def test_scan_has_no_joins(self):
+        assert joins_of(scan("R")) == ()
+
+    def test_bottom_up_order(self):
+        inner = join(scan("A"), scan("B"))
+        outer = join(inner, scan("C"))
+        assert joins_of(outer) == (inner, outer)
+
+
+class TestExplain:
+    def test_scan_with_predicates(self):
+        plan = ScanPlan(
+            relation="S",
+            base_table="S",
+            local_predicates=(local_predicate("S", "s", Op.LT, 100),),
+            estimated_rows=99.0,
+            estimated_cost=2.0,
+            row_width=4,
+        )
+        text = explain(plan)
+        assert "Scan S" in text and "S.s < 100" in text
+
+    def test_join_tree_indented(self):
+        pred = join_predicate("A", "x", "B", "y")
+        plan = join(scan("A"), scan("B"), [pred], JoinMethod.NESTED_LOOPS)
+        text = explain(plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("NL-Join")
+        assert lines[1].startswith("  Scan A")
+        assert lines[2].startswith("  Scan B")
+
+    def test_cartesian_marked(self):
+        assert "cartesian" in explain(join(scan("A"), scan("B")))

@@ -1,0 +1,128 @@
+"""Randomized enumerator tests: iterative improvement and annealing."""
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core import ELS, JoinSizeEstimator
+from repro.errors import OptimizationError
+from repro.optimizer import (
+    CostModel,
+    Optimizer,
+    cost_of_order,
+    enumerate_annealing,
+    enumerate_dp,
+    enumerate_iterative_improvement,
+    leaf_order,
+)
+from repro.optimizer.enumerate import _build_scans
+from repro.sql import Projection, Query, join_predicate
+from repro.workloads import chain_workload, smbg_catalog, smbg_query
+
+
+def setup_chain(num_tables, seed=0, max_rows=20000):
+    workload = chain_workload(
+        num_tables, random.Random(seed), min_rows=100, max_rows=max_rows
+    )
+    entries = {
+        spec.name: (spec.rows, {c: cs.distinct for c, cs in spec.columns.items()})
+        for spec in workload.specs
+    }
+    catalog = Catalog.from_stats(entries)
+    estimator = JoinSizeEstimator(workload.query, catalog, ELS)
+    widths = {spec.name: 4 for spec in workload.specs}
+    rows = {spec.name: spec.rows for spec in workload.specs}
+    return estimator, widths, rows
+
+
+class TestCostOfOrder:
+    def test_matches_dp_along_dp_order(self):
+        from repro.optimizer import JoinMethod
+
+        estimator, widths, rows = setup_chain(4)
+        model = CostModel()
+        dp_plan = enumerate_dp(estimator, model, widths, rows)
+        scans = _build_scans(estimator, model, widths, rows)
+        methods = (JoinMethod.NESTED_LOOPS, JoinMethod.SORT_MERGE)
+        candidate = cost_of_order(
+            list(leaf_order(dp_plan)), scans, estimator, model, methods
+        )
+        assert candidate is not None
+        assert candidate.cost == pytest.approx(dp_plan.estimated_cost)
+
+
+class TestIterativeImprovement:
+    def test_finds_dp_optimum_on_small_chain(self):
+        estimator, widths, rows = setup_chain(5, seed=1)
+        model = CostModel()
+        dp_plan = enumerate_dp(estimator, model, widths, rows)
+        ii_plan = enumerate_iterative_improvement(
+            estimator, model, widths, rows, seed=3, restarts=10
+        )
+        assert ii_plan.estimated_cost <= dp_plan.estimated_cost * 1.3
+
+    def test_deterministic_under_seed(self):
+        estimator, widths, rows = setup_chain(5, seed=2)
+        model = CostModel()
+        a = enumerate_iterative_improvement(estimator, model, widths, rows, seed=9)
+        b = enumerate_iterative_improvement(estimator, model, widths, rows, seed=9)
+        assert leaf_order(a) == leaf_order(b)
+        assert a.estimated_cost == b.estimated_cost
+
+    def test_handles_many_tables(self):
+        estimator, widths, rows = setup_chain(14, seed=3, max_rows=3000)
+        plan = enumerate_iterative_improvement(
+            estimator, CostModel(), widths, rows, seed=1, restarts=3, max_stale_moves=20
+        )
+        assert len(leaf_order(plan)) == 14
+
+    def test_single_table(self):
+        catalog = Catalog.from_stats({"A": (5, {"c": 5})})
+        query = Query.build(["A"], [], Projection(count_star=True))
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        plan = enumerate_iterative_improvement(
+            estimator, CostModel(), {"A": 4}, {"A": 5}
+        )
+        assert leaf_order(plan) == ("A",)
+
+    def test_empty_query_rejected(self):
+        catalog = Catalog.from_stats({"A": (5, {"c": 5})})
+        query = Query.build(["A"], [], Projection(count_star=True))
+        estimator = JoinSizeEstimator(query, catalog, ELS)
+        object.__setattr__(estimator.query, "tables", ())
+        with pytest.raises(OptimizationError):
+            enumerate_iterative_improvement(estimator, CostModel(), {}, {})
+
+
+class TestAnnealing:
+    def test_finds_near_optimal_on_small_chain(self):
+        estimator, widths, rows = setup_chain(5, seed=4)
+        model = CostModel()
+        dp_plan = enumerate_dp(estimator, model, widths, rows)
+        sa_plan = enumerate_annealing(estimator, model, widths, rows, seed=5)
+        assert sa_plan.estimated_cost <= dp_plan.estimated_cost * 1.5
+
+    def test_deterministic_under_seed(self):
+        estimator, widths, rows = setup_chain(4, seed=5)
+        model = CostModel()
+        a = enumerate_annealing(estimator, model, widths, rows, seed=2)
+        b = enumerate_annealing(estimator, model, widths, rows, seed=2)
+        assert a.estimated_cost == b.estimated_cost
+
+
+class TestFacadeIntegration:
+    def test_random_enumerator_on_smbg(self):
+        optimizer = Optimizer(smbg_catalog(), enumerator="random", seed=7)
+        result = optimizer.optimize(smbg_query(), ELS)
+        dp = Optimizer(smbg_catalog()).optimize(smbg_query(), ELS)
+        assert result.estimated_cost == pytest.approx(dp.estimated_cost, rel=0.25)
+
+    def test_annealing_enumerator_on_smbg(self):
+        optimizer = Optimizer(smbg_catalog(), enumerator="annealing", seed=7)
+        result = optimizer.optimize(smbg_query(), ELS)
+        assert set(result.join_order) == {"S", "M", "B", "G"}
+
+    def test_unknown_enumerator_still_rejected(self):
+        with pytest.raises(OptimizationError):
+            Optimizer(smbg_catalog(), enumerator="quantum")

@@ -1,0 +1,111 @@
+"""Empirical validation of the paper's Section 2 assumptions.
+
+The analytic machinery rests on three assumptions — independence,
+uniformity of join-column values, and containment — plus Rosenthal's note
+[12] that Equation 1 survives when uniformity is weakened to *expected*
+uniformity on just one side.  These tests generate data realizing (or
+deliberately violating) each assumption and check the formulas against
+executed joins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import two_way_join_size
+from repro.core.skew import exact_join_size
+from repro.workloads import uniform_column, zipf_column
+
+
+def frequencies(values):
+    result = {}
+    for v in values:
+        result[v] = result.get(v, 0) + 1
+    return result
+
+
+def executed_join_size(left_values, right_values):
+    return exact_join_size(frequencies(left_values), frequencies(right_values))
+
+
+class TestEquation1UnderTheAssumptions:
+    """Uniform + containment data joins at exactly Equation 1's size."""
+
+    @pytest.mark.parametrize(
+        "left_rows,left_d,right_rows,right_d",
+        [
+            (1000, 100, 1000, 1000),  # Example 1b's R2 >< R3
+            (100, 10, 1000, 100),  # Example 1b's R1 >< R2
+            (500, 50, 600, 200),
+            (100, 100, 100, 100),  # key-key
+            (1000, 1, 1000, 10),  # constant column
+        ],
+    )
+    def test_exact_when_divisible(self, left_rows, left_d, right_rows, right_d):
+        rng = np.random.default_rng(1)
+        left = uniform_column(left_rows, left_d, rng)
+        right = uniform_column(right_rows, right_d, rng)
+        expected = two_way_join_size(left_rows, left_d, right_rows, right_d)
+        actual = executed_join_size(left, right)
+        # Divisible rows/distinct and nested domains -> exact equality.
+        assert actual == pytest.approx(expected, rel=0.02)
+
+    def test_containment_violation_overestimates(self):
+        """Disjoint domains: Equation 1 predicts rows, the truth is zero."""
+        rng = np.random.default_rng(2)
+        left = uniform_column(1000, 100, rng, low=1)
+        right = uniform_column(1000, 100, rng, low=10_000)
+        predicted = two_way_join_size(1000, 100, 1000, 100)
+        assert predicted == pytest.approx(10_000.0)
+        assert executed_join_size(left, right) == 0
+
+
+class TestRosenthalRelaxation:
+    """[12]: Equation 1 holds in expectation when only ONE side is
+    uniform.  We skew one side heavily and keep the other uniform over the
+    same domain; the executed size stays at Equation 1's prediction."""
+
+    @pytest.mark.parametrize("skew", [0.5, 1.0, 1.5])
+    def test_one_sided_skew_preserves_equation_1(self, skew):
+        rng = np.random.default_rng(3)
+        domain = 200
+        left = zipf_column(20_000, domain, skew, rng)  # skewed side
+        right = uniform_column(10_000, domain, rng)  # uniform side
+        predicted = two_way_join_size(20_000, domain, 10_000, domain)
+        actual = executed_join_size(left, right)
+        # Uniform side: every value has exactly rows/d copies, so the sum
+        # sum_v f_L(v) * (rows_R / d) = rows_L * rows_R / d exactly.
+        assert actual == pytest.approx(predicted, rel=0.01)
+
+    def test_two_sided_skew_breaks_equation_1(self):
+        """With BOTH sides Zipf the correlation of hot values blows the
+        estimate: the truth far exceeds Equation 1."""
+        rng = np.random.default_rng(4)
+        domain = 200
+        left = zipf_column(20_000, domain, 1.5, rng)
+        right = zipf_column(10_000, domain, 1.5, rng)
+        predicted = two_way_join_size(20_000, domain, 10_000, domain)
+        actual = executed_join_size(left, right)
+        assert actual > predicted * 3
+
+
+class TestIndependenceAssumption:
+    """Independent columns: multi-class selectivities multiply; correlated
+    columns violate it measurably."""
+
+    def test_independent_columns_multiply(self):
+        rng = np.random.default_rng(5)
+        rows = 20_000
+        a = uniform_column(rows, 100, rng)
+        b = uniform_column(rows, 50, rng)
+        # Selection a = 1 AND b = 1: independence predicts rows/(100*50).
+        count = sum(1 for x, y in zip(a, b) if x == 1 and y == 1)
+        assert count == pytest.approx(rows / 5000, abs=4 * (rows / 5000) ** 0.5 + 3)
+
+    def test_perfectly_correlated_columns_violate(self):
+        rng = np.random.default_rng(6)
+        rows = 10_000
+        a = uniform_column(rows, 100, rng)
+        b = list(a)  # perfect correlation
+        count = sum(1 for x, y in zip(a, b) if x == 1 and y == 1)
+        independent_prediction = rows / (100 * 100)
+        assert count > independent_prediction * 50

@@ -1,0 +1,64 @@
+"""Cross-enumerator, cross-method execution equivalence.
+
+Every plan the library can produce for a query — any enumerator, any join
+method repertoire, any estimation algorithm — must return the same result
+when executed.  This is the system-level safety net: estimation quality may
+vary wildly (that is the paper's subject), correctness may not.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ELS, SM, SSS
+from repro.execution import Executor
+from repro.optimizer import JoinMethod, Optimizer
+from repro.workloads import (
+    build_database,
+    chain_workload,
+    cycle_workload,
+    snowflake_workload,
+    star_workload,
+)
+
+ALL_METHODS = (JoinMethod.NESTED_LOOPS, JoinMethod.SORT_MERGE, JoinMethod.HASH)
+
+
+def run_all_plans(workload, seed):
+    database = build_database(workload.specs, seed=seed)
+    executor = Executor(database)
+    counts = {}
+    for enumerator in ("dp", "dp-bushy", "greedy", "random"):
+        for methods in (None, ALL_METHODS):
+            kwargs = {"enumerator": enumerator, "seed": 3}
+            if methods is not None:
+                kwargs["methods"] = methods
+            optimizer = Optimizer(database.catalog, **kwargs)
+            for config, closure in ((ELS, True), (SM, True), (SM, False), (SSS, True)):
+                result = optimizer.optimize(workload.query, config, apply_closure=closure)
+                key = (enumerator, methods is not None, config.rule.value, closure)
+                counts[key] = executor.count(result.plan).count
+    return counts
+
+
+@pytest.mark.parametrize(
+    "factory,seed",
+    [
+        (lambda rng: chain_workload(3, rng, min_rows=50, max_rows=400), 1),
+        (lambda rng: chain_workload(4, rng, min_rows=50, max_rows=300,
+                                    local_predicate_probability=0.5), 2),
+        (lambda rng: star_workload(2, rng, fact_rows_range=(500, 1500),
+                                   dim_rows_range=(20, 200)), 3),
+        (lambda rng: cycle_workload(3, rng, min_rows=50, max_rows=300), 4),
+        (lambda rng: snowflake_workload(2, 1, rng,
+                                        fact_rows_range=(400, 1000),
+                                        dim_rows_range=(40, 150),
+                                        subdim_rows_range=(10, 60)), 5),
+    ],
+    ids=["chain3", "chain4-locals", "star2", "cycle3", "snowflake"],
+)
+def test_all_plans_agree(factory, seed):
+    workload = factory(random.Random(seed))
+    counts = run_all_plans(workload, seed)
+    distinct_counts = set(counts.values())
+    assert len(distinct_counts) == 1, f"plans disagree: {counts}"

@@ -1,0 +1,137 @@
+"""SQL aggregate select-lists and GROUP BY: parser + end-to-end execution."""
+
+import pytest
+
+from repro.analysis import execute_query
+from repro.catalog import TableSchema
+from repro.errors import ParseError
+from repro.sql import ColumnRef, parse_query
+from repro.sql.query import AggregateExpr, Projection
+from repro.storage import Database
+
+
+class TestAggregateExpr:
+    def test_count_star(self):
+        assert str(AggregateExpr("count")) == "COUNT(*)"
+
+    def test_sum_requires_column(self):
+        with pytest.raises(ValueError):
+            AggregateExpr("sum")
+
+    def test_count_rejects_column(self):
+        with pytest.raises(ValueError):
+            AggregateExpr("count", ColumnRef("R", "x"))
+
+    def test_unknown_function(self):
+        with pytest.raises(ValueError):
+            AggregateExpr("median", ColumnRef("R", "x"))
+
+
+class TestProjectionShapes:
+    def test_group_by_requires_aggregates(self):
+        with pytest.raises(ValueError):
+            Projection(group_by=(ColumnRef("R", "g"),))
+
+    def test_count_star_exclusive(self):
+        with pytest.raises(ValueError):
+            Projection(count_star=True, aggregates=(AggregateExpr("count"),))
+
+    def test_is_aggregate(self):
+        assert Projection(count_star=True).is_aggregate
+        assert Projection(aggregates=(AggregateExpr("count"),)).is_aggregate
+        assert not Projection().is_aggregate
+
+
+class TestParsing:
+    def test_bare_count_star_stays_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM R")
+        assert query.projection.count_star
+        assert not query.projection.aggregates
+
+    def test_aggregate_list(self):
+        query = parse_query("SELECT SUM(R.x), MAX(R.x) FROM R")
+        aggs = query.projection.aggregates
+        assert [a.function for a in aggs] == ["sum", "max"]
+        assert aggs[0].column == ColumnRef("R", "x")
+
+    def test_group_by(self):
+        query = parse_query(
+            "SELECT R.g, COUNT(*) FROM R WHERE R.x > 0 GROUP BY R.g"
+        )
+        assert query.projection.group_by == (ColumnRef("R", "g"),)
+        assert query.projection.aggregates == (AggregateExpr("count"),)
+
+    def test_group_by_multiple_columns(self):
+        query = parse_query("SELECT R.a, R.b, AVG(R.x) FROM R GROUP BY R.a, R.b")
+        assert len(query.projection.group_by) == 2
+
+    def test_plain_column_must_be_grouped(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.a, COUNT(*) FROM R GROUP BY R.b")
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.a FROM R GROUP BY R.a")
+
+    def test_star_with_group_by_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM R GROUP BY R.a")
+
+    def test_unqualified_resolution_in_aggregates(self):
+        query = parse_query(
+            "SELECT region, SUM(amount) FROM Sales GROUP BY region",
+            schemas={"Sales": ["region", "amount"]},
+        )
+        assert query.projection.group_by[0] == ColumnRef("Sales", "region")
+
+    def test_round_trip(self):
+        text = "SELECT R.g, SUM(R.x) FROM R WHERE R.x > 0 GROUP BY R.g"
+        query = parse_query(text)
+        reparsed = parse_query(str(query))
+        assert reparsed.projection == query.projection
+        assert reparsed.predicates == query.predicates
+
+
+class TestEndToEnd:
+    def make_database(self):
+        db = Database()
+        db.load_columns(
+            TableSchema.of("Sales", "region", "amount"),
+            {"region": [1, 1, 2, 2, 2, 3], "amount": [10, 20, 5, 5, 5, 100]},
+        )
+        db.load_columns(TableSchema.of("Regions", "id"), {"id": [1, 2, 3]})
+        return db
+
+    def test_group_by_over_join(self):
+        db = self.make_database()
+        query = parse_query(
+            "SELECT Sales.region, SUM(Sales.amount), COUNT(*) FROM Sales, Regions "
+            "WHERE Sales.region = Regions.id GROUP BY Sales.region"
+        )
+        result = execute_query(query, db)
+        assert result.rows == [(1, 30.0, 2), (2, 15.0, 3), (3, 100.0, 1)]
+        assert result.count == 6  # join cardinality before aggregation
+
+    def test_scalar_aggregates(self):
+        db = self.make_database()
+        query = parse_query(
+            "SELECT SUM(Sales.amount), MIN(Sales.amount), AVG(Sales.amount) FROM Sales"
+        )
+        result = execute_query(query, db)
+        assert result.rows == [(145.0, 5, 145.0 / 6)]
+
+    def test_aggregate_with_where(self):
+        db = self.make_database()
+        query = parse_query(
+            "SELECT Sales.region, COUNT(*) FROM Sales "
+            "WHERE Sales.amount >= 10 GROUP BY Sales.region"
+        )
+        result = execute_query(query, db)
+        assert result.rows == [(1, 2), (3, 1)]
+
+    def test_count_star_unchanged(self):
+        db = self.make_database()
+        query = parse_query("SELECT COUNT(*) FROM Sales WHERE Sales.region = 2")
+        result = execute_query(query, db)
+        assert result.count == 3
+        assert result.rows == []

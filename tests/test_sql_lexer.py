@@ -1,0 +1,161 @@
+"""Tokenizer tests: every token class, positions, and failure modes."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only_yields_only_eof(self):
+        tokens = tokenize("   \t\n  ")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_case_insensitive(self):
+        for word in ("select", "SELECT", "SeLeCt"):
+            token = tokenize(word)[0]
+            assert token.type is TokenType.KEYWORD
+            assert token.text == "SELECT"
+
+    def test_all_keywords_recognized(self):
+        for word in ("SELECT", "FROM", "WHERE", "AND", "AS", "COUNT"):
+            assert tokenize(word)[0].type is TokenType.KEYWORD
+
+    def test_identifier_not_keyword(self):
+        token = tokenize("selecting")[0]
+        assert token.type is TokenType.IDENT
+        assert token.text == "selecting"
+
+    def test_identifier_with_underscore_and_digits(self):
+        token = tokenize("col_1x")[0]
+        assert token.type is TokenType.IDENT
+        assert token.text == "col_1x"
+
+    def test_identifier_preserves_case(self):
+        assert tokenize("MyTable")[0].text == "MyTable"
+
+
+class TestNumbers:
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == 42
+        assert isinstance(token.value, int)
+
+    def test_float_literal(self):
+        token = tokenize("3.25")[0]
+        assert token.value == 3.25
+        assert isinstance(token.value, float)
+
+    def test_negative_integer(self):
+        token = tokenize("-17")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == -17
+
+    def test_qualified_name_not_parsed_as_float(self):
+        # "R1.x" must be IDENT DOT IDENT, not a number.
+        token_types = kinds("R1.x")[:-1]
+        assert token_types == [TokenType.IDENT, TokenType.DOT, TokenType.IDENT]
+
+    def test_number_followed_by_dot_identifier(self):
+        # "1.x" lexes the 1 as a number and keeps .x separate.
+        tokens = tokenize("1.x")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == 1
+        assert tokens[1].type is TokenType.DOT
+
+
+class TestStrings:
+    def test_string_literal(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_empty_string(self):
+        token = tokenize("''")[0]
+        assert token.value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("'oops")
+        assert "unterminated" in str(excinfo.value)
+
+    def test_string_with_spaces(self):
+        assert tokenize("'a b c'")[0].value == "a b c"
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("=", "="), ("<", "<"), ("<=", "<="), (">", ">"), (">=", ">="), ("<>", "<>")],
+    )
+    def test_operator_token(self, text, expected):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.OPERATOR
+        assert token.text == expected
+
+    def test_bang_equals_normalized(self):
+        assert tokenize("!=")[0].text == "<>"
+
+    def test_two_char_operators_win_over_one_char(self):
+        tokens = tokenize("a<=b")
+        assert tokens[1].text == "<="
+
+    def test_adjacent_comparisons(self):
+        assert texts("a<b") == ["a", "<", "b"]
+
+
+class TestPunctuation:
+    def test_punctuation_tokens(self):
+        token_types = kinds("( ) , * .")[:-1]
+        assert token_types == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.STAR,
+            TokenType.DOT,
+        ]
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("a = ;")
+        assert excinfo.value.position == 4
+
+
+class TestPositions:
+    def test_positions_are_character_offsets(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_eof_position_is_end_of_text(self):
+        text = "SELECT *"
+        assert tokenize(text)[-1].position == len(text)
+
+
+class TestFullStatement:
+    def test_experiment_query_token_stream(self):
+        tokens = tokenize("SELECT COUNT(*) FROM S, M WHERE s = m AND s < 100")
+        token_types = [t.type for t in tokens]
+        assert token_types.count(TokenType.KEYWORD) == 5  # SELECT COUNT FROM WHERE AND
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_is_keyword_helper(self):
+        token = tokenize("AND")[0]
+        assert token.is_keyword("AND")
+        assert not token.is_keyword("WHERE")
+        assert not Token(TokenType.IDENT, "AND", 0).is_keyword("AND")

@@ -1,0 +1,175 @@
+"""Parser tests: grammar coverage, resolution, normalization, errors."""
+
+import pytest
+
+from repro.errors import ParseError, ResolutionError
+from repro.sql import ColumnRef, Op, parse_predicate, parse_query
+from repro.sql.predicates import Literal
+
+
+class TestSelectList:
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM R WHERE R.x = 1")
+        assert query.projection.count_star
+
+    def test_star(self):
+        query = parse_query("SELECT * FROM R")
+        assert not query.projection.count_star
+        assert query.projection.columns == ()
+
+    def test_explicit_columns(self):
+        query = parse_query("SELECT R.a, S.b FROM R, S")
+        assert query.projection.columns == (ColumnRef("R", "a"), ColumnRef("S", "b"))
+
+    def test_count_requires_parens_and_star(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT COUNT(x) FROM R")
+
+
+class TestFromClause:
+    def test_multiple_tables(self):
+        query = parse_query("SELECT * FROM A, B, C")
+        assert query.tables == ("A", "B", "C")
+
+    def test_alias_with_as(self):
+        query = parse_query("SELECT * FROM Orders AS o WHERE o.x = 1")
+        assert query.tables == ("o",)
+        assert query.base_table("o") == "Orders"
+
+    def test_alias_without_as(self):
+        query = parse_query("SELECT * FROM Orders o WHERE o.x = 1")
+        assert query.base_table("o") == "Orders"
+
+    def test_self_join_via_aliases(self):
+        query = parse_query("SELECT * FROM R a, R b WHERE a.x = b.x")
+        assert query.tables == ("a", "b")
+        assert query.base_table("a") == "R" and query.base_table("b") == "R"
+        assert query.predicates[0].is_join
+
+    def test_duplicate_relation_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM R, R")
+
+
+class TestWhereClause:
+    def test_no_where(self):
+        assert parse_query("SELECT * FROM R").predicates == ()
+
+    def test_join_and_local_predicates(self):
+        query = parse_query("SELECT * FROM R, S WHERE R.x = S.y AND R.x > 5")
+        assert len(query.predicates) == 2
+        assert query.predicates[0].is_join
+        assert query.predicates[1].kind.value == "constant-local"
+
+    def test_parenthesized_comparison(self):
+        query = parse_query("SELECT * FROM R WHERE (R.x > 500) AND (R.x < 900)")
+        assert len(query.predicates) == 2
+
+    def test_duplicate_predicates_removed(self):
+        # Algorithm ELS step 1's example: (R.x > 500) AND (R.x > 500).
+        query = parse_query("SELECT * FROM R WHERE R.x > 500 AND R.x > 500")
+        assert len(query.predicates) == 1
+
+    def test_reversed_duplicate_removed(self):
+        query = parse_query("SELECT * FROM R, S WHERE R.x = S.y AND S.y = R.x")
+        assert len(query.predicates) == 1
+
+    def test_literal_on_left_normalized(self):
+        query = parse_query("SELECT * FROM R WHERE 100 > R.x")
+        pred = query.predicates[0]
+        assert pred.left == ColumnRef("R", "x")
+        assert pred.op is Op.LT
+        assert pred.constant == 100
+
+    def test_string_literal(self):
+        query = parse_query("SELECT * FROM R WHERE R.name = 'alice'")
+        assert query.predicates[0].constant == "alice"
+
+    def test_float_literal(self):
+        query = parse_query("SELECT * FROM R WHERE R.x >= 2.5")
+        assert query.predicates[0].constant == 2.5
+
+    def test_constant_only_comparison_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM R WHERE 1 = 1")
+
+    def test_not_equal_both_spellings(self):
+        q1 = parse_query("SELECT * FROM R WHERE R.x <> 3")
+        q2 = parse_query("SELECT * FROM R WHERE R.x != 3")
+        assert q1.predicates == q2.predicates
+
+
+class TestResolution:
+    SCHEMAS = {"S": ["s"], "M": ["m"], "B": ["b"], "G": ["g"]}
+
+    def test_unqualified_columns_resolved(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM S, M WHERE s = m AND s < 100", schemas=self.SCHEMAS
+        )
+        join = query.predicates[0]
+        assert {c.table for c in join.columns} == {"S", "M"}
+
+    def test_paper_experiment_query_parses(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100",
+            schemas=self.SCHEMAS,
+        )
+        assert len(query.predicates) == 4
+        assert len(query.join_predicates) == 3
+
+    def test_unqualified_without_schemas_raises(self):
+        with pytest.raises(ResolutionError):
+            parse_query("SELECT * FROM S WHERE s < 100")
+
+    def test_ambiguous_column_raises(self):
+        with pytest.raises(ResolutionError):
+            parse_query(
+                "SELECT * FROM A, B WHERE c = 1", schemas={"A": ["c"], "B": ["c"]}
+            )
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ResolutionError):
+            parse_query("SELECT * FROM A WHERE zz = 1", schemas={"A": ["c"]})
+
+    def test_resolution_through_alias(self):
+        query = parse_query(
+            "SELECT * FROM Orders o WHERE total > 5", schemas={"Orders": ["total"]}
+        )
+        assert query.predicates[0].left == ColumnRef("o", "total")
+
+    def test_qualified_reference_to_unknown_table_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM R WHERE Z.x = 1")
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "FROM R",
+            "SELECT * R",
+            "SELECT * FROM R WHERE",
+            "SELECT * FROM R WHERE R.x =",
+            "SELECT * FROM R WHERE R.x 5",
+            "SELECT * FROM",
+            "SELECT * FROM R extra junk",
+        ],
+    )
+    def test_malformed_raises_parse_error(self, sql):
+        with pytest.raises(ParseError):
+            parse_query(sql)
+
+
+class TestParsePredicate:
+    def test_single_predicate(self):
+        pred = parse_predicate("R.x = S.y", ["R", "S"])
+        assert pred.is_join
+
+    def test_with_resolution(self):
+        pred = parse_predicate("x < 5", ["R"], schemas={"R": ["x"]})
+        assert pred.left == ColumnRef("R", "x")
+
+    def test_roundtrip_str(self):
+        query = parse_query("SELECT COUNT(*) FROM R, S WHERE R.x = S.y AND R.x > 5")
+        text = str(query)
+        assert "COUNT(*)" in text and "R.x = S.y" in text and "R.x > 5" in text

@@ -1,0 +1,117 @@
+"""Query object tests: validation, normalization, accessors."""
+
+import pytest
+
+from repro.sql import (
+    ColumnRef,
+    Op,
+    Projection,
+    Query,
+    column_equality,
+    dedupe_predicates,
+    join_predicate,
+    local_predicate,
+)
+
+
+class TestProjection:
+    def test_count_star_excludes_columns(self):
+        with pytest.raises(ValueError):
+            Projection(count_star=True, columns=(ColumnRef("R", "x"),))
+
+    def test_str_forms(self):
+        assert str(Projection(count_star=True)) == "COUNT(*)"
+        assert str(Projection()) == "*"
+        assert str(Projection(columns=(ColumnRef("R", "x"),))) == "R.x"
+
+
+class TestDedupe:
+    def test_preserves_first_seen_order(self):
+        p1 = local_predicate("R", "x", Op.GT, 5)
+        p2 = join_predicate("R", "x", "S", "y")
+        result = dedupe_predicates([p1, p2, p1])
+        assert result == (p1, p2)
+
+    def test_canonicalizes_before_comparing(self):
+        a = join_predicate("R", "x", "S", "y")
+        b = join_predicate("S", "y", "R", "x")
+        assert dedupe_predicates([a, b]) == (a,)
+
+    def test_empty(self):
+        assert dedupe_predicates([]) == ()
+
+
+class TestQueryValidation:
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(ValueError):
+            Query.build(["R", "R"], [])
+
+    def test_predicate_outside_from_rejected(self):
+        with pytest.raises(ValueError):
+            Query.build(["R"], [join_predicate("R", "x", "S", "y")])
+
+    def test_alias_defaults_to_identity(self):
+        query = Query.build(["R"], [])
+        assert query.base_table("R") == "R"
+
+    def test_alias_map_respected(self):
+        query = Query.build(["r"], [], aliases={"r": "Orders"})
+        assert query.base_table("r") == "Orders"
+
+    def test_alias_map_is_immutable(self):
+        query = Query.build(["R"], [])
+        with pytest.raises(TypeError):
+            query.aliases["R"] = "X"  # type: ignore[index]
+
+
+class TestQueryAccessors:
+    def make_query(self):
+        return Query.build(
+            ["R", "S", "T"],
+            [
+                join_predicate("R", "x", "S", "y"),
+                join_predicate("S", "y", "T", "z"),
+                local_predicate("R", "x", Op.LT, 10),
+                column_equality("S", "y", "w"),
+            ],
+        )
+
+    def test_join_predicates(self):
+        assert len(self.make_query().join_predicates) == 2
+
+    def test_local_predicates(self):
+        assert len(self.make_query().local_predicates) == 2
+
+    def test_constant_predicates(self):
+        preds = self.make_query().constant_predicates
+        assert len(preds) == 1
+        assert preds[0].constant == 10
+
+    def test_column_local_predicates(self):
+        preds = self.make_query().column_local_predicates
+        assert len(preds) == 1
+        assert preds[0].tables == frozenset({"S"})
+
+    def test_predicates_on(self):
+        query = self.make_query()
+        assert len(query.predicates_on("R")) == 2
+        assert len(query.predicates_on("S")) == 3
+        assert len(query.predicates_on("T")) == 1
+
+    def test_with_predicates_replaces_conjunction(self):
+        query = self.make_query()
+        rewritten = query.with_predicates([join_predicate("R", "x", "T", "z")])
+        assert len(rewritten.predicates) == 1
+        assert rewritten.tables == query.tables
+        assert rewritten.projection == query.projection
+
+    def test_with_predicates_keeps_aliases(self):
+        query = Query.build(
+            ["r"], [local_predicate("r", "x", Op.EQ, 1)], aliases={"r": "Orders"}
+        )
+        rewritten = query.with_predicates([])
+        assert rewritten.base_table("r") == "Orders"
+
+    def test_str_contains_where(self):
+        text = str(self.make_query())
+        assert text.startswith("SELECT * FROM R, S, T WHERE ")

@@ -1,0 +1,164 @@
+"""Storage engine tests: tables, validation, the database handle."""
+
+import pytest
+
+from repro.catalog import ColumnDef, ColumnType, TableSchema
+from repro.errors import CatalogError, StorageError
+from repro.storage import Database, Table
+
+
+def schema_rx():
+    return TableSchema.of("R", "x", "y")
+
+
+class TestTableAppend:
+    def test_append_tuple(self):
+        table = Table(schema_rx())
+        table.append((1, 2))
+        assert table.row_count == 1
+        assert list(table.scan()) == [(1, 2)]
+
+    def test_append_mapping(self):
+        table = Table(schema_rx())
+        table.append({"y": 2, "x": 1})
+        assert table.rows() == [(1, 2)]
+
+    def test_append_mapping_missing_column(self):
+        table = Table(schema_rx())
+        with pytest.raises(StorageError):
+            table.append({"x": 1})
+
+    def test_arity_mismatch(self):
+        table = Table(schema_rx())
+        with pytest.raises(StorageError):
+            table.append((1,))
+
+    def test_type_mismatch(self):
+        table = Table(schema_rx())
+        with pytest.raises(StorageError):
+            table.append((1, "nope"))
+
+    def test_extend_with_validation(self):
+        table = Table(schema_rx())
+        with pytest.raises(StorageError):
+            table.extend([(1, 2), ("bad", 3)])
+
+    def test_extend_unvalidated_is_fast_path(self):
+        table = Table(schema_rx())
+        table.extend([(1, 2), (3, 4)], validate=False)
+        assert table.row_count == 2
+
+
+class TestFromColumns:
+    def test_builds_rows_in_schema_order(self):
+        table = Table.from_columns(schema_rx(), {"y": [10, 20], "x": [1, 2]})
+        assert table.rows() == [(1, 10), (2, 20)]
+
+    def test_missing_column_data(self):
+        with pytest.raises(StorageError):
+            Table.from_columns(schema_rx(), {"x": [1]})
+
+    def test_length_mismatch(self):
+        with pytest.raises(StorageError):
+            Table.from_columns(schema_rx(), {"x": [1], "y": [1, 2]})
+
+    def test_empty_columns(self):
+        table = Table.from_columns(schema_rx(), {"x": [], "y": []})
+        assert table.row_count == 0
+
+
+class TestTableAccessors:
+    def test_column_values(self):
+        table = Table.from_columns(schema_rx(), {"x": [1, 2, 2], "y": [5, 6, 7]})
+        assert table.column_values("x") == [1, 2, 2]
+
+    def test_distinct_count(self):
+        table = Table.from_columns(schema_rx(), {"x": [1, 2, 2], "y": [5, 5, 5]})
+        assert table.distinct_count("x") == 2
+        assert table.distinct_count("y") == 1
+
+    def test_unknown_column(self):
+        table = Table(schema_rx())
+        with pytest.raises(CatalogError):
+            table.column_values("zz")
+
+    def test_rows_returns_copy(self):
+        table = Table.from_columns(schema_rx(), {"x": [1], "y": [2]})
+        rows = table.rows()
+        rows.append((9, 9))
+        assert table.row_count == 1
+
+    def test_string_column_type_enforced(self):
+        schema = TableSchema.of("S", ColumnDef("name", ColumnType.STR))
+        table = Table(schema)
+        table.append(("alice",))
+        with pytest.raises(StorageError):
+            table.append((42,))
+
+
+class TestDatabase:
+    def test_create_and_get(self):
+        db = Database()
+        db.create_table(schema_rx())
+        assert "R" in db
+        assert db.table("R").row_count == 0
+
+    def test_duplicate_create_rejected(self):
+        db = Database()
+        db.create_table(schema_rx())
+        with pytest.raises(StorageError):
+            db.create_table(schema_rx())
+
+    def test_unknown_table(self):
+        with pytest.raises(StorageError):
+            Database().table("nope")
+
+    def test_drop(self):
+        db = Database()
+        db.create_table(schema_rx())
+        db.drop_table("R")
+        assert "R" not in db
+        with pytest.raises(StorageError):
+            db.drop_table("R")
+
+    def test_load_columns(self):
+        db = Database()
+        db.load_columns(schema_rx(), {"x": [1, 2], "y": [3, 4]})
+        assert db.table("R").row_count == 2
+        with pytest.raises(StorageError):
+            db.load_columns(schema_rx(), {"x": [], "y": []})
+
+    def test_load_rows(self):
+        db = Database()
+        db.load_rows(schema_rx(), [(1, 2)])
+        assert db.true_count("R") == 1
+
+    def test_analyze_populates_catalog(self):
+        db = Database()
+        db.load_columns(schema_rx(), {"x": [1, 2, 2], "y": [1, 1, 1]})
+        db.analyze()
+        assert db.catalog.stats("R").row_count == 3
+        assert db.catalog.column_stats("R", "x").distinct == 2
+
+    def test_analyze_single_table(self):
+        db = Database()
+        db.load_columns(schema_rx(), {"x": [1], "y": [1]})
+        db.load_columns(TableSchema.of("S", "z"), {"z": [1, 2]})
+        db.analyze("S")
+        assert "S" in db.catalog._schemas  # noqa: SLF001 - white-box check
+        with pytest.raises(CatalogError):
+            db.catalog.stats("R")
+
+    def test_set_stats_overrides(self):
+        from repro.catalog import TableStats
+
+        db = Database()
+        db.load_columns(schema_rx(), {"x": [1], "y": [1]})
+        db.set_stats("R", TableStats.simple(999, {"x": 99}))
+        assert db.catalog.stats("R").row_count == 999
+
+    def test_table_names_sorted(self):
+        db = Database()
+        db.create_table(TableSchema.of("B", "x"))
+        db.create_table(TableSchema.of("A", "x"))
+        assert db.table_names() == ("A", "B")

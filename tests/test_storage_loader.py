@@ -1,0 +1,148 @@
+"""CSV and statistics-JSON loader tests."""
+
+import json
+
+import pytest
+
+from repro.catalog import Catalog, ColumnType
+from repro.errors import StorageError
+from repro.storage import Database
+from repro.storage.loader import (
+    dump_stats_json,
+    infer_column_type,
+    load_csv,
+    load_stats_json,
+)
+
+
+class TestTypeInference:
+    def test_ints(self):
+        assert infer_column_type(["1", "2", "-3"]) is ColumnType.INT
+
+    def test_floats(self):
+        assert infer_column_type(["1.5", "2"]) is ColumnType.FLOAT
+
+    def test_strings(self):
+        assert infer_column_type(["a", "1"]) is ColumnType.STR
+
+    def test_empty_cells_ignored(self):
+        assert infer_column_type(["", "2"]) is ColumnType.INT
+
+    def test_all_empty_is_str(self):
+        assert infer_column_type(["", ""]) is ColumnType.STR
+
+
+class TestLoadCsv:
+    def write(self, tmp_path, text, name="data.csv"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_basic_load(self, tmp_path):
+        path = self.write(tmp_path, "id,name,score\n1,alice,3.5\n2,bob,4.0\n")
+        db = Database()
+        table = load_csv(db, "people", path)
+        assert table.row_count == 2
+        assert table.schema.column("id").type is ColumnType.INT
+        assert table.schema.column("name").type is ColumnType.STR
+        assert table.schema.column("score").type is ColumnType.FLOAT
+        assert table.rows()[0] == (1, "alice", 3.5)
+
+    def test_analyze_after_load(self, tmp_path):
+        path = self.write(tmp_path, "x\n1\n1\n2\n")
+        db = Database()
+        load_csv(db, "R", path)
+        db.analyze()
+        assert db.catalog.column_stats("R", "x").distinct == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_csv(Database(), "R", tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = self.write(tmp_path, "")
+        with pytest.raises(StorageError):
+            load_csv(Database(), "R", path)
+
+    def test_header_only_gives_empty_table(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n")
+        table = load_csv(Database(), "R", path)
+        assert table.row_count == 0
+
+    def test_ragged_row_rejected_with_line_number(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n1,2\n3\n")
+        with pytest.raises(StorageError) as excinfo:
+            load_csv(Database(), "R", path)
+        assert ":3:" in str(excinfo.value)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = self.write(tmp_path, "a|b\n1|2\n")
+        table = load_csv(Database(), "R", path, delimiter="|")
+        assert table.rows() == [(1, 2)]
+
+    def test_duplicate_table_rejected(self, tmp_path):
+        path = self.write(tmp_path, "a\n1\n")
+        db = Database()
+        load_csv(db, "R", path)
+        with pytest.raises(StorageError):
+            load_csv(db, "R", path)
+
+
+class TestStatsJson:
+    def test_roundtrip(self, tmp_path):
+        catalog = Catalog.from_stats(
+            {"R1": (100, {"x": 10, "a": 100}), "R2": (1000, {"y": 100})}
+        )
+        path = tmp_path / "stats.json"
+        dump_stats_json(catalog, path)
+        loaded = load_stats_json(path)
+        assert loaded.tables() == ("R1", "R2")
+        assert loaded.stats("R1").row_count == 100
+        assert loaded.column_stats("R2", "y").distinct == 100
+
+    def test_paper_example_file(self, tmp_path):
+        path = tmp_path / "example1b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "R1": {"rows": 100, "columns": {"x": 10}},
+                    "R2": {"rows": 1000, "columns": {"y": 100}},
+                    "R3": {"rows": 1000, "columns": {"z": 1000}},
+                }
+            )
+        )
+        catalog = load_stats_json(path)
+        from repro.core import ELS, JoinSizeEstimator
+        from repro.sql import parse_query
+
+        query = parse_query(
+            "SELECT * FROM R1, R2, R3 WHERE R1.x = R2.y AND R2.y = R3.z"
+        )
+        assert JoinSizeEstimator(query, catalog, ELS).estimate(
+            ["R2", "R3", "R1"]
+        ) == pytest.approx(1000.0)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_stats_json(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StorageError):
+            load_stats_json(path)
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "[]",
+            '{"R": {"rows": 5}}',
+            '{"R": {"columns": {"x": 1}}}',
+            '{"R": {"rows": 5, "columns": {}}}',
+        ],
+    )
+    def test_malformed_documents(self, tmp_path, document):
+        path = tmp_path / "bad.json"
+        path.write_text(document)
+        with pytest.raises(StorageError):
+            load_stats_json(path)

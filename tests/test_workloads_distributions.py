@@ -1,0 +1,98 @@
+"""Distribution generator tests: exact cardinalities, shapes, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import key_column, uniform_column, zipf_column, zipf_weights
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestUniformColumn:
+    def test_exact_distinct_count(self):
+        values = uniform_column(1000, 100, rng())
+        assert len(values) == 1000
+        assert len(set(values)) == 100
+
+    def test_equifrequent_when_divisible(self):
+        """The paper's uniformity assumption, realized exactly."""
+        values = uniform_column(1000, 100, rng())
+        counts = {}
+        for v in values:
+            counts[v] = counts.get(v, 0) + 1
+        assert set(counts.values()) == {10}
+
+    def test_near_equifrequent_with_remainder(self):
+        values = uniform_column(1005, 100, rng())
+        counts = {}
+        for v in values:
+            counts[v] = counts.get(v, 0) + 1
+        assert set(counts.values()) <= {10, 11}
+
+    def test_domain_starts_at_low(self):
+        values = uniform_column(100, 10, rng(), low=500)
+        assert min(values) == 500 and max(values) == 509
+
+    def test_deterministic_under_seed(self):
+        assert uniform_column(100, 10, rng(7)) == uniform_column(100, 10, rng(7))
+
+    def test_zero_rows(self):
+        assert uniform_column(0, 10, rng()) == []
+
+    def test_distinct_exceeding_rows_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_column(5, 10, rng())
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_column(-1, 1, rng())
+
+    def test_key_column_case(self):
+        values = uniform_column(100, 100, rng())
+        assert sorted(values) == list(range(1, 101))
+
+
+class TestZipfColumn:
+    def test_exact_distinct_count_guaranteed(self):
+        values = zipf_column(1000, 50, 1.5, rng())
+        assert len(set(values)) == 50
+
+    def test_skew_concentrates_mass(self):
+        values = zipf_column(10000, 100, 1.5, rng())
+        counts = {}
+        for v in values:
+            counts[v] = counts.get(v, 0) + 1
+        top = max(counts.values())
+        assert top > 10000 / 100 * 5  # far above the uniform share
+
+    def test_zero_skew_is_flat_ish(self):
+        values = zipf_column(10000, 10, 0.0, rng())
+        counts = [values.count(v) for v in set(values)]
+        assert max(counts) < 2 * min(counts)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(10, -1.0)
+
+    def test_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(99))
+
+    def test_domain_offset(self):
+        values = zipf_column(100, 10, 1.0, rng(), low=1000)
+        assert min(values) >= 1000 and max(values) <= 1009
+
+
+class TestKeyColumn:
+    def test_all_distinct(self):
+        values = key_column(100)
+        assert sorted(values) == list(range(1, 101))
+
+    def test_shuffled_with_rng(self):
+        values = key_column(100, rng())
+        assert sorted(values) == list(range(1, 101))
+        assert values != sorted(values)  # astronomically unlikely to be sorted

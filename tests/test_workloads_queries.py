@@ -1,0 +1,85 @@
+"""Random query generator tests: chains, stars, cliques."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import chain_workload, clique_workload, star_workload
+
+
+class TestChain:
+    def test_shape(self, rng):
+        workload = chain_workload(4, rng)
+        assert workload.tables == ("T1", "T2", "T3", "T4")
+        joins = [p for p in workload.query.predicates if p.is_join]
+        assert len(joins) == 3
+
+    def test_chain_is_connected_in_order(self, rng):
+        workload = chain_workload(5, rng)
+        for i, predicate in enumerate(workload.query.join_predicates):
+            assert predicate.tables == frozenset({f"T{i+1}", f"T{i+2}"})
+
+    def test_local_predicates_optional(self, rng):
+        no_locals = chain_workload(3, rng, local_predicate_probability=0.0)
+        assert not no_locals.query.local_predicates
+        with_locals = chain_workload(3, random.Random(0), local_predicate_probability=1.0)
+        assert len(with_locals.query.local_predicates) == 3
+
+    def test_distinct_bounded_by_rows(self, rng):
+        for _ in range(20):
+            workload = chain_workload(3, rng)
+            for spec in workload.specs:
+                assert spec.columns["c"].distinct <= spec.rows
+
+    def test_minimum_tables(self, rng):
+        with pytest.raises(WorkloadError):
+            chain_workload(1, rng)
+
+    def test_skew_option(self, rng):
+        from repro.workloads import Distribution
+
+        workload = chain_workload(3, rng, skew=1.5)
+        for spec in workload.specs:
+            assert spec.columns["c"].distribution is Distribution.ZIPF
+
+    def test_deterministic_under_seed(self):
+        a = chain_workload(4, random.Random(42))
+        b = chain_workload(4, random.Random(42))
+        assert a.specs == b.specs
+        assert a.query.predicates == b.query.predicates
+
+
+class TestStar:
+    def test_shape(self, rng):
+        workload = star_workload(3, rng)
+        assert workload.tables == ("F", "D1", "D2", "D3")
+        assert len(workload.query.join_predicates) == 3
+
+    def test_every_join_touches_fact(self, rng):
+        workload = star_workload(4, rng)
+        for predicate in workload.query.join_predicates:
+            assert "F" in predicate.tables
+
+    def test_dimensions_are_keys(self, rng):
+        workload = star_workload(2, rng)
+        for spec in workload.specs:
+            if spec.name.startswith("D"):
+                assert spec.columns["k"].distinct == spec.rows
+
+    def test_minimum_dimensions(self, rng):
+        with pytest.raises(WorkloadError):
+            star_workload(0, rng)
+
+
+class TestClique:
+    def test_all_pairs_present(self, rng):
+        workload = clique_workload(4, rng)
+        joins = workload.query.join_predicates
+        assert len(joins) == 6  # C(4, 2)
+
+    def test_same_specs_as_chain(self):
+        """Clique over the same seed draws the same tables as the chain."""
+        a = clique_workload(3, random.Random(5))
+        assert len(a.specs) == 3
+        assert all(spec.columns["c"].distinct <= spec.rows for spec in a.specs)

@@ -1,0 +1,110 @@
+"""Cycle and snowflake workload tests, plus cross-topology estimation checks."""
+
+import random
+
+import pytest
+
+from repro.analysis import evaluate_workload, true_join_size
+from repro.core import ELS, SM, JoinSizeEstimator
+from repro.errors import WorkloadError
+from repro.workloads import build_database, cycle_workload, snowflake_workload
+
+
+class TestCycle:
+    def test_shape(self, rng):
+        workload = cycle_workload(4, rng)
+        joins = workload.query.join_predicates
+        assert len(joins) == 4  # chain's 3 + the closing edge
+        closing = joins[-1]
+        assert closing.tables == frozenset({"T1", "T4"})
+
+    def test_single_equivalence_class(self, rng):
+        workload = cycle_workload(4, rng)
+        estimator = JoinSizeEstimator(workload.query, _catalog_for(workload), ELS)
+        assert len(estimator.equivalence.nontrivial_classes()) == 1
+
+    def test_redundant_edge_is_free_under_ls(self, rng):
+        """The closing predicate adds no information; ELS's estimate for
+        the cycle equals its estimate for the underlying chain."""
+        from repro.workloads import chain_workload
+
+        seed_rng = random.Random(77)
+        chain = chain_workload(4, seed_rng, min_rows=100, max_rows=500)
+        cycle_rng = random.Random(77)
+        cycle = cycle_workload(4, cycle_rng, min_rows=100, max_rows=500)
+        assert chain.specs == cycle.specs  # same tables by construction
+        catalog = _catalog_for(chain)
+        order = list(chain.query.tables)
+        chain_estimate = JoinSizeEstimator(chain.query, catalog, ELS).estimate(order)
+        cycle_estimate = JoinSizeEstimator(cycle.query, catalog, ELS).estimate(order)
+        assert chain_estimate == pytest.approx(cycle_estimate)
+
+    def test_rule_m_double_counts_the_closing_edge(self, rng):
+        """Rule M multiplies the redundant predicate's selectivity in, so
+        its cycle estimate falls below its chain estimate."""
+        from repro.workloads import chain_workload
+
+        chain = chain_workload(4, random.Random(5), min_rows=100, max_rows=500)
+        cycle = cycle_workload(4, random.Random(5), min_rows=100, max_rows=500)
+        catalog = _catalog_for(chain)
+        order = list(chain.query.tables)
+        chain_m = JoinSizeEstimator(
+            chain.query, catalog, SM, apply_closure=False
+        ).estimate(order)
+        cycle_m = JoinSizeEstimator(
+            cycle.query, catalog, SM, apply_closure=False
+        ).estimate(order)
+        assert cycle_m < chain_m
+
+    def test_true_size_unchanged_by_redundant_edge(self):
+        from repro.workloads import chain_workload
+
+        chain = chain_workload(3, random.Random(9), min_rows=100, max_rows=300)
+        cycle = cycle_workload(3, random.Random(9), min_rows=100, max_rows=300)
+        database = build_database(chain.specs, seed=4)
+        assert true_join_size(chain.query, database) == true_join_size(
+            cycle.query, database
+        )
+
+
+class TestSnowflake:
+    def test_shape(self, rng):
+        workload = snowflake_workload(2, 2, rng)
+        assert workload.tables[0] == "F"
+        assert len(workload.tables) == 1 + 2 + 4  # fact + dims + subdims
+        assert len(workload.query.join_predicates) == 2 + 4
+
+    def test_no_subdimensions_is_a_star(self, rng):
+        workload = snowflake_workload(3, 0, rng)
+        assert len(workload.tables) == 4
+        assert all("F" in p.tables for p in workload.query.join_predicates)
+
+    def test_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            snowflake_workload(0, 1, rng)
+        with pytest.raises(WorkloadError):
+            snowflake_workload(1, -1, rng)
+
+    def test_estimation_accuracy_on_snowflake(self):
+        """ELS stays accurate on a topology with many small classes."""
+        workload = snowflake_workload(2, 1, random.Random(13))
+        records = evaluate_workload(workload, seed=13)
+        els = next(r for r in records if r.algorithm == "ELS")
+        assert els.q_error < 3.0
+
+    def test_distinct_bounded_by_rows(self, rng):
+        for _ in range(5):
+            workload = snowflake_workload(2, 2, rng)
+            for spec in workload.specs:
+                for column in spec.columns.values():
+                    assert column.distinct <= spec.rows
+
+
+def _catalog_for(workload):
+    from repro.catalog import Catalog
+
+    entries = {
+        spec.name: (spec.rows, {c: cs.distinct for c, cs in spec.columns.items()})
+        for spec in workload.specs
+    }
+    return Catalog.from_stats(entries)
