@@ -51,8 +51,9 @@ from .core import (
     two_way_join_size,
     urn_distinct,
 )
-from .errors import ReproError
+from .errors import DiagnosticError, LintError, ReproError
 from .execution import ExecutionResult, Executor
+from .lint import Diagnostic, Severity, analyze_query, lint_paths
 from .optimizer import CostModel, JoinMethod, Optimizer, OptimizerResult, explain
 from .sql import (
     ColumnRef,
@@ -78,6 +79,8 @@ __all__ = [
     "ComparisonPredicate",
     "CostModel",
     "Database",
+    "Diagnostic",
+    "DiagnosticError",
     "ELS",
     "EquivalenceClasses",
     "EstimatorConfig",
@@ -87,6 +90,7 @@ __all__ = [
     "IncrementalEstimate",
     "JoinMethod",
     "JoinSizeEstimator",
+    "LintError",
     "Op",
     "Optimizer",
     "OptimizerResult",
@@ -95,15 +99,18 @@ __all__ = [
     "SM",
     "SSS",
     "SelectivityRule",
+    "Severity",
     "Table",
     "TableSchema",
     "TableSpec",
     "TableStats",
+    "analyze_query",
     "close_query",
     "column_equality",
     "build_database",
     "explain",
     "join_predicate",
+    "lint_paths",
     "local_predicate",
     "parse_query",
     "transitive_closure",

@@ -85,6 +85,7 @@ def evaluate_workload(
     seed: int = 0,
     order: Optional[Sequence[str]] = None,
     database: Optional[Database] = None,
+    check_invariants: bool = False,
 ) -> List[AccuracyRecord]:
     """Estimate-vs-truth comparison for one workload.
 
@@ -95,14 +96,22 @@ def evaluate_workload(
         order: Join order the estimators walk; defaults to FROM-clause
             order, which is connected for chains/stars/cliques.
         database: Reuse an already generated database.
+        check_invariants: Run the layer-2 semantic diagnostics
+            (:mod:`repro.lint.semantic`) inside every estimator build, so a
+            benchmark over a query that violates the paper's invariants
+            fails loudly (:class:`repro.errors.DiagnosticError`) instead of
+            reporting numbers from a broken premise.
     """
     db = database if database is not None else build_database(workload.specs, seed)
     actual = true_join_size(workload.query, db)
     join_order = list(order) if order is not None else list(workload.query.tables)
     records: List[AccuracyRecord] = []
     for spec in algorithms:
+        config = (
+            spec.config.but(check_invariants=True) if check_invariants else spec.config
+        )
         estimator = JoinSizeEstimator(
-            workload.query, db.catalog, spec.config, spec.apply_closure
+            workload.query, db.catalog, config, spec.apply_closure
         )
         estimate = estimator.estimate(join_order)
         records.append(AccuracyRecord(spec.name, estimate, actual))

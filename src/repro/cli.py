@@ -8,7 +8,14 @@ The CLI exposes the library's core loop without writing Python:
   per-join estimates;
 * ``repro-els closure`` — the query after predicate transitive closure,
   with each implied predicate and the rule that derived it;
-* ``repro-els demo`` — the paper's Section 8 experiment end to end.
+* ``repro-els demo`` — the paper's Section 8 experiment end to end;
+* ``repro-els lint`` — the repo's own static-analysis rules (``ELS1xx``)
+  over Python sources;
+* ``repro-els check`` — semantic invariant diagnostics (``ELS2xx``) for a
+  query against a statistics file, before any estimation runs.
+
+Exit codes: 0 on success/clean, 1 on an error or diagnostics found, 2 on
+usage errors (bad flags, bad lint paths).
 
 Statistics files use the shape of
 :func:`repro.storage.loader.load_stats_json`::
@@ -33,8 +40,9 @@ from .analysis.report import AsciiTable
 from .core.closure import close_query
 from .core.config import ELS, SM, SSS, EstimatorConfig
 from .core.estimator import JoinSizeEstimator
-from .errors import ReproError
+from .errors import LintError, ReproError
 from .execution.executor import Executor
+from .lint.cli import run_check, run_lint
 from .optimizer.optimizer import Optimizer
 from .sql.parser import parse_query
 from .storage.loader import load_stats_json
@@ -86,7 +94,34 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--scale", type=float, default=0.2, help="table-size scale (1.0 = paper)"
     )
+
+    lint = commands.add_parser(
+        "lint", help="run the ELS static-analysis rules (ELS1xx) over sources"
+    )
+    lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    _add_diagnostic_args(lint)
+
+    check = commands.add_parser(
+        "check", help="semantic invariant diagnostics (ELS2xx) for a query"
+    )
+    check.add_argument("--stats", required=True, help="statistics JSON file")
+    check.add_argument("--query", required=True, help="SQL text")
+    check.add_argument(
+        "--no-ptc",
+        action="store_true",
+        help="analyze the query as written instead of after transitive closure "
+        "(flags missing derivable predicates as ELS201)",
+    )
+    _add_diagnostic_args(check)
     return parser
+
+
+def _add_diagnostic_args(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("--select", help="comma-separated code prefixes to keep")
+    subparser.add_argument("--ignore", help="comma-separated code prefixes to drop")
+    subparser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
 
 
 def _add_query_args(subparser: argparse.ArgumentParser) -> None:
@@ -195,20 +230,44 @@ def _command_demo(args) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    return run_lint(args.paths, args.select, args.ignore, args.format)
+
+
+def _command_check(args) -> int:
+    return run_check(
+        args.stats,
+        args.query,
+        apply_closure=not args.no_ptc,
+        select=args.select,
+        ignore=args.ignore,
+        output_format=args.format,
+    )
+
+
 _COMMANDS = {
     "estimate": _command_estimate,
     "optimize": _command_optimize,
     "closure": _command_closure,
     "demo": _command_demo,
+    "lint": _command_lint,
+    "check": _command_check,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    0 = success / no diagnostics, 1 = failure or diagnostics found,
+    2 = usage error (argparse also exits 2 on malformed flags).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except LintError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -64,6 +64,13 @@ class EstimatorConfig:
             (:mod:`repro.core.skew`) instead of Equation 2.  Degenerates to
             Equation 2 when no MCVs exist, so it is safe to leave on for
             uniform workloads.
+        check_invariants: Run the layer-2 semantic diagnostics
+            (:func:`repro.lint.semantic.check_estimator_input`) on the
+            query the preliminary phase produced, raising
+            :class:`repro.errors.DiagnosticError` on any error-severity
+            finding.  Off by default (zero-overhead estimation); the
+            benchmark harness turns it on so every measured run is
+            invariant-checked.
     """
 
     rule: SelectivityRule = SelectivityRule.LARGEST
@@ -74,6 +81,7 @@ class EstimatorConfig:
     representative_choice: str = "smallest"
     default_join_selectivity: float = 1.0 / 3.0
     use_frequency_stats: bool = False
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.representative_choice not in ("smallest", "largest"):

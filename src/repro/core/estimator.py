@@ -170,6 +170,18 @@ class JoinSizeEstimator:
             self._equivalence = EquivalenceClasses.from_predicates(query.predicates)
         self._query = query
 
+        if config.check_invariants:
+            # Lazy import: repro.lint.semantic depends on core.closure, so a
+            # top-level import here would be circular during package init.
+            from ..lint.semantic import check_estimator_input
+
+            check_estimator_input(
+                self._query,
+                catalog,
+                self._equivalence,
+                expect_closure=apply_closure,
+            )
+
         self._effective: Dict[str, EffectiveTable] = {}
         for table in query.tables:
             base = query.base_table(table)

@@ -29,7 +29,12 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence
 from ..errors import EstimationError
 from .config import EstimatorConfig, SelectivityRule
 
-__all__ = ["join_selectivity", "combine_class_selectivities", "combine_all"]
+__all__ = [
+    "join_selectivity",
+    "combine_class_selectivities",
+    "combine_all",
+    "derive_representative",
+]
 
 
 def join_selectivity(left_distinct: float, right_distinct: float) -> float:

@@ -7,6 +7,21 @@ still being able to distinguish parse errors from catalog errors and so on.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "ResolutionError",
+    "CatalogError",
+    "StorageError",
+    "PlanError",
+    "EstimationError",
+    "OptimizationError",
+    "ExecutionError",
+    "WorkloadError",
+    "LintError",
+    "DiagnosticError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
@@ -63,3 +78,39 @@ class ExecutionError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by workload/data generators for invalid parameter choices."""
+
+
+class LintError(ReproError):
+    """Raised by the static-analysis engine for unusable inputs.
+
+    Bad lint paths, unreadable files, malformed ``--select`` lists and
+    duplicate rule registrations — the *tooling* failures, as opposed to
+    the findings themselves, which are reported as diagnostics.  CLI
+    subcommands map this to exit code 2 (usage error).
+    """
+
+
+class DiagnosticError(ReproError):
+    """Raised when invariant checking finds error-severity diagnostics.
+
+    Carried by the :class:`~repro.core.estimator.JoinSizeEstimator` hook
+    (``EstimatorConfig.check_invariants``) and
+    :func:`repro.lint.semantic.check_estimator_input`.
+
+    Attributes:
+        diagnostics: Every finding of the failed check (warnings included),
+            as :class:`repro.lint.diagnostics.Diagnostic` objects.
+    """
+
+    def __init__(self, diagnostics: tuple = ()) -> None:
+        self.diagnostics = tuple(diagnostics)
+        errors = [d for d in self.diagnostics if getattr(d, "severity", None) is not None
+                  and d.severity.value == "error"]
+        summary = "; ".join(f"{d.code}: {d.message}" for d in errors[:3])
+        if len(errors) > 3:
+            summary += f"; ... ({len(errors) - 3} more)"
+        super().__init__(
+            f"invariant check failed with {len(errors)} error(s): {summary}"
+            if errors
+            else "invariant check failed"
+        )

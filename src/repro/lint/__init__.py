@@ -1,0 +1,63 @@
+"""Static analysis for the reproduction: code lint + query diagnostics.
+
+Two cooperating layers share one :class:`~repro.lint.diagnostics.Diagnostic`
+model and the text/JSON renderers:
+
+* **Layer 1 — codebase lint** (:mod:`repro.lint.engine`,
+  :mod:`repro.lint.rules_code`): a pure-stdlib ``ast`` rule framework with
+  repo-specific rules ``ELS101``-``ELS106`` (urn arithmetic containment,
+  selectivity clamping, float-equality bans, mutable defaults, ``__all__``
+  completeness, bare excepts).  Exposed as ``repro-els lint`` and the
+  ``repro-els-lint`` console script; the repo ships clean under its own
+  rules.
+* **Layer 2 — semantic query diagnostics** (:mod:`repro.lint.semantic`):
+  checks ``ELS201``-``ELS207`` over the query IR and catalog — closure
+  fixpoint, equivalence-partition consistency, contradictions, catalog
+  sanity, Section 6 folding, join-graph connectivity.  Exposed as
+  ``repro-els check`` and hooked into
+  :class:`~repro.core.estimator.JoinSizeEstimator` behind
+  ``EstimatorConfig.check_invariants``.
+
+See ``docs/LINT.md`` for the complete code catalog with the paper
+references behind every rule.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    code_matches,
+    count_by_severity,
+    filter_diagnostics,
+    has_errors,
+)
+from .engine import (
+    LintRule,
+    ModuleUnderLint,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    register,
+)
+from .render import render_json, render_text
+from .semantic import analyze_query, check_estimator_input
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "LintRule",
+    "ModuleUnderLint",
+    "all_rules",
+    "analyze_query",
+    "check_estimator_input",
+    "code_matches",
+    "count_by_severity",
+    "filter_diagnostics",
+    "has_errors",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]

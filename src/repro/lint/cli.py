@@ -1,0 +1,130 @@
+"""Command implementations for ``repro-els lint`` / ``repro-els check``.
+
+Shared by the main :mod:`repro.cli` dispatcher and the dedicated
+``repro-els-lint`` console entry point, so both surfaces behave
+identically.  Exit-code contract (both subcommands):
+
+* ``0`` — clean, no diagnostics;
+* ``1`` — diagnostics found (any severity);
+* ``2`` — usage error (bad path, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional, Sequence
+
+from ..errors import LintError, ReproError
+from .diagnostics import Diagnostic, filter_diagnostics
+from .engine import lint_paths
+from .render import render_json, render_text
+
+__all__ = ["run_lint", "run_check", "render_diagnostics", "main"]
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    """Parse a ``--select``/``--ignore`` comma list into code prefixes."""
+    if raw is None:
+        return None
+    codes = [part.strip() for part in raw.split(",") if part.strip()]
+    if not codes:
+        raise LintError("expected a comma-separated list of codes (e.g. ELS1,ELS203)")
+    return codes
+
+
+def render_diagnostics(
+    diagnostics: Sequence[Diagnostic], output_format: str, stream: IO[str]
+) -> int:
+    """Print findings in the requested format; return the exit code."""
+    if output_format == "json":
+        print(render_json(list(diagnostics)), file=stream)
+    else:
+        print(render_text(list(diagnostics)), file=stream)
+    return 1 if diagnostics else 0
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[str] = None,
+    ignore: Optional[str] = None,
+    output_format: str = "text",
+    stream: Optional[IO[str]] = None,
+) -> int:
+    """Run the layer-1 rules over files/directories; print and exit-code.
+
+    Raises:
+        LintError: for unusable paths or filter lists (usage errors).
+    """
+    diagnostics = lint_paths(
+        paths, select=_split_codes(select), ignore=_split_codes(ignore)
+    )
+    return render_diagnostics(diagnostics, output_format, stream or sys.stdout)
+
+
+def run_check(
+    stats_path: str,
+    query_text: str,
+    apply_closure: bool = True,
+    select: Optional[str] = None,
+    ignore: Optional[str] = None,
+    output_format: str = "text",
+    stream: Optional[IO[str]] = None,
+) -> int:
+    """Run the layer-2 semantic diagnostics for one query + catalog.
+
+    With ``apply_closure`` (the default) the query goes through predicate
+    transitive closure first — exactly the input the estimator sees — and
+    the closed form is verified.  With ``apply_closure=False`` the query is
+    analyzed *as written*, so a hand-built query with an incomplete
+    closure is flagged (ELS201) instead of silently completed.
+    """
+    from ..core.closure import close_query
+    from ..sql.parser import parse_query
+    from ..storage.loader import load_stats_json
+    from .semantic import analyze_query
+
+    catalog = load_stats_json(stats_path)
+    query = parse_query(query_text, schemas=catalog.schemas_by_column())
+    if apply_closure:
+        closed, result = close_query(query)
+        diagnostics = analyze_query(
+            closed, catalog, result.equivalence, expect_closure=True
+        )
+    else:
+        diagnostics = analyze_query(query, catalog, expect_closure=True)
+    diagnostics = filter_diagnostics(
+        diagnostics, _split_codes(select), _split_codes(ignore)
+    )
+    return render_diagnostics(diagnostics, output_format, stream or sys.stdout)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the dedicated ``repro-els-lint`` console script.
+
+    A thin wrapper over :func:`run_lint` for CI pipelines that only want
+    the codebase lint (``repro-els lint`` is the full CLI's equivalent).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-els-lint",
+        description="Run the ELS repo lint rules (ELS1xx) over Python sources.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument("--select", help="comma-separated code prefixes to keep")
+    parser.add_argument("--ignore", help="comma-separated code prefixes to drop")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    args = parser.parse_args(argv)
+    try:
+        return run_lint(args.paths, args.select, args.ignore, args.format)
+    except LintError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""The shared diagnostic model of both analysis layers.
+
+A :class:`Diagnostic` is one finding: a stable code (``ELS1xx`` for the
+codebase lint, ``ELS2xx`` for the semantic query diagnostics), a severity,
+a human-readable message, an optional source location (layer 1) or query
+context (layer 2), and an optional fix hint.
+
+Codes are selected and suppressed by *prefix*: ``--select ELS1`` keeps the
+whole codebase-lint layer, ``--ignore ELS105`` drops a single rule.  Both
+layers, the renderers (:mod:`repro.lint.render`), the CLI, and
+:class:`repro.errors.DiagnosticError` all speak this one type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "code_matches",
+    "filter_diagnostics",
+    "has_errors",
+    "count_by_severity",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` findings violate an invariant the estimator relies on (and
+    make :class:`repro.errors.DiagnosticError` fire under invariant
+    checking); ``WARNING`` findings are suspicious but do not by themselves
+    break estimation; ``INFO`` findings are advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from either analysis layer.
+
+    Attributes:
+        code: Stable rule code (``ELS101`` ... ``ELS2xx``).
+        message: Human-readable description of the finding.
+        severity: :class:`Severity` of the finding.
+        file: Source file path for layer-1 findings; ``None`` for layer 2.
+        line: 1-based source line (0 when not applicable).
+        col: 0-based source column (0 when not applicable).
+        context: The offending query fragment (predicate, table, column)
+            for layer-2 findings; ``None`` for layer 1.
+        hint: A short suggestion for fixing the finding.
+    """
+
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    file: Optional[str] = None
+    line: int = 0
+    col: int = 0
+    context: Optional[str] = None
+    hint: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        """``file:line:col`` for layer 1, the context for layer 2."""
+        if self.file is not None:
+            return f"{self.file}:{self.line}:{self.col}"
+        if self.context is not None:
+            return self.context
+        return "<query>"
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable mapping (the JSON renderer's row shape)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "context": self.context,
+            "hint": self.hint,
+        }
+
+    def sort_key(self) -> Tuple:
+        """Order by file, position, then code — the render order."""
+        return (self.file or "", self.line, self.col, self.code, self.message)
+
+
+def code_matches(code: str, patterns: Sequence[str]) -> bool:
+    """True when a code matches any pattern by case-insensitive prefix.
+
+    ``ELS1`` matches every layer-1 code; ``ELS105`` matches exactly one.
+    """
+    upper = code.upper()
+    return any(upper.startswith(pattern.strip().upper()) for pattern in patterns if pattern.strip())
+
+
+def filter_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Apply ``--select`` / ``--ignore`` prefix filters and sort.
+
+    ``select`` keeps only matching codes (``None`` keeps everything);
+    ``ignore`` then removes matching codes.  The result is sorted by
+    location so output is deterministic.
+    """
+    result: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        if select is not None and not code_matches(diagnostic.code, select):
+            continue
+        if ignore is not None and code_matches(diagnostic.code, ignore):
+            continue
+        result.append(diagnostic)
+    return sorted(result, key=Diagnostic.sort_key)
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True when any diagnostic is :attr:`Severity.ERROR`."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    """``{"error": n, "warning": m, "info": k}`` — the summary counts."""
+    counts = {severity.value: 0 for severity in Severity}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity.value] += 1
+    return counts

@@ -1,0 +1,210 @@
+"""Layer-1 lint engine: an ``ast``-walking rule framework (pure stdlib).
+
+The engine is deliberately tiny: a rule is a class with a stable ``code``,
+a default severity, a fix hint, and a ``check`` method that walks a parsed
+:class:`ModuleUnderLint` and yields :class:`~repro.lint.diagnostics.Diagnostic`
+findings.  Rules self-register via the :func:`register` decorator, so adding
+a rule is one class in :mod:`repro.lint.rules_code` — nothing else to wire.
+
+Two file-level policies the rules share:
+
+* **Test exemption** — rules with ``library_only = True`` skip files named
+  ``test_*``, ``conftest.py``, and ``bench_*``: tests legitimately assert
+  exact float equalities and build throwaway snippets that library code
+  must not contain.
+* **Syntax errors** — a file that does not parse yields the reserved
+  ``ELS100`` diagnostic instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from ..errors import LintError
+from .diagnostics import Diagnostic, Severity, filter_diagnostics
+
+__all__ = [
+    "ModuleUnderLint",
+    "LintRule",
+    "register",
+    "all_rules",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+#: Reserved code for files that fail to parse.
+SYNTAX_ERROR_CODE = "ELS100"
+
+#: File-name stems that identify test/bench scaffolding (exempt from
+#: ``library_only`` rules).
+_TEST_PREFIXES = ("test_", "bench_")
+_TEST_NAMES = ("conftest",)
+
+
+@dataclass(frozen=True)
+class ModuleUnderLint:
+    """One parsed source file handed to every rule.
+
+    Attributes:
+        path: The path the file was read from (or a synthetic name).
+        source: The raw source text.
+        tree: The parsed ``ast.Module``.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def stem(self) -> str:
+        """File name without extension (drives per-file rule policies)."""
+        return Path(self.path).stem
+
+    @property
+    def is_test_file(self) -> bool:
+        """True for ``test_*``, ``bench_*``, and ``conftest`` files."""
+        stem = self.stem
+        return stem.startswith(_TEST_PREFIXES) or stem in _TEST_NAMES
+
+
+class LintRule:
+    """Base class for layer-1 rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes:
+        code: Stable ``ELS1xx`` identifier.
+        name: Short kebab-case rule name (shows up in docs).
+        severity: Default severity of the rule's findings.
+        description: One-line summary for ``docs/LINT.md`` and ``--help``.
+        hint: Default fix hint attached to findings.
+        library_only: Skip test/bench/conftest files when True.
+    """
+
+    code: str = "ELS1XX"
+    name: str = "unnamed-rule"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    hint: Optional[str] = None
+    library_only: bool = False
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        """Yield findings for one module (subclasses override)."""
+        raise NotImplementedError
+
+    def diagnostic(
+        self,
+        module: ModuleUnderLint,
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        """Build a finding anchored at an AST node of the module."""
+        return Diagnostic(
+            code=self.code,
+            message=message,
+            severity=severity or self.severity,
+            file=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            hint=hint if hint is not None else self.hint,
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register(rule_class: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator: add a rule to the global registry.
+
+    Raises:
+        LintError: on a duplicate rule code — codes are the stable public
+            interface and must stay unique.
+    """
+    code = rule_class.code
+    if code in _REGISTRY and _REGISTRY[code] is not rule_class:
+        raise LintError(f"duplicate lint rule code {code!r}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> Tuple[LintRule, ...]:
+    """Fresh instances of every registered rule, ordered by code."""
+    # Importing the rules module populates the registry on first use.
+    from . import rules_code  # noqa: F401  (import for side effect)
+
+    return tuple(_REGISTRY[code]() for code in sorted(_REGISTRY))
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one source string and return its (filtered, sorted) findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        syntax_diagnostic = Diagnostic(
+            code=SYNTAX_ERROR_CODE,
+            message=f"file does not parse: {exc.msg}",
+            severity=Severity.ERROR,
+            file=path,
+            line=exc.lineno or 0,
+            col=exc.offset or 0,
+            hint="fix the syntax error; no other rule ran on this file",
+        )
+        return filter_diagnostics([syntax_diagnostic], select, ignore)
+    module = ModuleUnderLint(path=path, source=source, tree=tree)
+    findings: List[Diagnostic] = []
+    for rule in all_rules():
+        if rule.library_only and module.is_test_file:
+            continue
+        findings.extend(rule.check(module))
+    return filter_diagnostics(findings, select, ignore)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic ``.py`` file stream.
+
+    Raises:
+        LintError: for a path that does not exist or a file that is not a
+            Python source file (usage errors, exit code 2 at the CLI).
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py"))
+        elif path.is_file():
+            if path.suffix != ".py":
+                raise LintError(f"not a Python source file: {path}")
+            yield path
+        else:
+            raise LintError(f"no such file or directory: {path}")
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint files and directory trees; returns all findings, sorted.
+
+    Raises:
+        LintError: for unusable paths (see :func:`iter_python_files`) or
+            unreadable files.
+    """
+    findings: List[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {file_path}: {exc}") from exc
+        findings.extend(lint_source(source, str(file_path), select=None, ignore=None))
+    return filter_diagnostics(findings, select, ignore)

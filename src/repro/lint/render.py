@@ -1,0 +1,56 @@
+"""Text and JSON renderers for :class:`~repro.lint.diagnostics.Diagnostic`.
+
+The text form is one finding per line in the familiar compiler shape::
+
+    src/repro/foo.py:12:4: ELS104 error: mutable default argument ...
+        hint: use None and initialize inside the function
+
+followed by a summary line.  The JSON form is a single object with the
+findings and per-severity counts, for tooling and CI annotation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence
+
+from .diagnostics import Diagnostic, count_by_severity
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(diagnostics: Sequence[Diagnostic], show_hints: bool = True) -> str:
+    """Render findings as compiler-style text plus a summary line.
+
+    An empty finding list renders as ``"clean: no diagnostics"`` so that
+    piping the output somewhere always yields at least one line.
+    """
+    lines: List[str] = []
+    for diagnostic in diagnostics:
+        lines.append(
+            f"{diagnostic.location}: {diagnostic.code} "
+            f"{diagnostic.severity.value}: {diagnostic.message}"
+        )
+        if show_hints and diagnostic.hint:
+            lines.append(f"    hint: {diagnostic.hint}")
+    if not diagnostics:
+        lines.append("clean: no diagnostics")
+    else:
+        counts = count_by_severity(diagnostics)
+        summary = ", ".join(
+            f"{count} {name}{'s' if count != 1 else ''}"
+            for name, count in counts.items()
+            if count
+        )
+        lines.append(f"found {len(diagnostics)} diagnostic(s): {summary}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render findings as a stable, indented JSON document."""
+    payload = {
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "counts": count_by_severity(diagnostics),
+        "total": len(diagnostics),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

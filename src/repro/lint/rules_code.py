@@ -1,0 +1,375 @@
+"""Layer-1 rules: repo-specific static checks over Python sources (ELS1xx).
+
+Each rule guards an invariant the estimator's correctness argument leans on
+(see ``docs/LINT.md`` for the full catalog with paper references):
+
+* **ELS101** — urn-model survival arithmetic stays inside ``core/urn.py``
+  so Section 5's ``n * (1 - (1 - 1/n)^k)`` has exactly one implementation.
+* **ELS102** — functions computing selectivities must clamp or validate
+  before returning raw arithmetic (selectivities live in [0, 1]).
+* **ELS103** — no ``==``/``!=`` between floating estimate quantities
+  (rows, selectivities, cardinalities); compare with tolerances.
+* **ELS104** — no mutable default arguments.
+* **ELS105** — public library modules declare a complete ``__all__``.
+* **ELS106** — no bare ``except:`` clauses.
+
+Rules are plain classes registered with :func:`repro.lint.engine.register`;
+the engine instantiates and runs them file by file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set
+
+from .diagnostics import Diagnostic, Severity
+from .engine import LintRule, ModuleUnderLint, register
+
+__all__ = [
+    "UrnArithmeticRule",
+    "UnclampedSelectivityRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "MissingAllRule",
+    "BareExceptRule",
+]
+
+#: Identifier substrings that mark a value as an estimate quantity.
+_ESTIMATE_TOKENS = ("selectivity", "cardinalit", "distinct", "rows")
+
+#: Builtin constructors whose call as a default argument is mutable state.
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray"}
+
+#: Module stems exempt from the ``__all__`` requirement.
+_ALL_EXEMPT_STEMS = {"__main__", "setup"}
+
+
+def _is_one(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value in (1, 1.0)
+
+
+def _is_urn_survival_base(node: ast.AST) -> bool:
+    """Match the ``1 - 1/n`` (or ``1.0 - 1.0/n``) survival-probability base."""
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Sub)
+        and _is_one(node.left)
+        and isinstance(node.right, ast.BinOp)
+        and isinstance(node.right.op, ast.Div)
+        and _is_one(node.right.left)
+    )
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The terminal name of a call target (``math.log1p`` -> ``log1p``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_estimate_named(node: ast.AST) -> bool:
+    """True for a name/attribute whose identifier denotes an estimate."""
+    if isinstance(node, ast.Name):
+        identifier = node.id
+    elif isinstance(node, ast.Attribute):
+        identifier = node.attr
+    else:
+        return False
+    lowered = identifier.lower()
+    return any(token in lowered for token in _ESTIMATE_TOKENS)
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _walk_function_body(function: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own statements, not those of nested functions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class UrnArithmeticRule(LintRule):
+    """ELS101: urn-model arithmetic is only allowed inside ``core/urn.py``.
+
+    Flags the ``(1 - 1/n) ** k`` power pattern and any ``log1p`` call (the
+    numerically stable form ``exp(k * log1p(-1/n))``) outside a module whose
+    name mentions ``urn`` — the paper's Section 5 expectation must have one
+    canonical implementation, everything else calls
+    :func:`repro.core.urn.expected_distinct`.
+    """
+
+    code = "ELS101"
+    name = "urn-arithmetic-outside-urn"
+    severity = Severity.ERROR
+    description = "urn-model survival arithmetic outside core/urn.py"
+    hint = "call repro.core.urn.expected_distinct instead of re-deriving the formula"
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        if "urn" in module.stem:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+                if _is_urn_survival_base(node.left):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "urn-model survival pattern (1 - 1/n) ** k outside core/urn.py",
+                    )
+            elif isinstance(node, ast.Call) and _call_name(node) == "log1p":
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "log1p-based urn-model arithmetic outside core/urn.py",
+                )
+
+
+@register
+class UnclampedSelectivityRule(LintRule):
+    """ELS102: selectivity-producing functions must clamp or validate.
+
+    A function whose name contains ``selectivity`` must not return a bare
+    arithmetic expression unless the function also clamps (``min``/``max``
+    or a ``*clamp*`` helper) or validates (``raise``) somewhere — Equations
+    1 and 2 only hold for selectivities inside [0, 1].
+    """
+
+    code = "ELS102"
+    name = "unclamped-selectivity-return"
+    severity = Severity.ERROR
+    description = "selectivity function returns unclamped arithmetic"
+    hint = "clamp the result to [0, 1] (min/max or a _clamp helper) or validate inputs"
+    library_only = True
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if "selectivity" not in node.name.lower():
+                continue
+            guarded = False
+            arithmetic_returns: List[ast.Return] = []
+            for inner in _walk_function_body(node):
+                if isinstance(inner, ast.Raise):
+                    guarded = True
+                elif isinstance(inner, ast.Call):
+                    name = _call_name(inner)
+                    if name in ("min", "max") or (name and "clamp" in name.lower()):
+                        guarded = True
+                elif isinstance(inner, ast.Return) and isinstance(
+                    inner.value, (ast.BinOp, ast.UnaryOp)
+                ):
+                    arithmetic_returns.append(inner)
+            if guarded:
+                continue
+            for offending in arithmetic_returns:
+                yield self.diagnostic(
+                    module,
+                    offending,
+                    f"function {node.name!r} returns unclamped arithmetic; "
+                    "selectivities must stay in [0, 1]",
+                )
+
+
+@register
+class FloatEqualityRule(LintRule):
+    """ELS103: no exact equality between floating estimate quantities.
+
+    Flags ``==`` / ``!=`` where both operands are estimate-named (rows,
+    selectivity, cardinality, distinct) or where an estimate-named operand
+    is compared against a float literal.  Integer-literal sentinels
+    (``rows == 0``) stay legal — exact zero is representable.
+    """
+
+    code = "ELS103"
+    name = "float-equality-on-estimates"
+    severity = Severity.ERROR
+    description = "exact ==/!= between floating estimate quantities"
+    hint = "use math.isclose or an explicit tolerance for estimate comparisons"
+    library_only = True
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                left_named = _is_estimate_named(left)
+                right_named = _is_estimate_named(right)
+                if (left_named and right_named) or (
+                    (left_named and _is_float_literal(right))
+                    or (right_named and _is_float_literal(left))
+                ):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "exact float equality between estimate quantities",
+                    )
+
+
+@register
+class MutableDefaultRule(LintRule):
+    """ELS104: no mutable default argument values.
+
+    A ``[]``/``{}``/``set()`` default is shared across calls; estimator
+    state leaking between queries through a default would silently corrupt
+    every estimate after the first.
+    """
+
+    code = "ELS104"
+    name = "mutable-default-argument"
+    severity = Severity.ERROR
+    description = "mutable default argument value"
+    hint = "default to None and construct the container inside the function"
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.diagnostic(
+                        module,
+                        default,
+                        f"mutable default argument in {name!r}",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_CONSTRUCTORS
+        return False
+
+
+@register
+class MissingAllRule(LintRule):
+    """ELS105: public library modules declare a complete ``__all__``.
+
+    A module defining public top-level functions or classes must have an
+    ``__all__`` listing them — the import surface is pinned by tests and
+    docs, so unexported public callables are either missing exports or
+    should be underscore-private.  Executable scripts (modules with an
+    ``if __name__ == "__main__"`` guard and no ``__all__``) are exempt:
+    they are entry points, not import surfaces.
+    """
+
+    code = "ELS105"
+    name = "missing-or-incomplete-all"
+    severity = Severity.WARNING
+    description = "public module without a complete __all__"
+    hint = "add the name to __all__ or rename it with a leading underscore"
+    library_only = True
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        if module.stem in _ALL_EXEMPT_STEMS:
+            return
+        public_defs = [
+            node
+            for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+        ]
+        declared, exported = self._exported_names(module.tree)
+        if not declared:
+            if self._is_script(module.tree):
+                return
+            if public_defs:
+                yield self.diagnostic(
+                    module,
+                    module.tree.body[0] if module.tree.body else module.tree,
+                    "module defines public names but declares no __all__",
+                    hint="add __all__ listing the public API",
+                )
+            return
+        if exported is None:
+            return  # dynamically built __all__: completeness is unknowable
+        for node in public_defs:
+            if node.name not in exported:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"public name {node.name!r} is missing from __all__",
+                )
+
+    @staticmethod
+    def _is_script(tree: ast.Module) -> bool:
+        """True for modules with a top-level ``__name__ == "__main__"`` guard."""
+        for node in tree.body:
+            if not isinstance(node, ast.If) or not isinstance(node.test, ast.Compare):
+                continue
+            test = node.test
+            if (
+                isinstance(test.left, ast.Name)
+                and test.left.id == "__name__"
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.Eq)
+                and len(test.comparators) == 1
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value == "__main__"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _exported_names(tree: ast.Module) -> "tuple[bool, Optional[Set[str]]]":
+        """Whether ``__all__`` is declared, and its static contents.
+
+        Returns ``(False, None)`` when undeclared, ``(True, None)`` for a
+        dynamically computed ``__all__`` (completeness unknowable), and
+        ``(True, names)`` for a literal list/tuple of strings.
+        """
+        for node in tree.body:
+            targets: Sequence[ast.AST] = ()
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = (node.target,), None
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(value, (ast.List, ast.Tuple)) and all(
+                        isinstance(e, ast.Constant) and isinstance(e.value, str)
+                        for e in value.elts
+                    ):
+                        return True, {e.value for e in value.elts}
+                    return True, None
+        return False, None
+
+
+@register
+class BareExceptRule(LintRule):
+    """ELS106: no bare ``except:`` clauses.
+
+    A bare except swallows ``KeyboardInterrupt`` and hides estimator bugs
+    as silently wrong numbers; catch :class:`repro.errors.ReproError` or a
+    concrete exception instead.
+    """
+
+    code = "ELS106"
+    name = "bare-except"
+    severity = Severity.ERROR
+    description = "bare except: clause"
+    hint = "catch a concrete exception type (ReproError for library failures)"
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.diagnostic(module, node, "bare except: clause")

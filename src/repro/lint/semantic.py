@@ -1,0 +1,402 @@
+"""Layer-2 semantic diagnostics over the query IR and catalog (ELS2xx).
+
+Where :mod:`repro.lint.rules_code` reads Python sources, this analyzer
+reads the *query itself* — the :class:`~repro.sql.query.Query` predicate
+conjunction, its equivalence classes, and the statistics catalog — and
+reports violations of the invariants Algorithm ELS assumes (DESIGN.md
+sections 4-7) **before** any estimation runs:
+
+* **ELS201** — the predicate set is not a transitive-closure fixpoint: a
+  derivable predicate is missing (so Rules SS/LS would see the wrong
+  eligible sets).
+* **ELS202** — the supplied equivalence classes are not a consistent
+  partition of the equality-linked columns.
+* **ELS203** — contradictory predicates (unsatisfiable conjunction) or
+  duplicates that survived step-1 dedup.
+* **ELS204** — a join column's catalog cardinality exceeds its table
+  cardinality (``d_x <= ||R||`` is Section 2's basic consistency).
+* **ELS205** — single-table j-equivalent columns whose implied local
+  equality predicate was never folded in (the Section 6 special case
+  would silently not fire).
+* **ELS206** — a predicate references a table or column the catalog has
+  no statistics for (estimation would fail mid-flight).
+* **ELS207** — the join graph is disconnected: some join order must cross
+  a Cartesian product (advisory).
+
+:func:`analyze_query` returns plain :class:`~repro.lint.diagnostics.Diagnostic`
+objects; :func:`check_estimator_input` raises
+:class:`repro.errors.DiagnosticError` on error-severity findings and is the
+hook :class:`~repro.core.estimator.JoinSizeEstimator` runs behind
+``EstimatorConfig.check_invariants``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..catalog.statistics import Catalog
+from ..core.closure import transitive_closure
+from ..core.equivalence import EquivalenceClasses
+from ..errors import DiagnosticError
+from ..sql.predicates import (
+    ColumnRef,
+    ComparisonPredicate,
+    Op,
+    PredicateKind,
+)
+from ..sql.query import Query, dedupe_predicates
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["analyze_query", "check_estimator_input"]
+
+
+def _diag(
+    code: str,
+    message: str,
+    severity: Severity,
+    context: str,
+    hint: Optional[str] = None,
+) -> Diagnostic:
+    return Diagnostic(
+        code=code, message=message, severity=severity, context=context, hint=hint
+    )
+
+
+def analyze_query(
+    query: Query,
+    catalog: Optional[Catalog] = None,
+    equivalence: Optional[EquivalenceClasses] = None,
+    expect_closure: bool = True,
+) -> List[Diagnostic]:
+    """Run every semantic check against one query (and optional catalog).
+
+    Args:
+        query: The query to diagnose, as the estimator would receive it.
+        catalog: Statistics catalog; catalog-dependent checks (ELS204,
+            ELS206) are skipped when omitted.
+        equivalence: Externally supplied equivalence classes (e.g. the
+            estimator's own); consistency against the predicates is
+            verified (ELS202).  When omitted, classes are derived from the
+            predicates and ELS202 is vacuous by construction.
+        expect_closure: Whether the predicate set is supposed to be a
+            transitive-closure fixpoint.  Estimation without PTC (the
+            paper's "SM (no PTC)" row) legitimately runs on non-closed
+            queries, so closure-dependent checks (ELS201, ELS205) are
+            gated on this flag.
+
+    Returns:
+        All findings, deterministically ordered.
+    """
+    diagnostics: List[Diagnostic] = []
+    derived = EquivalenceClasses.from_predicates(query.predicates)
+    classes = equivalence if equivalence is not None else derived
+
+    if expect_closure:
+        diagnostics.extend(_check_closure_fixpoint(query))
+        diagnostics.extend(_check_unfolded_jequiv(query, classes))
+    if equivalence is not None:
+        diagnostics.extend(_check_partition(query, equivalence))
+    diagnostics.extend(_check_duplicates(query))
+    diagnostics.extend(_check_contradictions(query, classes))
+    if catalog is not None:
+        diagnostics.extend(_check_catalog(query, catalog))
+    diagnostics.extend(_check_connectivity(query))
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+def check_estimator_input(
+    query: Query,
+    catalog: Optional[Catalog] = None,
+    equivalence: Optional[EquivalenceClasses] = None,
+    expect_closure: bool = True,
+) -> List[Diagnostic]:
+    """Analyze and raise on error-severity findings (the estimator hook).
+
+    Returns the full diagnostic list (warnings included) when no errors
+    were found, so callers can still log advisories.
+
+    Raises:
+        DiagnosticError: when any finding has error severity.
+    """
+    diagnostics = analyze_query(query, catalog, equivalence, expect_closure)
+    if any(d.severity is Severity.ERROR for d in diagnostics):
+        raise DiagnosticError(diagnostics)
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Individual checks
+# ---------------------------------------------------------------------------
+
+def _check_closure_fixpoint(query: Query) -> List[Diagnostic]:
+    """ELS201: every derivable predicate must already be present."""
+    given = set(dedupe_predicates(query.predicates))
+    closed = transitive_closure(query.predicates)
+    findings: List[Diagnostic] = []
+    for implied in closed.implied:
+        if implied.predicate in given:
+            continue
+        findings.append(
+            _diag(
+                "ELS201",
+                "predicate set is not a transitive-closure fixpoint: "
+                f"{implied.predicate} is derivable (rule {implied.rule.value}) "
+                "but missing",
+                Severity.ERROR,
+                context=str(implied.predicate),
+                hint="apply repro.core.closure.close_query before estimating",
+            )
+        )
+    return findings
+
+
+def _check_partition(query: Query, equivalence: EquivalenceClasses) -> List[Diagnostic]:
+    """ELS202: supplied classes must consistently partition the columns."""
+    findings: List[Diagnostic] = []
+    seen: Dict[ColumnRef, int] = {}
+    for index, group in enumerate(equivalence.classes()):
+        for column in group:
+            if column in seen:
+                findings.append(
+                    _diag(
+                        "ELS202",
+                        f"column {column} appears in more than one equivalence "
+                        "class; classes must be disjoint",
+                        Severity.ERROR,
+                        context=str(column),
+                        hint="rebuild classes with EquivalenceClasses.from_predicates",
+                    )
+                )
+            seen[column] = index
+    for predicate in query.predicates:
+        if predicate.op is not Op.EQ or not isinstance(predicate.right, ColumnRef):
+            continue
+        if not equivalence.same(predicate.left, predicate.right):
+            findings.append(
+                _diag(
+                    "ELS202",
+                    f"equality predicate {predicate} links two columns the "
+                    "equivalence classes keep separate",
+                    Severity.ERROR,
+                    context=str(predicate),
+                    hint="rebuild classes with EquivalenceClasses.from_predicates",
+                )
+            )
+    return findings
+
+
+def _check_duplicates(query: Query) -> List[Diagnostic]:
+    """ELS203 (duplicate flavor): canonical duplicates in the conjunction."""
+    findings: List[Diagnostic] = []
+    counts = Counter(p.canonical() for p in query.predicates)
+    for predicate, count in counts.items():
+        if count > 1:
+            findings.append(
+                _diag(
+                    "ELS203",
+                    f"predicate {predicate} appears {count} times after "
+                    "canonicalization; step-1 dedup did not run",
+                    Severity.WARNING,
+                    context=str(predicate),
+                    hint="build queries via Query.build / dedupe_predicates",
+                )
+            )
+    return findings
+
+
+def _comparable(a: object, b: object) -> bool:
+    numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+    if numeric(a) and numeric(b):
+        return True
+    return isinstance(a, str) and isinstance(b, str)
+
+
+def _check_contradictions(
+    query: Query, equivalence: EquivalenceClasses
+) -> List[Diagnostic]:
+    """ELS203 (contradiction flavor): unsatisfiable constant conjunctions.
+
+    Three shapes, checked per j-equivalence class so that propagated
+    constants are compared with the predicates that imply them:
+
+    * two equality literals with different constants,
+    * an equality literal violating a range or ``<>`` bound,
+    * a lower bound strictly above an upper bound.
+    """
+    findings: List[Diagnostic] = []
+    by_class: Dict[ColumnRef, List[ComparisonPredicate]] = {}
+    for predicate in query.predicates:
+        if predicate.kind is not PredicateKind.CONSTANT_LOCAL:
+            continue
+        by_class.setdefault(equivalence.class_id(predicate.left), []).append(predicate)
+
+    for class_id, predicates in sorted(by_class.items()):
+        context = " AND ".join(str(p) for p in predicates)
+        equalities = [p for p in predicates if p.op is Op.EQ]
+        constants = {p.constant for p in equalities}
+        if len(constants) > 1:
+            findings.append(
+                _diag(
+                    "ELS203",
+                    "contradictory equality constants "
+                    f"{sorted(map(str, constants))} on j-equivalent columns",
+                    Severity.ERROR,
+                    context=context,
+                    hint="the conjunction selects zero rows; drop or fix a predicate",
+                )
+            )
+            continue
+        if equalities:
+            value = equalities[0].constant
+            for other in predicates:
+                if other.op is Op.EQ:
+                    continue
+                if _comparable(value, other.constant) and not other.op.evaluate(
+                    value, other.constant
+                ):
+                    findings.append(
+                        _diag(
+                            "ELS203",
+                            f"equality constant {value!r} violates bound {other}",
+                            Severity.ERROR,
+                            context=context,
+                            hint="the conjunction selects zero rows",
+                        )
+                    )
+            continue
+        lows = [p for p in predicates if p.op.is_lower_bound]
+        highs = [p for p in predicates if p.op.is_upper_bound]
+        for low in lows:
+            for high in highs:
+                if not _comparable(low.constant, high.constant):
+                    continue
+                empty = low.constant > high.constant or (
+                    low.constant == high.constant
+                    and not (low.op is Op.GE and high.op is Op.LE)
+                )
+                if empty:
+                    findings.append(
+                        _diag(
+                            "ELS203",
+                            f"empty range: {low} contradicts {high}",
+                            Severity.ERROR,
+                            context=context,
+                            hint="the conjunction selects zero rows",
+                        )
+                    )
+    return findings
+
+
+def _check_catalog(query: Query, catalog: Catalog) -> List[Diagnostic]:
+    """ELS204 + ELS206: catalog consistency for every referenced column."""
+    findings: List[Diagnostic] = []
+    referenced: Dict[str, set] = {}
+    for predicate in query.predicates:
+        for column in predicate.columns:
+            referenced.setdefault(column.table, set()).add(column.column)
+
+    for table in query.tables:
+        base = query.base_table(table)
+        if base not in catalog:
+            findings.append(
+                _diag(
+                    "ELS206",
+                    f"no catalog statistics for table {base!r} "
+                    f"(referenced as {table!r})",
+                    Severity.ERROR,
+                    context=table,
+                    hint="register the table (Catalog.register / ANALYZE) first",
+                )
+            )
+            continue
+        stats = catalog.stats(base)
+        for column in sorted(referenced.get(table, ())):
+            if not stats.has_column(column):
+                findings.append(
+                    _diag(
+                        "ELS206",
+                        f"no statistics for column {table}.{column}",
+                        Severity.ERROR,
+                        context=f"{table}.{column}",
+                        hint="collect column statistics before estimating",
+                    )
+                )
+                continue
+            distinct = stats.column(column).distinct
+            if distinct > stats.row_count:
+                findings.append(
+                    _diag(
+                        "ELS204",
+                        f"column {table}.{column} has {distinct} distinct values "
+                        f"but table {base!r} has only {stats.row_count} rows",
+                        Severity.ERROR,
+                        context=f"{table}.{column}",
+                        hint="re-run statistics collection; d_x <= ||R|| must hold",
+                    )
+                )
+    return findings
+
+
+def _check_unfolded_jequiv(
+    query: Query, equivalence: EquivalenceClasses
+) -> List[Diagnostic]:
+    """ELS205: same-table j-equivalent pairs need their local equality."""
+    findings: List[Diagnostic] = []
+    present = set(dedupe_predicates(query.predicates))
+    for table in query.tables:
+        for group in equivalence.single_table_groups(table):
+            members = sorted(group)
+            for i, left in enumerate(members):
+                for right in members[i + 1 :]:
+                    witness = ComparisonPredicate(left, Op.EQ, right).canonical()
+                    if witness not in present:
+                        findings.append(
+                            _diag(
+                                "ELS205",
+                                f"j-equivalent columns {left} and {right} lack "
+                                "the implied local equality predicate; the "
+                                "Section 6 reduction would not fire",
+                                Severity.WARNING,
+                                context=str(witness),
+                                hint="apply transitive closure (rule b derives it)",
+                            )
+                        )
+    return findings
+
+
+def _check_connectivity(query: Query) -> List[Diagnostic]:
+    """ELS207: a disconnected join graph forces a Cartesian product."""
+    tables = list(query.tables)
+    if len(tables) < 2:
+        return []
+    parent: Dict[str, str] = {t: t for t in tables}
+
+    def find(t: str) -> str:
+        while parent[t] != t:
+            parent[t] = parent[parent[t]]
+            t = parent[t]
+        return t
+
+    for predicate in query.predicates:
+        if predicate.is_join:
+            involved = sorted(predicate.tables)
+            for other in involved[1:]:
+                parent[find(other)] = find(involved[0])
+    components: Dict[str, List[str]] = {}
+    for table in tables:
+        components.setdefault(find(table), []).append(table)
+    if len(components) < 2:
+        return []
+    groups = sorted(sorted(group) for group in components.values())
+    rendered = " | ".join(",".join(group) for group in groups)
+    return [
+        _diag(
+            "ELS207",
+            f"join graph is disconnected ({len(groups)} components); every "
+            "join order crosses a Cartesian product",
+            Severity.WARNING,
+            context=rendered,
+            hint="add the linking join predicate or split the query",
+        )
+    ]

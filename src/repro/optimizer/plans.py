@@ -16,7 +16,15 @@ from typing import FrozenSet, List, Tuple, Union
 
 from ..sql.predicates import ComparisonPredicate
 
-__all__ = ["JoinMethod", "ScanPlan", "JoinPlan", "PlanNode", "leaf_order", "explain"]
+__all__ = [
+    "JoinMethod",
+    "ScanPlan",
+    "JoinPlan",
+    "PlanNode",
+    "leaf_order",
+    "joins_of",
+    "explain",
+]
 
 
 class JoinMethod(enum.Enum):

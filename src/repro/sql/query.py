@@ -18,7 +18,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ..errors import ResolutionError
 from .predicates import ColumnRef, ComparisonPredicate, PredicateKind
 
-__all__ = ["AggregateExpr", "Projection", "Query", "dedupe_predicates"]
+__all__ = [
+    "AggregateExpr",
+    "Projection",
+    "Query",
+    "dedupe_predicates",
+    "resolve_unqualified",
+]
 
 #: Aggregate function names the SQL surface accepts.
 AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")

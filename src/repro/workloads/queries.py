@@ -29,7 +29,14 @@ from ..sql.predicates import ComparisonPredicate, Op, join_predicate, local_pred
 from ..sql.query import Projection, Query
 from .generator import ColumnSpec, Distribution, TableSpec
 
-__all__ = ["GeneratedWorkload", "chain_workload", "star_workload", "clique_workload"]
+__all__ = [
+    "GeneratedWorkload",
+    "chain_workload",
+    "star_workload",
+    "clique_workload",
+    "cycle_workload",
+    "snowflake_workload",
+]
 
 
 @dataclass(frozen=True)

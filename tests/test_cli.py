@@ -174,6 +174,146 @@ class TestParser:
             )
 
 
+class TestLint:
+    """Exit-code contract: 0 clean, 1 diagnostics, 2 usage error."""
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text('"""Docstring."""\n\nX = 1\n')
+        code = main(["lint", str(path)])
+        assert code == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_its_code(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("def f(xs=[]):\n    return xs\n\nif __name__ == '__main__':\n    f()\n")
+        code = main(["lint", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ELS104" in out and "found 1 diagnostic(s)" in out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        code = main(["lint", "/nonexistent/tree"])
+        assert code == 2
+        assert "usage error:" in capsys.readouterr().err
+
+    def test_json_format_is_parseable(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("def f(xs=[]):\n    return xs\n\nif __name__ == '__main__':\n    f()\n")
+        code = main(["lint", str(path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["total"] == 1
+        assert payload["diagnostics"][0]["code"] == "ELS104"
+
+    def test_ignore_filters_to_clean(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("def f(xs=[]):\n    return xs\n\nif __name__ == '__main__':\n    f()\n")
+        code = main(["lint", str(path), "--ignore", "ELS104"])
+        assert code == 0
+
+    def test_empty_select_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("X = 1\n")
+        code = main(["lint", str(path), "--select", " , "])
+        assert code == 2
+        assert "usage error:" in capsys.readouterr().err
+
+    def test_repo_sources_are_clean(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).parent.parent
+        assert main(["lint", str(root / "src")]) == 0
+
+
+class TestCheck:
+    def test_closed_paper_shape_is_clean(self, stats_file, capsys):
+        code = main(["check", "--stats", stats_file, "--query", QUERY])
+        assert code == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_no_ptc_flags_incomplete_closure(self, stats_file, capsys):
+        code = main(["check", "--stats", stats_file, "--query", QUERY, "--no-ptc"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ELS201" in out and "R1.x = R3.z" in out
+
+    def test_contradiction_exits_one(self, stats_file, capsys):
+        code = main(
+            [
+                "check",
+                "--stats",
+                stats_file,
+                "--query",
+                "SELECT * FROM R1, R2 WHERE R1.x = R2.y AND R1.x = 5 AND R1.x = 7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ELS203" in out
+
+    def test_cartesian_warning_exits_one(self, stats_file, capsys):
+        code = main(
+            [
+                "check",
+                "--stats",
+                stats_file,
+                "--query",
+                "SELECT * FROM R1, R2 WHERE R1.x = 5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ELS207" in out
+
+    def test_bad_stats_path_is_error_exit(self, capsys):
+        code = main(["check", "--stats", "/nonexistent.json", "--query", QUERY])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_format(self, stats_file, capsys):
+        code = main(
+            [
+                "check",
+                "--stats",
+                stats_file,
+                "--query",
+                QUERY,
+                "--no-ptc",
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["counts"]["error"] >= 1
+
+
+class TestStandaloneLintEntryPoint:
+    """The dedicated ``repro-els-lint`` console script shares the contract."""
+
+    def test_clean_exit(self, tmp_path, capsys):
+        from repro.lint.cli import main as lint_main
+
+        path = tmp_path / "clean.py"
+        path.write_text("X = 1\n")
+        assert lint_main([str(path)]) == 0
+
+    def test_usage_error_exit(self, capsys):
+        from repro.lint.cli import main as lint_main
+
+        assert lint_main(["/nonexistent/tree"]) == 2
+        assert "usage error:" in capsys.readouterr().err
+
+    def test_findings_exit(self, tmp_path, capsys):
+        from repro.lint.cli import main as lint_main
+
+        path = tmp_path / "dirty.py"
+        path.write_text("try:\n    x = 1\nexcept:\n    pass\n")
+        assert lint_main([str(path)]) == 1
+        assert "ELS106" in capsys.readouterr().out
+
+
 class TestNewEnumerators:
     @pytest.mark.parametrize("enumerator", ["dp-bushy", "random", "annealing"])
     def test_optimize_with_enumerator(self, stats_file, capsys, enumerator):

@@ -1,0 +1,120 @@
+"""Golden-file tests pinning the text and JSON diagnostic renderings.
+
+The golden files under ``tests/golden/`` are the rendering contract: CI
+annotations and editor integrations parse these exact shapes, so any change
+here is a deliberate, reviewed format break.
+"""
+
+import json
+import pathlib
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    count_by_severity,
+    filter_diagnostics,
+    has_errors,
+)
+from repro.lint.render import render_json, render_text
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def sample_diagnostics():
+    """One finding per layer plus a warning — the golden-file fixture."""
+    return [
+        Diagnostic(
+            code="ELS104",
+            message="mutable default argument in 'combine'",
+            severity=Severity.ERROR,
+            file="src/repro/core/foo.py",
+            line=12,
+            col=4,
+            hint="default to None and construct the container inside the function",
+        ),
+        Diagnostic(
+            code="ELS105",
+            message="public name 'helper' is missing from __all__",
+            severity=Severity.WARNING,
+            file="src/repro/core/foo.py",
+            line=30,
+            col=0,
+            hint="add the name to __all__ or rename it with a leading underscore",
+        ),
+        Diagnostic(
+            code="ELS201",
+            message=(
+                "predicate set is not a transitive-closure fixpoint: "
+                "R1.x = R3.z is derivable (rule a) but missing"
+            ),
+            severity=Severity.ERROR,
+            context="R1.x = R3.z",
+            hint="apply repro.core.closure.close_query before estimating",
+        ),
+    ]
+
+
+class TestTextRendering:
+    def test_matches_golden_file(self):
+        rendered = render_text(sample_diagnostics()) + "\n"
+        assert rendered == (GOLDEN / "diagnostics.txt").read_text()
+
+    def test_empty_list_renders_clean_line(self):
+        assert render_text([]) == "clean: no diagnostics"
+
+    def test_hints_can_be_suppressed(self):
+        rendered = render_text(sample_diagnostics(), show_hints=False)
+        assert "hint:" not in rendered
+
+    def test_layer2_location_is_the_context(self):
+        [line] = render_text([sample_diagnostics()[2]], show_hints=False).splitlines()[:1]
+        assert line.startswith("R1.x = R3.z: ELS201 error:")
+
+
+class TestJsonRendering:
+    def test_matches_golden_file(self):
+        rendered = render_json(sample_diagnostics()) + "\n"
+        assert rendered == (GOLDEN / "diagnostics.json").read_text()
+
+    def test_payload_shape(self):
+        payload = json.loads(render_json(sample_diagnostics()))
+        assert payload["total"] == 3
+        assert payload["counts"] == {"error": 2, "warning": 1, "info": 0}
+        assert [d["code"] for d in payload["diagnostics"]] == [
+            "ELS104",
+            "ELS105",
+            "ELS201",
+        ]
+
+    def test_empty_payload(self):
+        payload = json.loads(render_json([]))
+        assert payload == {
+            "diagnostics": [],
+            "counts": {"error": 0, "warning": 0, "info": 0},
+            "total": 0,
+        }
+
+
+class TestDiagnosticModel:
+    def test_filter_sorts_layer2_before_file_findings(self):
+        ordered = filter_diagnostics(reversed(sample_diagnostics()))
+        assert [d.code for d in ordered] == ["ELS201", "ELS104", "ELS105"]
+
+    def test_select_and_ignore_compose(self):
+        kept = filter_diagnostics(
+            sample_diagnostics(), select=["ELS1"], ignore=["ELS105"]
+        )
+        assert [d.code for d in kept] == ["ELS104"]
+
+    def test_severity_helpers(self):
+        diagnostics = sample_diagnostics()
+        assert has_errors(diagnostics)
+        assert not has_errors([diagnostics[1]])
+        assert count_by_severity(diagnostics) == {"error": 2, "warning": 1, "info": 0}
+
+    def test_to_dict_round_trips_through_json(self):
+        diagnostic = sample_diagnostics()[0]
+        payload = json.loads(json.dumps(diagnostic.to_dict()))
+        assert payload["code"] == "ELS104"
+        assert payload["severity"] == "error"
+        assert payload["file"] == "src/repro/core/foo.py"

@@ -1,0 +1,208 @@
+"""Layer-1 lint rules: minimal positive/negative snippets per rule.
+
+Each rule gets at least one snippet that must trigger exactly its code and
+one nearby-but-legal snippet that must stay silent, pinning the rule
+boundaries (the same boundaries ``docs/LINT.md`` documents).
+"""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import LintRule, lint_paths, lint_source
+from repro.lint.engine import all_rules, iter_python_files, register
+
+
+def codes(source, path="mod.py", **kwargs):
+    """Lint one snippet and return the sorted list of finding codes."""
+    return sorted(d.code for d in lint_source(source, path, **kwargs))
+
+
+class TestSyntaxError:
+    def test_unparsable_file_yields_els100(self):
+        diagnostics = lint_source("def broken(:\n", "bad.py")
+        assert [d.code for d in diagnostics] == ["ELS100"]
+        assert diagnostics[0].line == 1
+
+    def test_parsable_file_has_no_els100(self):
+        assert "ELS100" not in codes("x = 1\n")
+
+
+class TestUrnArithmetic:
+    def test_survival_power_pattern_flagged(self):
+        snippet = "def _f(n, k):\n    return n * (1 - (1 - 1 / n) ** k)\n"
+        assert codes(snippet) == ["ELS101"]
+
+    def test_log1p_call_flagged(self):
+        snippet = "import math\n\ndef _f(n, k):\n    return math.log1p(-1.0 / n) * k\n"
+        assert codes(snippet) == ["ELS101"]
+
+    def test_allowed_inside_urn_module(self):
+        snippet = "def _f(n, k):\n    return n * (1 - (1 - 1 / n) ** k)\n"
+        assert codes(snippet, path="src/repro/core/urn.py") == []
+
+    def test_unrelated_power_is_legal(self):
+        assert codes("def _f(x):\n    return (x - 1) ** 2\n") == []
+
+
+class TestUnclampedSelectivity:
+    def test_bare_arithmetic_return_flagged(self):
+        snippet = "def _join_selectivity(d1, d2):\n    return 1.0 / (d1 * d2)\n"
+        assert codes(snippet) == ["ELS102"]
+
+    def test_clamped_return_is_legal(self):
+        snippet = (
+            "def _join_selectivity(d1, d2):\n"
+            "    return min(1.0, 1.0 / (d1 * d2))\n"
+        )
+        assert codes(snippet) == []
+
+    def test_validating_raise_is_legal(self):
+        snippet = (
+            "def _join_selectivity(d1, d2):\n"
+            "    if d1 <= 0:\n"
+            "        raise ValueError(d1)\n"
+            "    return 1.0 / d1\n"
+        )
+        assert codes(snippet) == []
+
+    def test_non_selectivity_function_ignored(self):
+        assert codes("def _ratio(a, b):\n    return a / b\n") == []
+
+    def test_clamp_in_nested_function_does_not_guard(self):
+        snippet = (
+            "def _join_selectivity(d1):\n"
+            "    def helper(x):\n"
+            "        return min(x, 1.0)\n"
+            "    return 1.0 / d1\n"
+        )
+        assert codes(snippet) == ["ELS102"]
+
+
+class TestFloatEquality:
+    def test_two_estimate_names_flagged(self):
+        assert codes("ok = rows == other_rows\n") == ["ELS103"]
+
+    def test_estimate_vs_float_literal_flagged(self):
+        assert codes("bad = selectivity != 0.5\n") == ["ELS103"]
+
+    def test_integer_sentinel_is_legal(self):
+        assert codes("empty = rows == 0\n") == []
+
+    def test_non_estimate_names_are_legal(self):
+        assert codes("same = count == total\n") == []
+
+    def test_test_files_are_exempt(self):
+        assert codes("ok = rows == other_rows\n", path="test_foo.py") == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        assert codes("def _f(xs=[]):\n    return xs\n") == ["ELS104"]
+
+    def test_constructor_call_default_flagged(self):
+        assert codes("def _f(xs=dict()):\n    return xs\n") == ["ELS104"]
+
+    def test_keyword_only_default_flagged(self):
+        assert codes("def _f(*, xs=set()):\n    return xs\n") == ["ELS104"]
+
+    def test_lambda_default_flagged(self):
+        assert codes("g = lambda xs=[]: xs\n") == ["ELS104"]
+
+    def test_none_and_tuple_defaults_are_legal(self):
+        assert codes("def _f(xs=None, ys=()):\n    return xs, ys\n") == []
+
+
+class TestMissingAll:
+    def test_public_def_without_all_flagged(self):
+        assert codes("def public():\n    return 1\n") == ["ELS105"]
+
+    def test_incomplete_all_flagged(self):
+        snippet = (
+            "__all__ = ['a']\n\n"
+            "def a():\n    return 1\n\n"
+            "def b():\n    return 2\n"
+        )
+        diagnostics = lint_source(snippet, "mod.py")
+        assert [d.code for d in diagnostics] == ["ELS105"]
+        assert "'b'" in diagnostics[0].message
+
+    def test_complete_all_is_legal(self):
+        snippet = "__all__ = ['a']\n\ndef a():\n    return 1\n"
+        assert codes(snippet) == []
+
+    def test_dynamic_all_skips_completeness(self):
+        snippet = (
+            "__all__ = sorted(globals())\n\n"
+            "def a():\n    return 1\n"
+        )
+        assert codes(snippet) == []
+
+    def test_script_with_main_guard_is_exempt(self):
+        snippet = (
+            "def run():\n    return 1\n\n"
+            "if __name__ == '__main__':\n    run()\n"
+        )
+        assert codes(snippet) == []
+
+    def test_private_only_module_needs_no_all(self):
+        assert codes("def _helper():\n    return 1\n") == []
+
+    def test_test_files_are_exempt(self):
+        assert codes("def test_x():\n    pass\n", path="test_mod.py") == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        snippet = "try:\n    x = 1\nexcept:\n    pass\n"
+        assert codes(snippet) == ["ELS106"]
+
+    def test_typed_except_is_legal(self):
+        snippet = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
+        assert codes(snippet) == []
+
+
+class TestEngine:
+    def test_select_keeps_only_matching_prefix(self):
+        snippet = "def f(xs=[]):\n    return xs\n\ndef g():\n    return 1\n"
+        assert codes(snippet) == ["ELS104", "ELS105"]
+        assert codes(snippet, select=["ELS104"]) == ["ELS104"]
+
+    def test_ignore_drops_matching_prefix(self):
+        snippet = "def f(xs=[]):\n    return xs\n\ndef g():\n    return 1\n"
+        assert codes(snippet, ignore=["ELS105"]) == ["ELS104"]
+
+    def test_every_rule_has_unique_code_and_metadata(self):
+        rules = all_rules()
+        seen = [rule.code for rule in rules]
+        assert len(seen) == len(set(seen))
+        for rule in rules:
+            assert rule.code.startswith("ELS1")
+            assert rule.description, rule.code
+            assert rule.hint, rule.code
+
+    def test_duplicate_registration_raises(self):
+        class Clone(LintRule):
+            """A rule stealing an existing code, which must be rejected."""
+
+            code = "ELS104"
+
+        with pytest.raises(LintError, match="duplicate"):
+            register(Clone)
+
+    def test_missing_path_raises_lint_error(self):
+        with pytest.raises(LintError, match="no such file"):
+            list(iter_python_files(["/nonexistent/nowhere.py"]))
+
+    def test_non_python_file_raises_lint_error(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("hello")
+        with pytest.raises(LintError, match="not a Python source file"):
+            list(iter_python_files([str(path)]))
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text("def _f(xs=[]):\n    return xs\n")
+        (tmp_path / "pkg" / "good.py").write_text("X = 1\n")
+        diagnostics = lint_paths([str(tmp_path)])
+        assert [d.code for d in diagnostics] == ["ELS104"]
+        assert diagnostics[0].file.endswith("bad.py")

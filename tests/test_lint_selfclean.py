@@ -1,0 +1,25 @@
+"""Self-dogfooding: the repository's own sources must be lint-clean.
+
+These tests make the layer-1 rules a standing invariant of the codebase —
+the same check CI runs via ``repro-els lint src tests``.  A failure here
+means either new code violated a rule (fix the code) or a rule grew a
+false positive (fix the rule); suppressions are not an option.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.render import render_text
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+@pytest.mark.parametrize("tree", ["src", "tests", "benchmarks", "examples"])
+def test_tree_is_lint_clean(tree):
+    path = ROOT / tree
+    if not path.is_dir():
+        pytest.skip(f"no {tree}/ directory")
+    diagnostics = lint_paths([str(path)])
+    assert diagnostics == [], "\n" + render_text(diagnostics)

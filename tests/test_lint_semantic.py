@@ -1,0 +1,291 @@
+"""Layer-2 semantic diagnostics (ELS2xx) and the estimator invariant hook.
+
+Covers each code with a minimal hand-built query, the
+``check_estimator_input`` raise contract, and the closure property: every
+closure-completed paper and generated workload query is diagnostic-free.
+"""
+
+import random
+
+import pytest
+
+from repro import ELS, Catalog, DiagnosticError, JoinSizeEstimator, analyze_query
+from repro.catalog.statistics import ColumnStats
+from repro.core.closure import close_query
+from repro.core.equivalence import EquivalenceClasses
+from repro.lint.diagnostics import Severity
+from repro.lint.semantic import check_estimator_input
+from repro.sql.predicates import ColumnRef, Op, join_predicate, local_predicate
+from repro.sql.query import Projection, Query
+from repro.workloads import paper, queries
+
+
+def make_catalog():
+    return Catalog.from_stats(
+        {
+            "R1": (100, {"x": 10, "a": 5}),
+            "R2": (1000, {"y": 100}),
+            "R3": (1000, {"z": 1000}),
+        }
+    )
+
+
+def chain_query():
+    return Query.build(
+        ["R1", "R2", "R3"],
+        [join_predicate("R1", "x", "R2", "y"), join_predicate("R2", "y", "R3", "z")],
+        Projection(count_star=True),
+    )
+
+
+def codes_of(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+class TestClosureFixpoint:
+    def test_missing_implied_predicate_is_els201(self):
+        diagnostics = analyze_query(chain_query(), expect_closure=True)
+        assert "ELS201" in codes_of(diagnostics)
+        finding = next(d for d in diagnostics if d.code == "ELS201")
+        assert "R1.x = R3.z" in finding.context
+        assert finding.severity is Severity.ERROR
+
+    def test_closed_query_is_clean(self):
+        closed, result = close_query(chain_query())
+        diagnostics = analyze_query(
+            closed, make_catalog(), result.equivalence, expect_closure=True
+        )
+        assert diagnostics == []
+
+    def test_no_ptc_mode_skips_the_check(self):
+        assert "ELS201" not in codes_of(
+            analyze_query(chain_query(), expect_closure=False)
+        )
+
+
+class TestPartition:
+    def test_equivalence_missing_a_union_is_els202(self):
+        query = Query.build(
+            ["R1", "R2"], [join_predicate("R1", "x", "R2", "y")]
+        )
+        stale = EquivalenceClasses()
+        stale.add(ColumnRef("R1", "x"))
+        stale.add(ColumnRef("R2", "y"))
+        diagnostics = analyze_query(query, equivalence=stale, expect_closure=False)
+        assert codes_of(diagnostics) == ["ELS202"]
+
+    def test_consistent_classes_are_clean(self):
+        query = Query.build(["R1", "R2"], [join_predicate("R1", "x", "R2", "y")])
+        good = EquivalenceClasses.from_predicates(query.predicates)
+        assert analyze_query(query, equivalence=good, expect_closure=False) == []
+
+
+class TestDuplicatesAndContradictions:
+    def test_surviving_duplicate_is_els203_warning(self):
+        predicate = join_predicate("R1", "x", "R2", "y").canonical()
+        query = Query(tables=("R1", "R2"), predicates=(predicate, predicate))
+        diagnostics = analyze_query(query, expect_closure=False)
+        assert codes_of(diagnostics) == ["ELS203"]
+        assert diagnostics[0].severity is Severity.WARNING
+
+    def test_conflicting_equality_constants_are_els203_error(self):
+        query = Query.build(
+            ["R1"],
+            [
+                local_predicate("R1", "x", Op.EQ, 5),
+                local_predicate("R1", "x", Op.EQ, 7),
+            ],
+        )
+        diagnostics = analyze_query(query, expect_closure=False)
+        assert codes_of(diagnostics) == ["ELS203"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_equality_outside_range_bound_is_els203_error(self):
+        query = Query.build(
+            ["R1"],
+            [
+                local_predicate("R1", "x", Op.EQ, 5),
+                local_predicate("R1", "x", Op.GT, 10),
+            ],
+        )
+        assert codes_of(analyze_query(query, expect_closure=False)) == ["ELS203"]
+
+    def test_empty_range_is_els203_error(self):
+        query = Query.build(
+            ["R1"],
+            [
+                local_predicate("R1", "x", Op.GT, 10),
+                local_predicate("R1", "x", Op.LT, 5),
+            ],
+        )
+        assert codes_of(analyze_query(query, expect_closure=False)) == ["ELS203"]
+
+    def test_satisfiable_range_is_clean(self):
+        query = Query.build(
+            ["R1"],
+            [
+                local_predicate("R1", "x", Op.GE, 5),
+                local_predicate("R1", "x", Op.LE, 5),
+            ],
+        )
+        assert analyze_query(query, expect_closure=False) == []
+
+
+class TestCatalogConsistency:
+    def test_distinct_above_row_count_is_els204(self):
+        catalog = make_catalog()
+        # TableStats validates d <= ||R|| at construction, so simulate a
+        # corrupted catalog by editing the (plain-dict) column map afterwards.
+        catalog.stats("R1").columns["x"] = ColumnStats(distinct=500, low=1, high=500)
+        query = Query.build(["R1", "R2"], [join_predicate("R1", "x", "R2", "y")])
+        diagnostics = analyze_query(query, catalog, expect_closure=False)
+        assert codes_of(diagnostics) == ["ELS204"]
+        assert "R1.x" in diagnostics[0].context
+
+    def test_missing_table_stats_is_els206(self):
+        query = Query.build(["R1", "R9"], [join_predicate("R1", "x", "R9", "k")])
+        diagnostics = analyze_query(query, make_catalog(), expect_closure=False)
+        assert codes_of(diagnostics) == ["ELS206"]
+
+    def test_missing_column_stats_is_els206(self):
+        query = Query.build(["R1", "R2"], [join_predicate("R1", "ghost", "R2", "y")])
+        diagnostics = analyze_query(query, make_catalog(), expect_closure=False)
+        assert codes_of(diagnostics) == ["ELS206"]
+        assert "R1.ghost" in diagnostics[0].context
+
+
+class TestUnfoldedJEquivalence:
+    def test_missing_local_equality_is_els205(self):
+        # R1.x ~ R1.a through R2.y, but the implied R1.a = R1.x local
+        # predicate (closure rule b) was never folded in.
+        query = Query.build(
+            ["R1", "R2"],
+            [
+                join_predicate("R1", "x", "R2", "y"),
+                join_predicate("R1", "a", "R2", "y"),
+            ],
+        )
+        diagnostics = analyze_query(query, expect_closure=True)
+        assert "ELS205" in codes_of(diagnostics)
+        finding = next(d for d in diagnostics if d.code == "ELS205")
+        assert finding.severity is Severity.WARNING
+
+    def test_folded_equality_silences_els205(self):
+        closed, result = close_query(
+            Query.build(
+                ["R1", "R2"],
+                [
+                    join_predicate("R1", "x", "R2", "y"),
+                    join_predicate("R1", "a", "R2", "y"),
+                ],
+            )
+        )
+        diagnostics = analyze_query(
+            closed, equivalence=result.equivalence, expect_closure=True
+        )
+        assert "ELS205" not in codes_of(diagnostics)
+
+
+class TestConnectivity:
+    def test_disconnected_join_graph_is_els207(self):
+        query = Query.build(
+            ["R1", "R2", "R3"], [join_predicate("R1", "x", "R2", "y")]
+        )
+        diagnostics = analyze_query(query, expect_closure=False)
+        assert codes_of(diagnostics) == ["ELS207"]
+        assert diagnostics[0].severity is Severity.WARNING
+        assert "R3" in diagnostics[0].context
+
+    def test_single_table_query_is_never_disconnected(self):
+        query = Query.build(["R1"], [local_predicate("R1", "x", Op.GT, 1)])
+        assert analyze_query(query, expect_closure=False) == []
+
+
+class TestEstimatorHook:
+    def test_check_estimator_input_raises_on_errors(self):
+        query = Query.build(
+            ["R1"],
+            [
+                local_predicate("R1", "x", Op.EQ, 5),
+                local_predicate("R1", "x", Op.EQ, 7),
+            ],
+        )
+        with pytest.raises(DiagnosticError) as excinfo:
+            check_estimator_input(query, expect_closure=False)
+        assert any(d.code == "ELS203" for d in excinfo.value.diagnostics)
+        assert "ELS203" in str(excinfo.value)
+
+    def test_check_estimator_input_returns_warnings(self):
+        query = Query.build(
+            ["R1", "R2", "R3"], [join_predicate("R1", "x", "R2", "y")]
+        )
+        diagnostics = check_estimator_input(query, expect_closure=False)
+        assert codes_of(diagnostics) == ["ELS207"]
+
+    def test_estimator_flag_off_by_default(self):
+        contradictory = Query.build(
+            ["R1", "R2"],
+            [
+                join_predicate("R1", "x", "R2", "y"),
+                local_predicate("R1", "x", Op.EQ, 5),
+                local_predicate("R1", "x", Op.EQ, 7),
+            ],
+        )
+        JoinSizeEstimator(contradictory, make_catalog(), ELS)  # must not raise
+
+    def test_estimator_flag_raises_diagnostic_error(self):
+        contradictory = Query.build(
+            ["R1", "R2"],
+            [
+                join_predicate("R1", "x", "R2", "y"),
+                local_predicate("R1", "x", Op.EQ, 5),
+                local_predicate("R1", "x", Op.EQ, 7),
+            ],
+        )
+        with pytest.raises(DiagnosticError):
+            JoinSizeEstimator(
+                contradictory, make_catalog(), ELS.but(check_invariants=True)
+            )
+
+    def test_estimator_flag_passes_clean_query(self):
+        estimator = JoinSizeEstimator(
+            chain_query(), make_catalog(), ELS.but(check_invariants=True)
+        )
+        assert estimator.estimate(["R2", "R3", "R1"]) == pytest.approx(1000.0)
+
+
+class TestClosureProperty:
+    """Closure-completed workload queries must produce zero diagnostics."""
+
+    @pytest.mark.parametrize(
+        "catalog_fn,query_fn",
+        [
+            (paper.example_1b_catalog, paper.example_1b_query),
+            (paper.section6_catalog, paper.section6_query),
+            (paper.smbg_catalog, paper.smbg_query),
+        ],
+        ids=["example-1b", "section-6", "smbg"],
+    )
+    def test_paper_workloads_are_clean(self, catalog_fn, query_fn):
+        closed, result = close_query(query_fn())
+        diagnostics = analyze_query(
+            closed, catalog_fn(), result.equivalence, expect_closure=True
+        )
+        assert diagnostics == [], codes_of(diagnostics)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_workloads_are_clean(self, seed):
+        rng = random.Random(seed)
+        generated = [
+            queries.chain_workload(4, rng, local_predicate_probability=0.5),
+            queries.star_workload(3, rng),
+            queries.clique_workload(4, rng),
+            queries.cycle_workload(4, rng),
+            queries.snowflake_workload(2, 2, rng),
+        ]
+        for workload in generated:
+            closed, result = close_query(workload.query)
+            diagnostics = analyze_query(
+                closed, equivalence=result.equivalence, expect_closure=True
+            )
+            assert diagnostics == [], (workload, codes_of(diagnostics))

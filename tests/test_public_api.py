@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.catalog",
     "repro.core",
     "repro.execution",
+    "repro.lint",
     "repro.optimizer",
     "repro.sql",
     "repro.storage",
@@ -54,6 +55,12 @@ MODULES = PACKAGES + [
     "repro.execution.layout",
     "repro.execution.metrics",
     "repro.execution.operators",
+    "repro.lint.cli",
+    "repro.lint.diagnostics",
+    "repro.lint.engine",
+    "repro.lint.render",
+    "repro.lint.rules_code",
+    "repro.lint.semantic",
     "repro.optimizer.cost",
     "repro.optimizer.enumerate",
     "repro.optimizer.optimizer",
