@@ -96,9 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     lint = commands.add_parser(
-        "lint", help="run the ELS static-analysis rules (ELS1xx) over sources"
+        "lint", help="run the ELS static-analysis rules (ELS1xx/ELS3xx) over sources"
     )
     lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    lint.add_argument(
+        "--dataflow",
+        action="store_true",
+        default=False,
+        help="also run the interprocedural ELS3xx quantity-dimension pass",
+    )
+    lint.add_argument(
+        "--no-dataflow",
+        action="store_false",
+        dest="dataflow",
+        help="disable the ELS3xx pass (the default)",
+    )
     _add_diagnostic_args(lint)
 
     check = commands.add_parser(
@@ -120,7 +132,10 @@ def _add_diagnostic_args(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("--select", help="comma-separated code prefixes to keep")
     subparser.add_argument("--ignore", help="comma-separated code prefixes to drop")
     subparser.add_argument(
-        "--format", choices=("text", "json"), default="text", help="output format"
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format",
     )
 
 
@@ -231,7 +246,9 @@ def _command_demo(args) -> int:
 
 
 def _command_lint(args) -> int:
-    return run_lint(args.paths, args.select, args.ignore, args.format)
+    return run_lint(
+        args.paths, args.select, args.ignore, args.format, dataflow=args.dataflow
+    )
 
 
 def _command_check(args) -> int:

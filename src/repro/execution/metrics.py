@@ -49,7 +49,7 @@ class ExecutionMetrics:
 
     @property
     def total_rows_out(self) -> int:
-        return sum(op.rows_out for op in self.operators)
+        return int(sum(op.rows_out for op in self.operators))
 
     @property
     def total_comparisons(self) -> int:

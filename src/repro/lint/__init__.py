@@ -1,7 +1,7 @@
 """Static analysis for the reproduction: code lint + query diagnostics.
 
-Two cooperating layers share one :class:`~repro.lint.diagnostics.Diagnostic`
-model and the text/JSON renderers:
+Three cooperating layers share one :class:`~repro.lint.diagnostics.Diagnostic`
+model and the text/JSON/SARIF renderers:
 
 * **Layer 1 — codebase lint** (:mod:`repro.lint.engine`,
   :mod:`repro.lint.rules_code`): a pure-stdlib ``ast`` rule framework with
@@ -17,11 +17,26 @@ model and the text/JSON renderers:
   ``repro-els check`` and hooked into
   :class:`~repro.core.estimator.JoinSizeEstimator` behind
   ``EstimatorConfig.check_invariants``.
+* **Layer 3 — quantity dataflow** (:mod:`repro.lint.dataflow`): an
+  interprocedural abstract interpretation (``ELS300``-``ELS306``) that
+  tracks which of the paper's quantities — cardinalities ``||R||``,
+  distinct counts ``d_x``, selectivities in ``[0, 1]`` — each expression
+  carries and flags dimensionally invalid arithmetic.  Exposed behind
+  ``repro-els lint --dataflow``.
 
-See ``docs/LINT.md`` for the complete code catalog with the paper
-references behind every rule.
+Inline ``# els: noqa`` / ``# els: noqa[ELS101]`` comments suppress
+findings on their line (unused suppressions warn as ``ELS199``).  See
+``docs/LINT.md`` for the complete code catalog with the paper references
+behind every rule.
 """
 
+from .dataflow import (
+    DATAFLOW_CODES,
+    AbstractValue,
+    Quantity,
+    analyze_modules,
+    analyze_source,
+)
 from .diagnostics import (
     Diagnostic,
     Severity,
@@ -35,29 +50,38 @@ from .engine import (
     ModuleUnderLint,
     all_rules,
     iter_python_files,
+    known_codes,
     lint_paths,
     lint_source,
     register,
 )
-from .render import render_json, render_text
-from .semantic import analyze_query, check_estimator_input
+from .render import render_json, render_sarif, render_text
+from .semantic import SEMANTIC_CODES, analyze_query, check_estimator_input
 
 __all__ = [
+    "DATAFLOW_CODES",
+    "SEMANTIC_CODES",
+    "AbstractValue",
     "Diagnostic",
+    "Quantity",
     "Severity",
     "LintRule",
     "ModuleUnderLint",
     "all_rules",
+    "analyze_modules",
     "analyze_query",
+    "analyze_source",
     "check_estimator_input",
     "code_matches",
     "count_by_severity",
     "filter_diagnostics",
     "has_errors",
     "iter_python_files",
+    "known_codes",
     "lint_paths",
     "lint_source",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -4,9 +4,9 @@ Shared by the main :mod:`repro.cli` dispatcher and the dedicated
 ``repro-els-lint`` console entry point, so both surfaces behave
 identically.  Exit-code contract (both subcommands):
 
-* ``0`` — clean, no diagnostics;
-* ``1`` — diagnostics found (any severity);
-* ``2`` — usage error (bad path, bad flags).
+* ``0`` — clean, or only warning/info findings;
+* ``1`` — at least one error-severity finding;
+* ``2`` — usage error (bad path, bad flags, unknown ``--select`` code).
 """
 
 from __future__ import annotations
@@ -16,32 +16,53 @@ import sys
 from typing import IO, List, Optional, Sequence
 
 from ..errors import LintError, ReproError
-from .diagnostics import Diagnostic, filter_diagnostics
-from .engine import lint_paths
-from .render import render_json, render_text
+from .diagnostics import Diagnostic, filter_diagnostics, has_errors
+from .engine import known_codes, lint_paths
+from .render import render_json, render_sarif, render_text
 
 __all__ = ["run_lint", "run_check", "render_diagnostics", "main"]
 
 
 def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
-    """Parse a ``--select``/``--ignore`` comma list into code prefixes."""
+    """Parse and validate a ``--select``/``--ignore`` comma list.
+
+    Every entry must be a prefix of at least one code some layer can
+    actually emit — a typo like ``ELS9`` or ``ESL301`` would otherwise
+    silently match nothing and turn the lint into a no-op.
+
+    Raises:
+        LintError: for an empty list or an unknown code prefix.
+    """
     if raw is None:
         return None
     codes = [part.strip() for part in raw.split(",") if part.strip()]
     if not codes:
         raise LintError("expected a comma-separated list of codes (e.g. ELS1,ELS203)")
+    valid = known_codes()
+    for code in codes:
+        if not any(known.startswith(code.upper()) for known in valid):
+            raise LintError(
+                f"unknown diagnostic code or prefix {code!r}; "
+                f"known codes: {', '.join(valid)}"
+            )
     return codes
 
 
 def render_diagnostics(
     diagnostics: Sequence[Diagnostic], output_format: str, stream: IO[str]
 ) -> int:
-    """Print findings in the requested format; return the exit code."""
+    """Print findings in the requested format; return the exit code.
+
+    Only error-severity findings fail the run — warnings and infos are
+    advisory and must not break CI pipelines that gate on exit codes.
+    """
     if output_format == "json":
         print(render_json(list(diagnostics)), file=stream)
+    elif output_format == "sarif":
+        print(render_sarif(list(diagnostics)), file=stream)
     else:
         print(render_text(list(diagnostics)), file=stream)
-    return 1 if diagnostics else 0
+    return 1 if has_errors(diagnostics) else 0
 
 
 def run_lint(
@@ -50,14 +71,21 @@ def run_lint(
     ignore: Optional[str] = None,
     output_format: str = "text",
     stream: Optional[IO[str]] = None,
+    dataflow: bool = False,
 ) -> int:
     """Run the layer-1 rules over files/directories; print and exit-code.
+
+    ``dataflow=True`` additionally runs the interprocedural ELS3xx
+    quantity pass over the whole file set.
 
     Raises:
         LintError: for unusable paths or filter lists (usage errors).
     """
     diagnostics = lint_paths(
-        paths, select=_split_codes(select), ignore=_split_codes(ignore)
+        paths,
+        select=_split_codes(select),
+        ignore=_split_codes(ignore),
+        dataflow=dataflow,
     )
     return render_diagnostics(diagnostics, output_format, stream or sys.stdout)
 
@@ -113,11 +141,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--select", help="comma-separated code prefixes to keep")
     parser.add_argument("--ignore", help="comma-separated code prefixes to drop")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", help="output format"
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--dataflow",
+        action="store_true",
+        default=False,
+        help="also run the interprocedural ELS3xx quantity-dimension pass",
+    )
+    parser.add_argument(
+        "--no-dataflow",
+        action="store_false",
+        dest="dataflow",
+        help="disable the ELS3xx pass (the default)",
     )
     args = parser.parse_args(argv)
     try:
-        return run_lint(args.paths, args.select, args.ignore, args.format)
+        return run_lint(
+            args.paths, args.select, args.ignore, args.format, dataflow=args.dataflow
+        )
     except LintError as exc:
         print(f"usage error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,61 @@
+"""Interprocedural quantity-dimension dataflow analysis (ELS3xx).
+
+The third analysis layer of :mod:`repro.lint`: an abstract interpretation
+over the estimation arithmetic that keeps the paper's three kinds of
+numbers — cardinalities, distinct counts, and selectivities — from being
+combined in dimensionally invalid ways.  See :mod:`repro.lint.dataflow.
+lattice` for the domain, :mod:`repro.lint.dataflow.analysis` for the
+solver and the ELS300–ELS306 diagnostics, and docs/LINT.md for the user
+guide.
+"""
+
+from .analysis import DATAFLOW_CODES, analyze_modules, analyze_source
+from .annotations import (
+    Directive,
+    MalformedDirective,
+    QUANTITY_ALIASES,
+    parse_directives,
+    quantity_from_name,
+)
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .lattice import (
+    AbstractValue,
+    BOTTOM,
+    Quantity,
+    TOP,
+    binary_transfer,
+    constant_value,
+    join_values,
+    min_max_transfer,
+    seeded,
+    unary_transfer,
+)
+from .summaries import FunctionInfo, ModuleInfo, Program, collect_program
+
+__all__ = [
+    "DATAFLOW_CODES",
+    "analyze_modules",
+    "analyze_source",
+    "Directive",
+    "MalformedDirective",
+    "QUANTITY_ALIASES",
+    "parse_directives",
+    "quantity_from_name",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "AbstractValue",
+    "BOTTOM",
+    "Quantity",
+    "TOP",
+    "binary_transfer",
+    "constant_value",
+    "join_values",
+    "min_max_transfer",
+    "seeded",
+    "unary_transfer",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "collect_program",
+]

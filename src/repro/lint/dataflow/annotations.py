@@ -1,0 +1,189 @@
+"""Quantity seeding and ``# els:`` directive parsing.
+
+Two cooperating conventions feed the dataflow analysis:
+
+* **Naming** — the repository's identifiers already encode their
+  dimension (``n_rows``, ``selected_rows``, ``d_x``, ``sel_eq``,
+  ``left_distinct`` ...).  :func:`quantity_from_name` maps an identifier
+  to a :class:`~repro.lint.dataflow.lattice.Quantity` by token, and the
+  same mapping seeds parameters, attribute reads, and the summaries of
+  functions the call graph cannot resolve.
+* **Directives** — an explicit trailing comment overrides inference:
+
+  .. code-block:: python
+
+      def scale(raw):  # els: quantity=selectivity
+          ...
+      weight = lookup(x)  # els: quantity=cardinality
+      risky_line()  # els: noqa
+      other_line()  # els: noqa[ELS101,ELS303]
+
+  ``quantity=...`` on a ``def`` line declares the function's *return*
+  quantity; on any other line it declares the quantity of the assigned
+  name(s).  ``noqa`` suppresses all (or the listed) diagnostics on its
+  line; a suppression that matches nothing is itself reported (ELS199).
+
+Directives are extracted with :mod:`tokenize`, so the marker inside a
+string literal is never mistaken for a directive.  A comment that starts
+with the ``els:`` marker but does not parse yields an ELS300 diagnostic —
+a silently ignored annotation would be worse than none.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .lattice import Quantity
+
+__all__ = [
+    "Directive",
+    "MalformedDirective",
+    "parse_directives",
+    "quantity_from_name",
+    "QUANTITY_ALIASES",
+]
+
+#: Accepted spellings on the right of ``quantity=``.
+QUANTITY_ALIASES: Dict[str, Quantity] = {
+    "cardinality": Quantity.CARDINALITY,
+    "rows": Quantity.CARDINALITY,
+    "selectivity": Quantity.SELECTIVITY,
+    "distinct": Quantity.DISTINCT_COUNT,
+    "distinct_count": Quantity.DISTINCT_COUNT,
+    "ratio": Quantity.RATIO,
+    "count": Quantity.COUNT,
+    "any": Quantity.TOP,
+    "top": Quantity.TOP,
+}
+
+#: Anchored at the start of the comment so prose that merely *mentions*
+#: the marker (docs, examples) is never parsed as a directive.
+_DIRECTIVE_RE = re.compile(r"^#\s*els:\s*(?P<body>.*)$")
+_NOQA_RE = re.compile(r"^noqa(?:\[(?P<codes>[^\]]*)\])?$")
+_QUANTITY_RE = re.compile(r"^quantity\s*=\s*(?P<name>[A-Za-z_]+)$")
+_CODE_RE = re.compile(r"^ELS\d{3}$")
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed ``# els:`` comment.
+
+    Attributes:
+        line: 1-based source line the comment sits on.
+        kind: ``"noqa"`` or ``"quantity"``.
+        codes: For ``noqa``: the exact codes suppressed (``None`` means a
+            blanket suppression of every code on the line).
+        quantity: For ``quantity``: the declared dimension.
+    """
+
+    line: int
+    kind: str
+    codes: Optional[FrozenSet[str]] = None
+    quantity: Optional[Quantity] = None
+
+
+@dataclass(frozen=True)
+class MalformedDirective:
+    """An ``# els:`` comment that failed to parse (reported as ELS300)."""
+
+    line: int
+    col: int
+    reason: str
+
+
+def parse_directives(
+    source: str,
+) -> Tuple[List[Directive], List[MalformedDirective]]:
+    """Extract all ``# els:`` directives from one source file.
+
+    Only genuine comment tokens are considered; the marker inside string
+    literals is ignored.  A file that fails to tokenize (already reported
+    as ELS100 by the engine) yields no directives.
+    """
+    directives: List[Directive] = []
+    malformed: List[MalformedDirective] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return [], []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.match(token.string)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        line, col = token.start
+        parsed = _parse_body(line, body)
+        if isinstance(parsed, str):
+            malformed.append(MalformedDirective(line, col, parsed))
+        else:
+            directives.append(parsed)
+    return directives, malformed
+
+
+def _parse_body(line: int, body: str):
+    """Parse one directive body; returns a Directive or an error string."""
+    noqa = _NOQA_RE.match(body)
+    if noqa is not None:
+        raw_codes = noqa.group("codes")
+        if raw_codes is None:
+            return Directive(line, "noqa")
+        codes = [c.strip().upper() for c in raw_codes.split(",") if c.strip()]
+        if not codes:
+            return "empty code list in 'noqa[...]'"
+        bad = [c for c in codes if not _CODE_RE.match(c)]
+        if bad:
+            return f"invalid code(s) {', '.join(sorted(bad))} in 'noqa[...]'"
+        return Directive(line, "noqa", codes=frozenset(codes))
+    quantity = _QUANTITY_RE.match(body)
+    if quantity is not None:
+        name = quantity.group("name").lower()
+        if name not in QUANTITY_ALIASES:
+            known = ", ".join(sorted(QUANTITY_ALIASES))
+            return f"unknown quantity {name!r} (expected one of: {known})"
+        return Directive(line, "quantity", quantity=QUANTITY_ALIASES[name])
+    return f"unrecognized directive {body!r} (expected 'noqa', 'noqa[...]', or 'quantity=...')"
+
+
+# ---------------------------------------------------------------------------
+# Naming convention
+# ---------------------------------------------------------------------------
+
+#: Substring tokens checked in order — first hit wins.  ``selectivit``
+#: covers both ``selectivity`` and ``selectivities``.
+_NAME_TOKENS: Tuple[Tuple[str, Quantity], ...] = (
+    ("selectivit", Quantity.SELECTIVITY),
+    ("distinct", Quantity.DISTINCT_COUNT),
+    ("cardinalit", Quantity.CARDINALITY),
+    ("row_count", Quantity.CARDINALITY),
+    ("rows", Quantity.CARDINALITY),
+    ("fraction", Quantity.SELECTIVITY),
+)
+
+#: Exact identifiers and prefix/suffix conventions from the paper's
+#: notation: ``d_x`` distinct counts, ``sel_*`` selectivities.
+_EXACT_NAMES: Dict[str, Quantity] = {
+    "sel": Quantity.SELECTIVITY,
+    "d": Quantity.DISTINCT_COUNT,
+    "dx": Quantity.DISTINCT_COUNT,
+}
+
+
+def quantity_from_name(name: str) -> Optional[Quantity]:
+    """Infer a quantity from an identifier, or ``None`` for no opinion."""
+    lowered = name.lower().lstrip("_")
+    if lowered in _EXACT_NAMES:
+        return _EXACT_NAMES[lowered]
+    if lowered.startswith("sel_"):
+        return Quantity.SELECTIVITY
+    if lowered.startswith("d_") or lowered.endswith("_d"):
+        return Quantity.DISTINCT_COUNT
+    for token, quantity in _NAME_TOKENS:
+        if token in lowered:
+            return quantity
+    return None

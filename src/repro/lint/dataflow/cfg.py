@@ -1,0 +1,216 @@
+"""A small control-flow-graph builder over ``ast`` function bodies.
+
+The dataflow solver (:mod:`repro.lint.dataflow.analysis`) needs join
+points: a variable assigned a selectivity on one branch and a cardinality
+on the other must read as TOP afterwards, and loop-carried state must
+converge.  This module lowers one function body into basic blocks of
+*elements* — plain statements plus synthetic branch-condition elements —
+connected by successor edges.
+
+Handled control flow: ``if``/``elif``/``else``, ``while``/``for`` (with
+``else`` clauses, ``break``, ``continue``), ``try``/``except``/``finally``
+(approximated: the try body may jump to every handler), ``with``,
+``return``, and ``raise``.  ``match`` statements fall back to joining all
+case bodies.  Nested function and class definitions are opaque single
+elements — the analysis treats them as definitions, not control flow.
+
+The graph is deliberately coarse — exceptions may fire mid-block, which a
+sound exception-precise analysis would model; for the quantity domain the
+only cost is that a handler sees slightly stale state, which can produce
+TOP (silence), never a false violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]
+
+#: ``ast.Match`` exists from Python 3.10; isinstance against () is False.
+_MATCH_TYPES = (ast.Match,) if hasattr(ast, "Match") else ()
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of elements with a shared set of successors."""
+
+    block_id: int
+    elements: List[ast.AST] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+    def add_successor(self, block_id: int) -> None:
+        if block_id not in self.successors:
+            self.successors.append(block_id)
+
+
+@dataclass
+class ControlFlowGraph:
+    """The per-function CFG: blocks, an entry block, and an exit block."""
+
+    blocks: Dict[int, BasicBlock]
+    entry: int
+    exit: int
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {bid: [] for bid in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.successors:
+                preds[succ].append(block.block_id)
+        return preds
+
+
+class _Builder:
+    """Lowers a statement list into blocks, tracking loop/exit targets."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.exit_block = self._new_block()
+        # Stack of (continue_target, break_target) for nested loops.
+        self._loops: List[Tuple[int, int]] = []
+
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks[block.block_id] = block
+        return block
+
+    def lower(self, body: Sequence[ast.stmt]) -> int:
+        entry = self._new_block()
+        end = self._lower_body(body, entry)
+        if end is not None:
+            end.add_successor(self.exit_block.block_id)
+        return entry.block_id
+
+    def _lower_body(
+        self, body: Sequence[ast.stmt], current: BasicBlock
+    ) -> Optional[BasicBlock]:
+        """Lower statements into ``current``; returns the fall-through block
+        (or ``None`` when every path left via return/raise/break/continue)."""
+        for statement in body:
+            if current is None:
+                # Unreachable code after a terminator: give it its own
+                # disconnected block so its expressions are still checked.
+                current = self._new_block()
+            if isinstance(statement, ast.If):
+                current = self._lower_if(statement, current)
+            elif isinstance(statement, (ast.While, ast.For, ast.AsyncFor)):
+                current = self._lower_loop(statement, current)
+            elif isinstance(statement, ast.Try):
+                current = self._lower_try(statement, current)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                current.elements.extend(statement.items)
+                current = self._lower_body(statement.body, current)
+            elif _MATCH_TYPES and isinstance(statement, _MATCH_TYPES):
+                current = self._lower_match(statement, current)
+            elif isinstance(statement, (ast.Return, ast.Raise)):
+                current.elements.append(statement)
+                current.add_successor(self.exit_block.block_id)
+                current = None
+            elif isinstance(statement, ast.Break):
+                if self._loops:
+                    current.add_successor(self._loops[-1][1])
+                current = None
+            elif isinstance(statement, ast.Continue):
+                if self._loops:
+                    current.add_successor(self._loops[-1][0])
+                current = None
+            else:
+                current.elements.append(statement)
+        return current
+
+    def _lower_if(self, statement: ast.If, current: BasicBlock) -> Optional[BasicBlock]:
+        current.elements.append(statement.test)
+        after = self._new_block()
+        reachable = False
+        for branch in (statement.body, statement.orelse or []):
+            if not branch:
+                current.add_successor(after.block_id)
+                reachable = True
+                continue
+            branch_entry = self._new_block()
+            current.add_successor(branch_entry.block_id)
+            branch_end = self._lower_body(branch, branch_entry)
+            if branch_end is not None:
+                branch_end.add_successor(after.block_id)
+                reachable = True
+        return after if reachable else None
+
+    def _lower_loop(self, statement: ast.stmt, current: BasicBlock) -> BasicBlock:
+        header = self._new_block()
+        current.add_successor(header.block_id)
+        if isinstance(statement, ast.While):
+            header.elements.append(statement.test)
+        else:
+            # ``for target in iter`` — the header both evaluates the
+            # iterable and binds the target; represent with the stmt node
+            # minus its body (the analysis special-cases For elements).
+            header.elements.append(_ForHeader(statement))
+        after = self._new_block()
+        header.add_successor(after.block_id)
+        body_entry = self._new_block()
+        header.add_successor(body_entry.block_id)
+        self._loops.append((header.block_id, after.block_id))
+        body_end = self._lower_body(statement.body, body_entry)
+        self._loops.pop()
+        if body_end is not None:
+            body_end.add_successor(header.block_id)
+        orelse = getattr(statement, "orelse", None)
+        if orelse:
+            after = self._lower_body(orelse, after) or self._new_block()
+        return after
+
+    def _lower_try(self, statement: ast.Try, current: BasicBlock) -> Optional[BasicBlock]:
+        after = self._new_block()
+        body_end = self._lower_body(statement.body, current)
+        handler_entries: List[BasicBlock] = []
+        for handler in statement.handlers:
+            entry = self._new_block()
+            handler_entries.append(entry)
+            # Any statement in the try body may raise: approximate with an
+            # edge from the block that starts the try.
+            current.add_successor(entry.block_id)
+            handler_end = self._lower_body(handler.body, entry)
+            if handler_end is not None:
+                handler_end.add_successor(after.block_id)
+        if body_end is not None:
+            if statement.orelse:
+                body_end = self._lower_body(statement.orelse, body_end)
+            if body_end is not None:
+                body_end.add_successor(after.block_id)
+        if statement.finalbody:
+            final_end = self._lower_body(statement.finalbody, after)
+            if final_end is None:
+                return None
+            return final_end
+        return after
+
+    def _lower_match(self, statement: ast.Match, current: BasicBlock) -> BasicBlock:
+        current.elements.append(statement.subject)
+        after = self._new_block()
+        current.add_successor(after.block_id)  # no case may match
+        for case in statement.cases:
+            entry = self._new_block()
+            current.add_successor(entry.block_id)
+            end = self._lower_body(case.body, entry)
+            if end is not None:
+                end.add_successor(after.block_id)
+        return after
+
+
+class _ForHeader:
+    """Synthetic element: the ``target in iter`` binding of a for loop."""
+
+    __slots__ = ("statement",)
+
+    def __init__(self, statement: ast.stmt) -> None:
+        self.statement = statement
+
+
+def build_cfg(function: ast.AST) -> ControlFlowGraph:
+    """Build the CFG of one ``FunctionDef``/``AsyncFunctionDef`` body."""
+    builder = _Builder()
+    entry = builder.lower(list(function.body))
+    return ControlFlowGraph(
+        blocks=builder.blocks, entry=entry, exit=builder.exit_block.block_id
+    )

@@ -1,0 +1,398 @@
+"""The ``Quantity`` lattice and its arithmetic transfer rules.
+
+Algorithm ELS keeps three kinds of numbers straight — table/result
+cardinalities ``||R||``, per-column distinct counts ``d_x``, and
+selectivities in ``[0, 1]`` — and the paper's equations only ever combine
+them in a handful of dimensionally valid ways:
+
+* Equation 1/2: ``||R1|| * ||R2|| * S_J`` and ``S_J = 1 / max(d1, d2)``;
+* Equation 3: cardinalities are divided by distinct counts, never the
+  other way around;
+* Section 5: ``d'_y = d_y * S_L`` (a selectivity scales a distinct count)
+  and the urn model is the *only* sanctioned way to derive a surviving
+  distinct count from a row count;
+* Rule LS: ``min``/``max`` over selectivities of one equivalence class.
+
+This module encodes those rules as an abstract domain.  An
+:class:`AbstractValue` carries a :class:`Quantity` from a flat lattice plus
+proof bits (``nonneg``/``le_one`` range facts, ``coerced`` for
+integer-coerced results, ``clamp_result`` for values directly produced by a
+clamp).  :func:`binary_transfer` folds two abstract operands through an
+arithmetic operator and reports the violation code (``ELS301``/``ELS304``)
+when the combination has no dimensionally valid reading.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "Quantity",
+    "AbstractValue",
+    "TOP",
+    "BOTTOM",
+    "constant_value",
+    "seeded",
+    "join_values",
+    "binary_transfer",
+    "unary_transfer",
+    "min_max_transfer",
+]
+
+
+class Quantity(enum.Enum):
+    """The flat quantity lattice of the estimation arithmetic.
+
+    ``BOTTOM`` is the unreachable/no-information element, ``TOP`` the
+    "any number" element every incompatible join falls back to.
+    ``CONSTANT`` marks numeric literals, which are polymorphic: a literal
+    adopts the dimension of whatever it is combined with.
+    """
+
+    BOTTOM = "bottom"
+    CONSTANT = "constant"
+    COUNT = "count"
+    RATIO = "ratio"
+    SELECTIVITY = "selectivity"
+    CARDINALITY = "cardinality"
+    DISTINCT_COUNT = "distinct"
+    TOP = "top"
+
+    @property
+    def is_concrete(self) -> bool:
+        """True for the three dimensioned quantities the paper tracks."""
+        return self in (
+            Quantity.SELECTIVITY,
+            Quantity.CARDINALITY,
+            Quantity.DISTINCT_COUNT,
+        )
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One abstract number: a quantity plus proof bits.
+
+    Attributes:
+        quantity: Element of the :class:`Quantity` lattice.
+        nonneg: Proven ``>= 0``.
+        le_one: Proven ``<= 1``.
+        coerced: Proven integer-valued (passed through ``ceil``/``int``/
+            ``round``/``floor``, or an integer literal/parameter).
+        clamp_result: Directly produced by a clamp operation — used to
+            detect dead clamps (ELS305) without flagging defensive ones.
+        const: The numeric value, when the value is a known literal.
+    """
+
+    quantity: Quantity
+    nonneg: bool = False
+    le_one: bool = False
+    coerced: bool = False
+    clamp_result: bool = False
+    const: Optional[float] = None
+
+    @property
+    def bounded(self) -> bool:
+        """Proven inside ``[0, 1]`` — the selectivity invariant."""
+        return self.nonneg and self.le_one
+
+
+TOP = AbstractValue(Quantity.TOP)
+BOTTOM = AbstractValue(Quantity.BOTTOM)
+
+
+def constant_value(value: float) -> AbstractValue:
+    """Abstract a numeric literal (quantity-polymorphic, exact bits)."""
+    return AbstractValue(
+        Quantity.CONSTANT,
+        nonneg=value >= 0,
+        le_one=value <= 1,
+        coerced=isinstance(value, int) or float(value).is_integer(),
+        const=float(value),
+    )
+
+
+def seeded(quantity: Quantity, coerced: bool = False) -> AbstractValue:
+    """The abstract value of a *declared* quantity (parameter or summary).
+
+    Declared selectivities are assumed valid (in ``[0, 1]``): the checker
+    verifies *producers* of selectivities, not every caller.  Declared
+    cardinalities, distinct counts, and counts are assumed non-negative —
+    the library validates that at its entry points.
+    """
+    if quantity is Quantity.SELECTIVITY:
+        return AbstractValue(quantity, nonneg=True, le_one=True, coerced=coerced)
+    if quantity in (Quantity.CARDINALITY, Quantity.DISTINCT_COUNT, Quantity.COUNT):
+        return AbstractValue(quantity, nonneg=True, coerced=coerced)
+    return AbstractValue(quantity, coerced=coerced)
+
+
+def join_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound of two abstract values (control-flow merge)."""
+    if a.quantity is Quantity.BOTTOM:
+        return b
+    if b.quantity is Quantity.BOTTOM:
+        return a
+    if a.quantity is b.quantity:
+        quantity = a.quantity
+    elif a.quantity is Quantity.CONSTANT:
+        quantity = b.quantity
+    elif b.quantity is Quantity.CONSTANT:
+        quantity = a.quantity
+    else:
+        quantity = Quantity.TOP
+    const = a.const if a.const is not None and a.const == b.const else None
+    return AbstractValue(
+        quantity,
+        nonneg=a.nonneg and b.nonneg,
+        le_one=a.le_one and b.le_one,
+        coerced=a.coerced and b.coerced,
+        clamp_result=a.clamp_result and b.clamp_result,
+        const=const,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Binary transfer rules
+# ---------------------------------------------------------------------------
+
+_Q = Quantity
+
+#: Additive combinations (``+``/``-``) keyed by unordered quantity pair.
+#: A missing entry means TOP (unknown but legal); a string entry is the
+#: violation code the combination raises.
+_ADDITIVE: Dict[frozenset, object] = {
+    frozenset((_Q.SELECTIVITY,)): _Q.RATIO,  # S + S may exceed 1
+    frozenset((_Q.SELECTIVITY, _Q.RATIO)): _Q.RATIO,
+    frozenset((_Q.SELECTIVITY, _Q.CARDINALITY)): "ELS301",
+    frozenset((_Q.SELECTIVITY, _Q.DISTINCT_COUNT)): "ELS301",
+    frozenset((_Q.CARDINALITY,)): _Q.CARDINALITY,
+    frozenset((_Q.CARDINALITY, _Q.DISTINCT_COUNT)): "ELS304",
+    frozenset((_Q.CARDINALITY, _Q.COUNT)): _Q.CARDINALITY,
+    frozenset((_Q.DISTINCT_COUNT,)): _Q.DISTINCT_COUNT,
+    frozenset((_Q.DISTINCT_COUNT, _Q.COUNT)): _Q.DISTINCT_COUNT,
+    frozenset((_Q.RATIO,)): _Q.RATIO,
+    frozenset((_Q.COUNT,)): _Q.COUNT,
+}
+
+#: Multiplicative combinations, unordered (multiplication commutes).
+_MULTIPLICATIVE: Dict[frozenset, object] = {
+    frozenset((_Q.SELECTIVITY,)): _Q.SELECTIVITY,  # bounded if both bounded
+    frozenset((_Q.SELECTIVITY, _Q.CARDINALITY)): _Q.CARDINALITY,  # Eq. 1
+    frozenset((_Q.SELECTIVITY, _Q.DISTINCT_COUNT)): _Q.DISTINCT_COUNT,  # d' = d*S
+    frozenset((_Q.SELECTIVITY, _Q.RATIO)): _Q.RATIO,
+    frozenset((_Q.CARDINALITY,)): _Q.CARDINALITY,  # ||R1|| * ||R2||
+    frozenset((_Q.CARDINALITY, _Q.DISTINCT_COUNT)): "ELS304",
+    frozenset((_Q.CARDINALITY, _Q.COUNT)): _Q.CARDINALITY,
+    frozenset((_Q.CARDINALITY, _Q.RATIO)): _Q.CARDINALITY,
+    frozenset((_Q.DISTINCT_COUNT,)): _Q.DISTINCT_COUNT,  # Eq. 3 divisors
+    frozenset((_Q.DISTINCT_COUNT, _Q.COUNT)): _Q.DISTINCT_COUNT,
+    frozenset((_Q.DISTINCT_COUNT, _Q.RATIO)): _Q.DISTINCT_COUNT,
+    frozenset((_Q.RATIO,)): _Q.RATIO,
+    frozenset((_Q.COUNT,)): _Q.COUNT,
+}
+
+#: Division combinations, keyed by *ordered* (numerator, denominator).
+_DIVISION: Dict[Tuple[Quantity, Quantity], Quantity] = {
+    (_Q.CARDINALITY, _Q.DISTINCT_COUNT): _Q.CARDINALITY,  # Eq. 3
+    (_Q.CARDINALITY, _Q.CARDINALITY): _Q.RATIO,  # ||R||'/||R||
+    (_Q.CARDINALITY, _Q.COUNT): _Q.CARDINALITY,
+    (_Q.CARDINALITY, _Q.RATIO): _Q.CARDINALITY,
+    (_Q.DISTINCT_COUNT, _Q.DISTINCT_COUNT): _Q.RATIO,
+    (_Q.DISTINCT_COUNT, _Q.CARDINALITY): _Q.RATIO,
+    (_Q.DISTINCT_COUNT, _Q.COUNT): _Q.DISTINCT_COUNT,
+    (_Q.DISTINCT_COUNT, _Q.RATIO): _Q.DISTINCT_COUNT,
+    (_Q.SELECTIVITY, _Q.SELECTIVITY): _Q.RATIO,
+    (_Q.RATIO, _Q.RATIO): _Q.RATIO,
+    (_Q.RATIO, _Q.COUNT): _Q.RATIO,
+    (_Q.COUNT, _Q.COUNT): _Q.RATIO,
+}
+
+
+def _fold_constants(op: ast.operator, a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Evaluate a literal-literal operation when both values are known."""
+    if a.const is None or b.const is None:
+        return AbstractValue(Quantity.CONSTANT)
+    try:
+        if isinstance(op, ast.Add):
+            result = a.const + b.const
+        elif isinstance(op, ast.Sub):
+            result = a.const - b.const
+        elif isinstance(op, ast.Mult):
+            result = a.const * b.const
+        elif isinstance(op, (ast.Div, ast.FloorDiv)):
+            result = a.const / b.const
+        elif isinstance(op, ast.Pow):
+            result = a.const ** b.const
+        else:
+            return AbstractValue(Quantity.CONSTANT)
+    except (ZeroDivisionError, OverflowError, ValueError):
+        return AbstractValue(Quantity.CONSTANT)
+    return constant_value(result)
+
+
+def _additive(
+    op: ast.operator, left: AbstractValue, right: AbstractValue
+) -> Tuple[AbstractValue, Optional[str]]:
+    if left.quantity is Quantity.CONSTANT and right.quantity is Quantity.CONSTANT:
+        return _fold_constants(op, left, right), None
+    if Quantity.CONSTANT in (left.quantity, right.quantity):
+        other = right if left.quantity is Quantity.CONSTANT else left
+        # ``1 - S`` and friends: a literal shifted by a selectivity is a
+        # ratio (it can leave [0, 1]); other quantities keep their dimension.
+        if other.quantity in (Quantity.SELECTIVITY, Quantity.RATIO):
+            return AbstractValue(Quantity.RATIO, coerced=False), None
+        return replace(other, nonneg=False, le_one=False, clamp_result=False,
+                       coerced=left.coerced and right.coerced, const=None), None
+    entry = _ADDITIVE.get(frozenset((left.quantity, right.quantity)))
+    if entry is None:
+        return TOP, None
+    if isinstance(entry, str):
+        return TOP, entry
+    nonneg = left.nonneg and right.nonneg and isinstance(op, ast.Add)
+    return AbstractValue(entry, nonneg=nonneg,
+                         coerced=left.coerced and right.coerced), None
+
+
+def _multiplicative(
+    left: AbstractValue, right: AbstractValue
+) -> Tuple[AbstractValue, Optional[str]]:
+    if left.quantity is Quantity.CONSTANT and right.quantity is Quantity.CONSTANT:
+        return _fold_constants(ast.Mult(), left, right), None
+    if Quantity.CONSTANT in (left.quantity, right.quantity):
+        const = left if left.quantity is Quantity.CONSTANT else right
+        other = right if left.quantity is Quantity.CONSTANT else left
+        # Scaling by a literal preserves the dimension; range facts survive
+        # only when the literal itself sits inside [0, 1].
+        in_range = const.nonneg and const.le_one
+        return replace(
+            other,
+            nonneg=other.nonneg and const.nonneg,
+            le_one=other.le_one and in_range,
+            coerced=other.coerced and const.coerced,
+            clamp_result=False,
+            const=None,
+        ), None
+    entry = _MULTIPLICATIVE.get(frozenset((left.quantity, right.quantity)))
+    if entry is None:
+        return TOP, None
+    if isinstance(entry, str):
+        return TOP, entry
+    return AbstractValue(
+        entry,
+        nonneg=left.nonneg and right.nonneg,
+        le_one=left.bounded and right.bounded,
+        coerced=left.coerced and right.coerced,
+    ), None
+
+
+def _division(
+    left: AbstractValue, right: AbstractValue
+) -> Tuple[AbstractValue, Optional[str]]:
+    if left.quantity is Quantity.CONSTANT and right.quantity is Quantity.CONSTANT:
+        return _fold_constants(ast.Div(), left, right), None
+    if left.quantity is Quantity.CONSTANT:
+        # Equation 2: a literal in (0, 1] over a distinct count is a valid
+        # selectivity (catalog distinct counts are integers >= 1 whenever a
+        # predicate can reference the column).
+        if right.quantity is Quantity.DISTINCT_COUNT:
+            bounded = left.const is not None and 0 <= left.const <= 1
+            return AbstractValue(
+                Quantity.SELECTIVITY, nonneg=bounded, le_one=bounded
+            ), None
+        if right.quantity is Quantity.CARDINALITY:
+            return AbstractValue(Quantity.RATIO, nonneg=left.nonneg), None
+        return TOP, None
+    if right.quantity is Quantity.CONSTANT:
+        return replace(
+            left, le_one=False, coerced=False, clamp_result=False, const=None
+        ), None
+    entry = _DIVISION.get((left.quantity, right.quantity))
+    if entry is None:
+        return TOP, None
+    nonneg = left.nonneg and right.nonneg
+    # A ratio of two same-dimension non-negative values is only <= 1 when
+    # the numerator is proven no larger — which this domain cannot see.
+    return AbstractValue(entry, nonneg=nonneg), None
+
+
+def binary_transfer(
+    op: ast.operator, left: AbstractValue, right: AbstractValue
+) -> Tuple[AbstractValue, Optional[str]]:
+    """Abstractly evaluate ``left op right``.
+
+    Returns the result value and the violation code (``"ELS301"`` or
+    ``"ELS304"``) when the combination is dimensionally invalid, else
+    ``None``.  ``BOTTOM``/``TOP`` operands never raise a violation — the
+    checker only reports on *proven* quantities.
+    """
+    for operand in (left, right):
+        if operand.quantity is Quantity.BOTTOM:
+            return BOTTOM, None
+    if Quantity.TOP in (left.quantity, right.quantity):
+        return TOP, None
+    if isinstance(op, (ast.Add, ast.Sub)):
+        return _additive(op, left, right)
+    if isinstance(op, ast.Mult):
+        return _multiplicative(left, right)
+    if isinstance(op, (ast.Div, ast.FloorDiv)):
+        result, code = _division(left, right)
+        if isinstance(op, ast.FloorDiv):
+            result = replace(result, coerced=True)
+        return result, code
+    if isinstance(op, ast.Pow) and left.quantity is Quantity.CONSTANT \
+            and right.quantity is Quantity.CONSTANT:
+        return _fold_constants(op, left, right), None
+    return TOP, None
+
+
+def unary_transfer(op: ast.unaryop, operand: AbstractValue) -> AbstractValue:
+    """Abstractly evaluate a unary operation (negation drops range facts)."""
+    if isinstance(op, ast.UAdd):
+        return operand
+    if isinstance(op, ast.USub):
+        if operand.const is not None:
+            return constant_value(-operand.const)
+        return replace(
+            operand, nonneg=False, le_one=operand.nonneg, clamp_result=False
+        )
+    return TOP
+
+
+def min_max_transfer(args: Sequence[AbstractValue]) -> AbstractValue:
+    """Abstract ``min``/``max`` over the argument values.
+
+    The quantity is the lattice join of the non-literal arguments, with one
+    sanctioned special case: ``min``/``max`` of a distinct count against a
+    cardinality is the paper's *row cap* (``d' <= ceil(||R||')``) and
+    answers with the distinct count's dimension.  Range facts follow the
+    usual conservative conjunction; callers layer clamp recognition
+    (``min(1.0, x)`` / ``max(0.0, x)``) on top.
+    """
+    concrete = [a for a in args if a.quantity is not Quantity.CONSTANT]
+    if not concrete:
+        folded = BOTTOM
+        for a in args:
+            folded = join_values(folded, a)
+        return folded
+    quantities = {a.quantity for a in concrete}
+    if quantities == {Quantity.DISTINCT_COUNT, Quantity.CARDINALITY}:
+        result = AbstractValue(
+            Quantity.DISTINCT_COUNT,
+            nonneg=all(a.nonneg for a in args),
+            coerced=all(a.coerced for a in args),
+        )
+        return result
+    folded = BOTTOM
+    for a in concrete:
+        folded = join_values(folded, a)
+    return replace(
+        folded,
+        nonneg=all(a.nonneg for a in args),
+        le_one=all(a.le_one for a in args),
+        coerced=all(a.coerced for a in args),
+        clamp_result=all(a.clamp_result for a in args),
+        const=None,
+    )

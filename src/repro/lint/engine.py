@@ -31,6 +31,7 @@ __all__ = [
     "LintRule",
     "register",
     "all_rules",
+    "known_codes",
     "lint_source",
     "lint_paths",
     "iter_python_files",
@@ -38,6 +39,9 @@ __all__ = [
 
 #: Reserved code for files that fail to parse.
 SYNTAX_ERROR_CODE = "ELS100"
+
+#: Reserved code for an ``els: noqa`` suppression that matched nothing.
+UNUSED_SUPPRESSION_CODE = "ELS199"
 
 #: File-name stems that identify test/bench scaffolding (exempt from
 #: ``library_only`` rules).
@@ -141,32 +145,122 @@ def all_rules() -> Tuple[LintRule, ...]:
     return tuple(_REGISTRY[code]() for code in sorted(_REGISTRY))
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    select: Optional[Sequence[str]] = None,
-    ignore: Optional[Sequence[str]] = None,
-) -> List[Diagnostic]:
-    """Lint one source string and return its (filtered, sorted) findings."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        syntax_diagnostic = Diagnostic(
-            code=SYNTAX_ERROR_CODE,
-            message=f"file does not parse: {exc.msg}",
-            severity=Severity.ERROR,
-            file=path,
-            line=exc.lineno or 0,
-            col=exc.offset or 0,
-            hint="fix the syntax error; no other rule ran on this file",
-        )
-        return filter_diagnostics([syntax_diagnostic], select, ignore)
-    module = ModuleUnderLint(path=path, source=source, tree=tree)
+def known_codes() -> Tuple[str, ...]:
+    """Every diagnostic code any layer can emit (drives CLI validation)."""
+    from .dataflow import DATAFLOW_CODES
+    from .semantic import SEMANTIC_CODES
+
+    codes = {SYNTAX_ERROR_CODE, UNUSED_SUPPRESSION_CODE}
+    codes.update(rule.code for rule in all_rules())
+    codes.update(SEMANTIC_CODES)
+    codes.update(DATAFLOW_CODES)
+    return tuple(sorted(codes))
+
+
+def _parse_failure(path: str, exc: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        code=SYNTAX_ERROR_CODE,
+        message=f"file does not parse: {exc.msg}",
+        severity=Severity.ERROR,
+        file=path,
+        line=exc.lineno or 0,
+        col=exc.offset or 0,
+        hint="fix the syntax error; no other rule ran on this file",
+    )
+
+
+def _rule_findings(module: ModuleUnderLint) -> List[Diagnostic]:
     findings: List[Diagnostic] = []
     for rule in all_rules():
         if rule.library_only and module.is_test_file:
             continue
         findings.extend(rule.check(module))
+    return findings
+
+
+def _apply_suppressions(
+    findings: List[Diagnostic], modules: Sequence[ModuleUnderLint]
+) -> List[Diagnostic]:
+    """Drop findings matched by line-scoped ``# els: noqa`` directives.
+
+    A suppression that matches no finding is itself reported (ELS199) —
+    stale suppressions hide future regressions.  The ELS199 findings are
+    not themselves suppressible, otherwise a blanket ``noqa`` could never
+    be reported as unused.
+    """
+    from .dataflow.annotations import parse_directives
+
+    kept: List[Diagnostic] = []
+    suppressions = {}  # (path, line) -> [Directive, used?]
+    for module in modules:
+        directives, _ = parse_directives(module.source)
+        for directive in directives:
+            if directive.kind == "noqa":
+                suppressions[(module.path, directive.line)] = [directive, False]
+    if not suppressions:
+        return findings
+    for diagnostic in findings:
+        entry = suppressions.get((diagnostic.file, diagnostic.line))
+        if entry is not None:
+            directive = entry[0]
+            if directive.codes is None or diagnostic.code in directive.codes:
+                entry[1] = True
+                continue
+        kept.append(diagnostic)
+    for (path, line), (directive, used) in suppressions.items():
+        if used:
+            continue
+        scope = "all codes" if directive.codes is None \
+            else ", ".join(sorted(directive.codes))
+        kept.append(
+            Diagnostic(
+                code=UNUSED_SUPPRESSION_CODE,
+                message=f"unused suppression ({scope}): no diagnostic on this line",
+                severity=Severity.WARNING,
+                file=path,
+                line=line,
+                col=0,
+                hint="remove the stale '# els: noqa' comment",
+            )
+        )
+    return kept
+
+
+def _dedupe(findings: Iterable[Diagnostic]) -> List[Diagnostic]:
+    seen = set()
+    result: List[Diagnostic] = []
+    for diagnostic in findings:
+        key = (diagnostic.file, diagnostic.line, diagnostic.col, diagnostic.code)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(diagnostic)
+    return result
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    dataflow: bool = False,
+) -> List[Diagnostic]:
+    """Lint one source string and return its (filtered, sorted) findings.
+
+    With ``dataflow=True`` the ELS3xx quantity-dimension pass also runs
+    (function summaries stay within this one module).
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return filter_diagnostics([_parse_failure(path, exc)], select, ignore)
+    module = ModuleUnderLint(path=path, source=source, tree=tree)
+    findings = _rule_findings(module)
+    if dataflow:
+        from .dataflow import analyze_modules
+
+        findings.extend(analyze_modules([module]))
+    findings = _apply_suppressions(_dedupe(findings), [module])
     return filter_diagnostics(findings, select, ignore)
 
 
@@ -193,18 +287,35 @@ def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    dataflow: bool = False,
 ) -> List[Diagnostic]:
     """Lint files and directory trees; returns all findings, sorted.
+
+    With ``dataflow=True`` the ELS3xx pass runs over the *whole* file set
+    at once, so function summaries propagate across modules.
 
     Raises:
         LintError: for unusable paths (see :func:`iter_python_files`) or
             unreadable files.
     """
     findings: List[Diagnostic] = []
+    modules: List[ModuleUnderLint] = []
     for file_path in iter_python_files(paths):
         try:
             source = file_path.read_text(encoding="utf-8")
         except OSError as exc:
             raise LintError(f"cannot read {file_path}: {exc}") from exc
-        findings.extend(lint_source(source, str(file_path), select=None, ignore=None))
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as exc:
+            findings.append(_parse_failure(str(file_path), exc))
+            continue
+        module = ModuleUnderLint(path=str(file_path), source=source, tree=tree)
+        modules.append(module)
+        findings.extend(_rule_findings(module))
+    if dataflow:
+        from .dataflow import analyze_modules
+
+        findings.extend(analyze_modules(modules))
+    findings = _apply_suppressions(_dedupe(findings), modules)
     return filter_diagnostics(findings, select, ignore)

@@ -1,4 +1,4 @@
-"""Text and JSON renderers for :class:`~repro.lint.diagnostics.Diagnostic`.
+"""Text, JSON, and SARIF renderers for lint diagnostics.
 
 The text form is one finding per line in the familiar compiler shape::
 
@@ -6,17 +6,21 @@ The text form is one finding per line in the familiar compiler shape::
         hint: use None and initialize inside the function
 
 followed by a summary line.  The JSON form is a single object with the
-findings and per-severity counts, for tooling and CI annotation.
+findings and per-severity counts, for tooling and CI annotation.  The
+SARIF form is a `SARIF 2.1.0
+<https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+log — the interchange format GitHub code scanning and most editor
+integrations consume.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from .diagnostics import Diagnostic, count_by_severity
+from .diagnostics import Diagnostic, Severity, count_by_severity
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(diagnostics: Sequence[Diagnostic], show_hints: bool = True) -> str:
@@ -54,3 +58,107 @@ def render_json(diagnostics: Sequence[Diagnostic]) -> str:
         "total": len(diagnostics),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SARIF has three result levels; INFO maps to "note" per the spec.
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_metadata(code: str) -> Dict[str, object]:
+    """SARIF ``reportingDescriptor`` for one diagnostic code."""
+    from .dataflow import DATAFLOW_CODES
+    from .engine import SYNTAX_ERROR_CODE, UNUSED_SUPPRESSION_CODE, all_rules
+
+    description: Optional[str] = None
+    level = "error"
+    if code in DATAFLOW_CODES:
+        description, severity = DATAFLOW_CODES[code]
+        level = _SARIF_LEVEL[severity]
+    elif code == SYNTAX_ERROR_CODE:
+        description = "file does not parse"
+    elif code == UNUSED_SUPPRESSION_CODE:
+        description = "unused '# els: noqa' suppression"
+        level = "warning"
+    else:
+        for rule in all_rules():
+            if rule.code == code:
+                description = rule.description or rule.name
+                level = _SARIF_LEVEL[rule.severity]
+                break
+    descriptor: Dict[str, object] = {
+        "id": code,
+        "defaultConfiguration": {"level": level},
+    }
+    if description:
+        descriptor["shortDescription"] = {"text": description}
+    return descriptor
+
+
+def _sarif_result(diagnostic: Diagnostic, rule_index: int) -> Dict[str, object]:
+    message = diagnostic.message
+    if diagnostic.hint:
+        message = f"{message} (hint: {diagnostic.hint})"
+    result: Dict[str, object] = {
+        "ruleId": diagnostic.code,
+        "ruleIndex": rule_index,
+        "level": _SARIF_LEVEL[diagnostic.severity],
+        "message": {"text": message},
+    }
+    if diagnostic.file is not None:
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diagnostic.file},
+                    "region": {
+                        "startLine": max(diagnostic.line, 1),
+                        # SARIF columns are 1-based; Diagnostic's are 0-based.
+                        "startColumn": diagnostic.col + 1,
+                    },
+                }
+            }
+        ]
+    elif diagnostic.context is not None:
+        result["locations"] = [
+            {
+                "logicalLocations": [
+                    {"fullyQualifiedName": diagnostic.context, "kind": "member"}
+                ]
+            }
+        ]
+    return result
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render findings as a SARIF 2.1.0 log (one run, one tool driver)."""
+    from .. import __version__
+
+    codes = sorted({d.code for d in diagnostics})
+    rule_index = {code: index for index, code in enumerate(codes)}
+    log = {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-els-lint",
+                        "version": __version__,
+                        "rules": [_rule_metadata(code) for code in codes],
+                    }
+                },
+                "results": [
+                    _sarif_result(d, rule_index[d.code]) for d in diagnostics
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

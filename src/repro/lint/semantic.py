@@ -48,7 +48,18 @@ from ..sql.predicates import (
 from ..sql.query import Query, dedupe_predicates
 from .diagnostics import Diagnostic, Severity
 
-__all__ = ["analyze_query", "check_estimator_input"]
+__all__ = ["SEMANTIC_CODES", "analyze_query", "check_estimator_input"]
+
+#: Every ELS2xx code this layer can emit (drives CLI code validation).
+SEMANTIC_CODES: Tuple[str, ...] = (
+    "ELS201",
+    "ELS202",
+    "ELS203",
+    "ELS204",
+    "ELS205",
+    "ELS206",
+    "ELS207",
+)
 
 
 def _diag(

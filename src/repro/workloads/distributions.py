@@ -91,7 +91,7 @@ def zipf_column(
     domain = np.arange(low, low + distinct, dtype=np.int64)
     probabilities = zipf_weights(distinct, skew)
     seed_tail = domain.copy()  # one of each, to pin the distinct count
-    sampled = rng.choice(domain, size=rows - distinct, p=probabilities)
+    sampled = rng.choice(domain, size=rows - len(seed_tail), p=probabilities)
     values = np.concatenate([seed_tail, sampled])
     rng.shuffle(values)
     return values.tolist()

@@ -76,7 +76,7 @@ SIZE_DOMAIN = 50  # p_size and l_quantity domain
 
 
 def _rows(table: str, scale: float) -> int:
-    base = _BASE_ROWS[table]
+    base = int(_BASE_ROWS[table])
     if table in _UNSCALED:
         return base
     return max(1, int(base * scale))

@@ -225,6 +225,64 @@ class TestLint:
         root = pathlib.Path(__file__).parent.parent
         assert main(["lint", str(root / "src")]) == 0
 
+    def test_warnings_only_exits_zero(self, tmp_path, capsys):
+        # ELS105 (missing __all__) is warning severity: reported, exit 0.
+        path = tmp_path / "warn.py"
+        path.write_text('"""Docstring."""\n\n\ndef helper():\n    return 1\n')
+        code = main(["lint", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ELS105" in out
+
+    def test_unknown_select_prefix_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("X = 1\n")
+        code = main(["lint", str(path), "--select", "ELS9"])
+        assert code == 2
+        assert "unknown diagnostic code" in capsys.readouterr().err
+
+    def test_unknown_ignore_prefix_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("X = 1\n")
+        code = main(["lint", str(path), "--ignore", "ESL104"])
+        assert code == 2
+        assert "usage error:" in capsys.readouterr().err
+
+    def test_dataflow_flag_enables_els3xx(self, tmp_path, capsys):
+        path = tmp_path / "quantities.py"
+        path.write_text(
+            "def _estimate(sel_join, n_rows):\n"
+            "    return sel_join + n_rows\n"
+        )
+        assert main(["lint", str(path)]) == 0
+        code = main(["lint", str(path), "--dataflow"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ELS301" in out
+
+    def test_no_dataflow_flag_wins_over_dataflow(self, tmp_path, capsys):
+        path = tmp_path / "quantities.py"
+        path.write_text(
+            "def _estimate(sel_join, n_rows):\n"
+            "    return sel_join + n_rows\n"
+        )
+        assert main(["lint", str(path), "--dataflow", "--no-dataflow"]) == 0
+
+    def test_sarif_format_is_parseable(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("def f(xs=[]):\n    return xs\n\nif __name__ == '__main__':\n    f()\n")
+        code = main(["lint", str(path), "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "ELS104"
+
+    def test_repo_sources_are_dataflow_clean(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).parent.parent
+        assert main(["lint", str(root / "src"), "--dataflow"]) == 0
+
 
 class TestCheck:
     def test_closed_paper_shape_is_clean(self, stats_file, capsys):
@@ -252,7 +310,8 @@ class TestCheck:
         assert code == 1
         assert "ELS203" in out
 
-    def test_cartesian_warning_exits_one(self, stats_file, capsys):
+    def test_cartesian_warning_exits_zero(self, stats_file, capsys):
+        # ELS207 is a warning; warnings-only runs must not fail the build.
         code = main(
             [
                 "check",
@@ -263,7 +322,7 @@ class TestCheck:
             ]
         )
         out = capsys.readouterr().out
-        assert code == 1
+        assert code == 0
         assert "ELS207" in out
 
     def test_bad_stats_path_is_error_exit(self, capsys):

@@ -1,0 +1,598 @@
+"""Tests for the ELS3xx quantity-dimension dataflow layer.
+
+Covers the lattice transfer rules, the ``# els:`` directive parser, the
+CFG builder, every diagnostic code ELS300-ELS306 (positive and negative
+snippets), interprocedural summary propagation, fixpoint termination on
+loop-heavy code, and the engine integration (suppressions, ELS199, the
+``dataflow=`` flag of ``lint_source``/``lint_paths``).
+"""
+
+import ast
+
+import pytest
+
+from repro.lint.dataflow import (
+    BOTTOM,
+    Quantity,
+    TOP,
+    analyze_modules,
+    analyze_source,
+    binary_transfer,
+    build_cfg,
+    constant_value,
+    join_values,
+    min_max_transfer,
+    parse_directives,
+    quantity_from_name,
+    seeded,
+)
+from repro.lint.engine import lint_source
+
+
+def codes(source, **kwargs):
+    return [d.code for d in analyze_source(source)]
+
+
+def sel():
+    return seeded(Quantity.SELECTIVITY)
+
+
+def card():
+    return seeded(Quantity.CARDINALITY)
+
+
+def distinct():
+    return seeded(Quantity.DISTINCT_COUNT)
+
+
+class TestLattice:
+    def test_selectivity_times_cardinality_is_cardinality(self):
+        value, code = binary_transfer(ast.Mult(), sel(), card())
+        assert value.quantity is Quantity.CARDINALITY
+        assert code is None
+
+    def test_cardinality_over_distinct_is_cardinality(self):
+        value, code = binary_transfer(ast.Div(), card(), distinct())
+        assert value.quantity is Quantity.CARDINALITY
+        assert code is None
+
+    def test_selectivity_plus_cardinality_is_els301(self):
+        _, code = binary_transfer(ast.Add(), sel(), card())
+        assert code == "ELS301"
+
+    def test_cardinality_times_distinct_is_els304(self):
+        _, code = binary_transfer(ast.Mult(), card(), distinct())
+        assert code == "ELS304"
+
+    def test_selectivity_sum_is_unbounded_ratio(self):
+        value, code = binary_transfer(ast.Add(), sel(), sel())
+        assert value.quantity is Quantity.RATIO
+        assert not value.le_one
+        assert code is None
+
+    def test_top_operand_never_fires(self):
+        _, code = binary_transfer(ast.Add(), TOP, card())
+        assert code is None
+
+    def test_constant_folding(self):
+        value, _ = binary_transfer(
+            ast.Mult(), constant_value(0.5), constant_value(4)
+        )
+        assert value.const == 2.0
+
+    def test_constant_over_distinct_is_eq2_selectivity(self):
+        value, code = binary_transfer(ast.Div(), constant_value(1.0), distinct())
+        assert value.quantity is Quantity.SELECTIVITY
+        assert value.bounded
+        assert code is None
+
+    def test_join_of_different_quantities_is_top(self):
+        assert join_values(sel(), card()).quantity is Quantity.TOP
+
+    def test_join_with_bottom_is_identity(self):
+        assert join_values(BOTTOM, sel()) == sel()
+
+    def test_min_of_distinct_and_cardinality_is_row_cap(self):
+        value = min_max_transfer([distinct(), card()])
+        assert value.quantity is Quantity.DISTINCT_COUNT
+
+
+class TestDirectives:
+    def test_quantity_directive(self):
+        directives, malformed = parse_directives(
+            "x = lookup()  # els: quantity=selectivity\n"
+        )
+        assert malformed == []
+        assert directives[0].kind == "quantity"
+        assert directives[0].quantity is Quantity.SELECTIVITY
+
+    def test_noqa_with_codes(self):
+        directives, _ = parse_directives("bad()  # els: noqa[ELS101, ELS303]\n")
+        assert directives[0].codes == frozenset({"ELS101", "ELS303"})
+
+    def test_blanket_noqa(self):
+        directives, _ = parse_directives("bad()  # els: noqa\n")
+        assert directives[0].codes is None
+
+    def test_malformed_directive_reported(self):
+        _, malformed = parse_directives("x = 1  # els: frobnicate\n")
+        assert len(malformed) == 1
+        assert "unrecognized" in malformed[0].reason
+
+    def test_unknown_quantity_reported(self):
+        _, malformed = parse_directives("x = 1  # els: quantity=furlongs\n")
+        assert "unknown quantity" in malformed[0].reason
+
+    def test_marker_inside_string_is_ignored(self):
+        directives, malformed = parse_directives('msg = "# els: noqa"\n')
+        assert directives == [] and malformed == []
+
+    def test_marker_in_prose_comment_is_ignored(self):
+        source = "# the directive form is written as '# els: noqa' inline\n"
+        directives, malformed = parse_directives(source)
+        assert directives == [] and malformed == []
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "name,quantity",
+        [
+            ("sel_eq", Quantity.SELECTIVITY),
+            ("join_selectivity", Quantity.SELECTIVITY),
+            ("match_fraction", Quantity.SELECTIVITY),
+            ("d_x", Quantity.DISTINCT_COUNT),
+            ("left_distinct", Quantity.DISTINCT_COUNT),
+            ("n_rows", Quantity.CARDINALITY),
+            ("row_count", Quantity.CARDINALITY),
+            ("output_cardinality", Quantity.CARDINALITY),
+        ],
+    )
+    def test_convention(self, name, quantity):
+        assert quantity_from_name(name) is quantity
+
+    def test_neutral_names_have_no_opinion(self):
+        assert quantity_from_name("value") is None
+        assert quantity_from_name("table") is None
+
+
+class TestCfg:
+    def test_if_produces_join_point(self):
+        tree = ast.parse(
+            "def f(a):\n"
+            "    if a:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        cfg = build_cfg(tree.body[0])
+        preds = cfg.predecessors()
+        # Some block (the after-if join) must have two predecessors.
+        assert any(len(p) == 2 for p in preds.values())
+
+    def test_loop_has_back_edge(self):
+        tree = ast.parse(
+            "def f(items):\n"
+            "    total = 0\n"
+            "    for item in items:\n"
+            "        total = total + item\n"
+            "    return total\n"
+        )
+        cfg = build_cfg(tree.body[0])
+        # A back edge targets a block that appears earlier in creation order.
+        assert any(
+            succ <= block.block_id
+            for block in cfg.blocks.values()
+            for succ in block.successors
+        )
+
+
+class TestEls300:
+    def test_malformed_directive_fires(self):
+        assert "ELS300" in codes("x = 1  # els: gibberish\n")
+
+    def test_valid_directive_is_silent(self):
+        assert codes("x = 1.0  # els: quantity=selectivity\n") == []
+
+
+class TestEls301:
+    def test_selectivity_plus_cardinality_fires(self):
+        source = (
+            "def estimate(sel_join, n_rows):\n"
+            "    return sel_join + n_rows\n"
+        )
+        assert codes(source) == ["ELS301"]
+
+    def test_selectivity_times_cardinality_is_silent(self):
+        source = (
+            "def estimate(sel_join, n_rows):\n"
+            "    return sel_join * n_rows\n"
+        )
+        assert codes(source) == []
+
+    def test_augmented_assignment_fires(self):
+        source = (
+            "def estimate(sel_join, n_rows):\n"
+            "    total = n_rows\n"
+            "    total += sel_join\n"
+            "    return total\n"
+        )
+        assert "ELS301" in codes(source)
+
+
+class TestEls302:
+    def test_unclamped_selectivity_sum_fires(self):
+        source = (
+            "def combined_selectivity(sel_a, sel_b):\n"
+            "    return sel_a + sel_b\n"
+        )
+        assert codes(source) == ["ELS302"]
+
+    def test_clamped_return_is_silent(self):
+        source = (
+            "def combined_selectivity(sel_a, sel_b):\n"
+            "    return max(0.0, min(1.0, sel_a + sel_b))\n"
+        )
+        assert codes(source) == []
+
+    def test_bounded_product_is_silent(self):
+        source = (
+            "def combined_selectivity(sel_a, sel_b):\n"
+            "    return sel_a * sel_b\n"
+        )
+        assert codes(source) == []
+
+    def test_out_of_range_constant_fires(self):
+        source = (
+            "def default_selectivity():\n"
+            "    return 1.5\n"
+        )
+        assert codes(source) == ["ELS302"]
+
+
+class TestEls303:
+    def test_uncoerced_cardinality_fires(self):
+        source = (
+            "def result_rows(n_rows, sel_p) -> int:\n"
+            "    return n_rows * sel_p\n"
+        )
+        assert codes(source) == ["ELS303"]
+
+    def test_ceil_coercion_is_silent(self):
+        source = (
+            "import math\n"
+            "def result_rows(n_rows, sel_p) -> int:\n"
+            "    return int(math.ceil(n_rows * sel_p))\n"
+        )
+        assert codes(source) == []
+
+    def test_unannotated_function_is_silent(self):
+        source = (
+            "def result_rows(n_rows, sel_p):\n"
+            "    return n_rows * sel_p\n"
+        )
+        assert codes(source) == []
+
+
+class TestEls304:
+    def test_distinct_times_cardinality_fires(self):
+        source = (
+            "def combine(d_x, n_rows):\n"
+            "    return d_x * n_rows\n"
+        )
+        assert codes(source) == ["ELS304"]
+
+    def test_eq3_division_is_silent(self):
+        source = (
+            "def combine(d_x, n_rows):\n"
+            "    return n_rows / d_x\n"
+        )
+        assert codes(source) == []
+
+    def test_row_cap_min_is_silent(self):
+        source = (
+            "def cap(d_x, n_rows):\n"
+            "    return min(d_x, n_rows)\n"
+        )
+        assert codes(source) == []
+
+
+class TestEls305:
+    def test_nested_min_clamp_fires(self):
+        source = (
+            "def f(sel_a):\n"
+            "    return min(1.0, min(1.0, sel_a * 0.5))\n"
+        )
+        assert "ELS305" in codes(source)
+
+    def test_nested_max_clamp_fires(self):
+        source = (
+            "def f(value):\n"
+            "    return max(0.0, max(0.0, value))\n"
+        )
+        assert "ELS305" in codes(source)
+
+    def test_constant_clamp_fires(self):
+        source = (
+            "def f():\n"
+            "    return min(1.0, 0.5)\n"
+        )
+        assert "ELS305" in codes(source)
+
+    def test_standard_full_clamp_is_silent(self):
+        source = (
+            "def f(value):\n"
+            "    return max(0.0, min(1.0, value))\n"
+        )
+        assert codes(source) == []
+
+    def test_defensive_clamp_of_assumed_selectivity_is_silent(self):
+        source = (
+            "def f(sel_a):\n"
+            "    return min(1.0, sel_a)\n"
+        )
+        assert codes(source) == []
+
+    def test_els305_is_a_warning(self):
+        source = (
+            "def f(value):\n"
+            "    return max(0.0, max(0.0, value))\n"
+        )
+        [diagnostic] = analyze_source(source)
+        assert diagnostic.severity.value == "warning"
+
+
+class TestEls306:
+    def test_distinct_passed_as_selectivity_fires(self):
+        source = (
+            "def scale(sel_f, n_rows):\n"
+            "    return sel_f * n_rows\n"
+            "def caller(d_col, n_rows):\n"
+            "    return scale(d_col, n_rows)\n"
+        )
+        assert "ELS306" in codes(source)
+
+    def test_keyword_argument_mismatch_fires(self):
+        source = (
+            "def scale(sel_f, n_rows):\n"
+            "    return sel_f * n_rows\n"
+            "def caller(d_col, n_rows):\n"
+            "    return scale(sel_f=d_col, n_rows=n_rows)\n"
+        )
+        assert "ELS306" in codes(source)
+
+    def test_matching_call_is_silent(self):
+        source = (
+            "def scale(sel_f, n_rows):\n"
+            "    return sel_f * n_rows\n"
+            "def caller(sel_p, n_rows):\n"
+            "    return scale(sel_p, n_rows)\n"
+        )
+        assert codes(source) == []
+
+    def test_unknown_argument_is_silent(self):
+        source = (
+            "def scale(sel_f, n_rows):\n"
+            "    return sel_f * n_rows\n"
+            "def caller(opaque, n_rows):\n"
+            "    return scale(opaque, n_rows)\n"
+        )
+        assert codes(source) == []
+
+
+class _Module:
+    """Duck-typed module for multi-file analyze_modules tests."""
+
+    def __init__(self, path, source, is_test_file=False):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source)
+        self.is_test_file = is_test_file
+
+
+class TestInterprocedural:
+    def test_summary_propagates_across_modules(self):
+        producer = _Module(
+            "producer.py",
+            "def base_selectivity(sel_a, sel_b):\n"
+            "    return sel_a * sel_b\n",
+        )
+        consumer = _Module(
+            "consumer.py",
+            "from producer import base_selectivity\n"
+            "def estimate(n_rows, sel_a, sel_b):\n"
+            "    return n_rows + base_selectivity(sel_a, sel_b)\n",
+        )
+        diagnostics = analyze_modules([producer, consumer])
+        assert [d.code for d in diagnostics] == ["ELS301"]
+        assert diagnostics[0].file == "consumer.py"
+
+    def test_undeclared_helper_chain_propagates_computed_quantity(self):
+        module = _Module(
+            "chain.py",
+            "def helper(n_rows, sel_p):\n"
+            "    return n_rows * sel_p\n"
+            "def wrapper(n_rows, sel_p):\n"
+            "    return helper(n_rows, sel_p)\n"
+            "def bad(n_rows, sel_p, sel_q):\n"
+            "    return wrapper(n_rows, sel_p) + sel_q\n",
+        )
+        diagnostics = analyze_modules([module])
+        assert [d.code for d in diagnostics] == ["ELS301"]
+
+    def test_method_resolution_through_self(self):
+        module = _Module(
+            "cls.py",
+            "class Estimator:\n"
+            "    def selectivity(self, sel_a, sel_b):\n"
+            "        return sel_a * sel_b\n"
+            "    def rows(self, n_rows, sel_a, sel_b):\n"
+            "        return n_rows + self.selectivity(sel_a, sel_b)\n",
+        )
+        diagnostics = analyze_modules([module])
+        assert [d.code for d in diagnostics] == ["ELS301"]
+
+    def test_test_files_are_skipped(self):
+        module = _Module(
+            "test_mod.py",
+            "def estimate(sel_join, n_rows):\n"
+            "    return sel_join + n_rows\n",
+            is_test_file=True,
+        )
+        assert analyze_modules([module]) == []
+
+    def test_recursion_terminates(self):
+        module = _Module(
+            "rec.py",
+            "def even_rows(n_rows):\n"
+            "    if n_rows <= 0:\n"
+            "        return n_rows\n"
+            "    return odd_rows(n_rows - 1)\n"
+            "def odd_rows(n_rows):\n"
+            "    return even_rows(n_rows - 1)\n",
+        )
+        assert analyze_modules([module]) == []
+
+
+class TestSeedingAndOverrides:
+    def test_def_line_override_declares_return_quantity(self):
+        source = (
+            "def lookup(raw):  # els: quantity=selectivity\n"
+            "    return raw\n"
+            "def estimate(n_rows, raw):\n"
+            "    return n_rows + lookup(raw)\n"
+        )
+        assert "ELS301" in codes(source)
+
+    def test_assignment_override_declares_name_quantity(self):
+        source = (
+            "def estimate(n_rows, table):\n"
+            "    factor = table.lookup()  # els: quantity=selectivity\n"
+            "    return n_rows + factor\n"
+        )
+        assert "ELS301" in codes(source)
+
+    def test_quantity_any_silences_a_name(self):
+        source = (
+            "def estimate(n_rows, sel_raw):\n"
+            "    sel_raw = transform(sel_raw)  # els: quantity=any\n"
+            "    return n_rows + sel_raw\n"
+        )
+        assert codes(source) == []
+
+    def test_attribute_reads_seed_from_name(self):
+        source = (
+            "def estimate(table, sel_p):\n"
+            "    return table.n_rows + sel_p\n"
+        )
+        assert "ELS301" in codes(source)
+
+    def test_branch_join_loses_conflicting_quantity(self):
+        # A name holding a selectivity on one path and a cardinality on the
+        # other reads as TOP after the join: no diagnostic either way.
+        source = (
+            "def estimate(flag, sel_p, n_rows, other_rows):\n"
+            "    if flag:\n"
+            "        mixed = sel_p\n"
+            "    else:\n"
+            "        mixed = n_rows\n"
+            "    return mixed + other_rows\n"
+        )
+        assert codes(source) == []
+
+
+class TestFixpointTermination:
+    def test_loop_heavy_function_terminates(self):
+        source = (
+            "def grind(n_rows, sel_p, d_x, limit):\n"
+            "    total = 0.0\n"
+            "    acc = n_rows\n"
+            "    for outer in range(limit):\n"
+            "        while acc > 1:\n"
+            "            acc = acc / d_x\n"
+            "            for inner in range(outer):\n"
+            "                total = total + acc\n"
+            "                if total > limit:\n"
+            "                    break\n"
+            "            else:\n"
+            "                continue\n"
+            "        acc = acc * sel_p\n"
+            "    try:\n"
+            "        return total\n"
+            "    finally:\n"
+            "        pass\n"
+        )
+        # The point is termination (the worklist must converge despite the
+        # nested loop-carried state), not any particular finding.
+        analyze_source(source)
+
+    def test_loop_carried_quantity_converges_without_false_positive(self):
+        source = (
+            "def shrink(n_rows, sel_p, steps):\n"
+            "    acc = n_rows\n"
+            "    for step in range(steps):\n"
+            "        acc = acc * sel_p\n"
+            "    return acc\n"
+        )
+        assert codes(source) == []
+
+
+class TestEngineIntegration:
+    def test_lint_source_dataflow_flag(self):
+        source = (
+            "def estimate(sel_join, n_rows):\n"
+            "    return sel_join + n_rows\n"
+        )
+        with_dataflow = lint_source(source, "mod.py", dataflow=True)
+        without = lint_source(source, "mod.py", dataflow=False)
+        assert "ELS301" in [d.code for d in with_dataflow]
+        assert "ELS301" not in [d.code for d in without]
+
+    def test_noqa_suppresses_dataflow_finding(self):
+        source = (
+            "def _estimate(sel_join, n_rows):\n"
+            "    return sel_join + n_rows  # els: noqa[ELS301]\n"
+        )
+        diagnostics = lint_source(source, "mod.py", dataflow=True)
+        assert [d.code for d in diagnostics] == []
+
+    def test_blanket_noqa_suppresses_everything_on_the_line(self):
+        source = (
+            "def _estimate(sel_join, n_rows):\n"
+            "    return sel_join + n_rows  # els: noqa\n"
+        )
+        assert lint_source(source, "mod.py", dataflow=True) == []
+
+    def test_noqa_is_line_scoped(self):
+        source = (
+            "def estimate(sel_join, n_rows):  # els: noqa[ELS301]\n"
+            "    return sel_join + n_rows\n"
+        )
+        diagnostics = lint_source(source, "mod.py", dataflow=True)
+        codes_found = [d.code for d in diagnostics]
+        # The suppression sits on the def line, the finding on the return
+        # line: the finding survives and the suppression warns as unused.
+        assert "ELS301" in codes_found
+        assert "ELS199" in codes_found
+
+    def test_unused_suppression_warns_els199(self):
+        source = "x = 1  # els: noqa[ELS104]\n"
+        diagnostics = lint_source(source, "mod.py")
+        assert [d.code for d in diagnostics] == ["ELS199"]
+        assert diagnostics[0].severity.value == "warning"
+
+    def test_used_suppression_is_silent(self):
+        source = (
+            "def _f(values=[]):  # els: noqa[ELS104]\n"
+            "    return values\n"
+        )
+        assert lint_source(source, "mod.py") == []
+
+    def test_wrong_code_suppression_keeps_finding_and_warns(self):
+        source = (
+            "def _f(values=[]):  # els: noqa[ELS106]\n"
+            "    return values\n"
+        )
+        codes_found = [d.code for d in lint_source(source, "mod.py")]
+        assert "ELS104" in codes_found
+        assert "ELS199" in codes_found

@@ -1,0 +1,139 @@
+"""SARIF 2.1.0 renderer tests: golden file + schema validation.
+
+The golden file pins the exact bytes (the CI upload step and the GitHub
+code-scanning ingestion parse this shape); the schema test validates both
+the fixture rendering and a live run over a seeded-bad snippet against a
+vendored structural subset of the official SARIF 2.1.0 JSON schema, so
+the check runs offline.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import lint_source
+from repro.lint.render import render_sarif
+
+jsonschema = pytest.importorskip("jsonschema")
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def sample_diagnostics():
+    """One finding per layer — mirrors the text/JSON golden fixture."""
+    return [
+        Diagnostic(
+            code="ELS104",
+            message="mutable default argument in 'combine'",
+            severity=Severity.ERROR,
+            file="src/repro/core/foo.py",
+            line=12,
+            col=4,
+            hint="default to None and construct the container inside the function",
+        ),
+        Diagnostic(
+            code="ELS199",
+            message="unused suppression (all codes): no diagnostic on this line",
+            severity=Severity.WARNING,
+            file="src/repro/core/foo.py",
+            line=30,
+            col=0,
+            hint="remove the stale '# els: noqa' comment",
+        ),
+        Diagnostic(
+            code="ELS201",
+            message=(
+                "predicate set is not a transitive-closure fixpoint: "
+                "R1.x = R3.z is derivable (rule a) but missing"
+            ),
+            severity=Severity.ERROR,
+            context="R1.x = R3.z",
+            hint="apply repro.core.closure.close_query before estimating",
+        ),
+        Diagnostic(
+            code="ELS301",
+            message=(
+                "'selectivity + cardinality' has no dimensionally valid "
+                "reading in the estimation algebra"
+            ),
+            severity=Severity.ERROR,
+            file="src/repro/core/foo.py",
+            line=44,
+            col=11,
+        ),
+    ]
+
+
+def load_schema():
+    return json.loads((GOLDEN / "sarif-2.1.0-subset.schema.json").read_text())
+
+
+class TestSarifGolden:
+    def test_matches_golden_file(self):
+        rendered = render_sarif(sample_diagnostics()) + "\n"
+        assert rendered == (GOLDEN / "diagnostics.sarif").read_text()
+
+    def test_empty_log_still_has_run_and_tool(self):
+        log = json.loads(render_sarif([]))
+        assert log["version"] == "2.1.0"
+        [run] = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-els-lint"
+        assert run["results"] == []
+
+
+class TestSarifShape:
+    def test_levels_map_per_spec(self):
+        log = json.loads(render_sarif(sample_diagnostics()))
+        levels = [r["level"] for r in log["runs"][0]["results"]]
+        assert levels == ["error", "warning", "error", "error"]
+
+    def test_rule_index_points_into_rules_array(self):
+        log = json.loads(render_sarif(sample_diagnostics()))
+        [run] = log["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_file_findings_carry_one_based_physical_location(self):
+        log = json.loads(render_sarif(sample_diagnostics()))
+        result = log["runs"][0]["results"][0]
+        [location] = result["locations"]
+        region = location["physicalLocation"]["region"]
+        assert region["startLine"] == 12
+        assert region["startColumn"] == 5  # Diagnostic col 4, SARIF is 1-based
+
+    def test_layer2_findings_use_logical_locations(self):
+        log = json.loads(render_sarif(sample_diagnostics()))
+        result = log["runs"][0]["results"][2]
+        [location] = result["locations"]
+        [logical] = location["logicalLocations"]
+        assert logical["fullyQualifiedName"] == "R1.x = R3.z"
+
+    def test_hint_is_folded_into_the_message(self):
+        log = json.loads(render_sarif(sample_diagnostics()))
+        message = log["runs"][0]["results"][0]["message"]["text"]
+        assert "hint:" in message
+
+
+class TestSarifSchema:
+    def test_fixture_log_validates(self):
+        log = json.loads(render_sarif(sample_diagnostics()))
+        jsonschema.validate(log, load_schema())
+
+    def test_live_lint_run_validates(self):
+        source = (
+            "def _estimate(sel_join, n_rows):\n"
+            "    return sel_join + n_rows\n"
+        )
+        diagnostics = lint_source(source, "snippet.py", dataflow=True)
+        assert diagnostics, "seeded snippet must produce findings"
+        log = json.loads(render_sarif(diagnostics))
+        jsonschema.validate(log, load_schema())
+
+    def test_schema_rejects_bad_level(self):
+        log = json.loads(render_sarif(sample_diagnostics()))
+        log["runs"][0]["results"][0]["level"] = "fatal"
+        with pytest.raises(jsonschema.ValidationError):
+            jsonschema.validate(log, load_schema())

@@ -23,3 +23,13 @@ def test_tree_is_lint_clean(tree):
         pytest.skip(f"no {tree}/ directory")
     diagnostics = lint_paths([str(path)])
     assert diagnostics == [], "\n" + render_text(diagnostics)
+
+
+@pytest.mark.parametrize("tree", ["src", "tests", "benchmarks", "examples"])
+def test_tree_is_dataflow_clean(tree):
+    """The ELS3xx quantity pass must also report nothing on the tree."""
+    path = ROOT / tree
+    if not path.is_dir():
+        pytest.skip(f"no {tree}/ directory")
+    diagnostics = lint_paths([str(path)], select=["ELS3"], dataflow=True)
+    assert diagnostics == [], "\n" + render_text(diagnostics)
