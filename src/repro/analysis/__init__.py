@@ -7,6 +7,7 @@ from .harness import (
     AccuracyRecord,
     AlgorithmSpec,
     evaluate_workload,
+    evaluate_workloads,
     prefix_query,
 )
 from .metrics import (
@@ -21,18 +22,29 @@ from .propagation import PropagationPoint, run_error_propagation
 from .report import AsciiTable, format_quantity
 from .sensitivity import StalenessPoint, perturb_catalog, run_staleness_study
 from .truth import build_reference_plan, execute_query, true_join_size
+from .truthcache import (
+    DEFAULT_TRUTH_CACHE,
+    TruthCache,
+    TruthCacheStats,
+    canonical_query_text,
+)
 
 __all__ = [
     "AccuracyRecord",
     "AlgorithmSpec",
     "AsciiTable",
+    "DEFAULT_TRUTH_CACHE",
     "ErrorSummary",
     "NodeComparison",
     "PAPER_ALGORITHMS",
     "PropagationPoint",
     "StalenessPoint",
+    "TruthCache",
+    "TruthCacheStats",
     "build_reference_plan",
+    "canonical_query_text",
     "evaluate_workload",
+    "evaluate_workloads",
     "execute_query",
     "explain_analyze",
     "format_quantity",

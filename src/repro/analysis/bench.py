@@ -1,0 +1,225 @@
+"""Execution benchmark: estimator and ground-truth engine timings.
+
+Backs the ``repro-els bench`` subcommand.  For every prefix of the
+paper's Section 8 join (S⋈M, S⋈M⋈B, S⋈M⋈B⋈G) it times, with medians
+over configurable repeats:
+
+* **estimator build** — ``JoinSizeEstimator`` construction (closure,
+  effective cardinalities, selectivities) under Algorithm ELS,
+* **estimate** — one incremental walk of the join order,
+* **row truth** — executed COUNT(*) on the row-at-a-time engine,
+* **columnar truth** — the same plan on the vectorized columnar engine,
+* **cached truth** — a :func:`~repro.analysis.truth.true_join_size` call
+  answered by the ground-truth cache.
+
+The report lands in ``BENCH_execution.json`` together with machine
+metadata, establishing the perf trajectory later PRs are measured
+against.  ``min_speedup`` turns the report into a CI gate: the run fails
+when the overall columnar-over-row speedup drops below the floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.config import ELS
+from ..core.estimator import JoinSizeEstimator
+from ..errors import BenchmarkError
+from ..execution.executor import Executor
+from ..sql.query import Query
+from ..storage.database import Database
+from ..workloads.paper import load_smbg_database, smbg_query, smbg_specs
+from ..workloads.queries import GeneratedWorkload
+from .harness import evaluate_workloads, prefix_query
+from .truth import build_reference_plan, true_join_size
+from .truthcache import TruthCache
+
+__all__ = [
+    "machine_metadata",
+    "render_bench_report",
+    "run_execution_bench",
+    "write_bench_json",
+]
+
+
+def machine_metadata() -> Dict[str, object]:
+    """Hardware/runtime facts recorded with every benchmark report."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _median_seconds(action: Callable[[], object], repeats: int) -> float:
+    samples: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        action()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def _bench_prefix(
+    database: Database,
+    query: Query,
+    tables: Sequence[str],
+    repeats: int,
+) -> Dict[str, object]:
+    """Benchmark one join prefix on both engines (plus estimator timings)."""
+    sub_query = prefix_query(query, tables)
+    order = list(tables)
+    plan = build_reference_plan(sub_query, database)
+
+    # Warm-up: charges one-time caches (the storage transpose, the plan's
+    # page math) outside the timed region and pins the true count.
+    true_count = Executor(database, engine="columnar").count(plan).count
+    row_check = Executor(database, engine="row").count(plan).count
+    if row_check != true_count:
+        raise BenchmarkError(
+            f"engine disagreement on {'><'.join(tables)}: "
+            f"row={row_check} columnar={true_count}"
+        )
+
+    estimator = JoinSizeEstimator(sub_query, database.catalog, ELS, True)
+    estimate = estimator.estimate(order)
+    build_s = _median_seconds(
+        lambda: JoinSizeEstimator(sub_query, database.catalog, ELS, True), repeats
+    )
+    estimate_s = _median_seconds(lambda: estimator.estimate(order), repeats)
+    row_truth_s = _median_seconds(
+        lambda: Executor(database, engine="row").count(plan), repeats
+    )
+    columnar_truth_s = _median_seconds(
+        lambda: Executor(database, engine="columnar").count(plan), repeats
+    )
+    cache = TruthCache()
+    true_join_size(sub_query, database, cache=cache)  # fill
+    cached_truth_s = _median_seconds(
+        lambda: true_join_size(sub_query, database, cache=cache), repeats
+    )
+    return {
+        "label": " >< ".join(tables),
+        "tables": list(tables),
+        "true_count": true_count,
+        "estimate": estimate,
+        "estimator_build_s": build_s,
+        "estimate_s": estimate_s,
+        "row_truth_s": row_truth_s,
+        "columnar_truth_s": columnar_truth_s,
+        "cached_truth_s": cached_truth_s,
+        "speedup": row_truth_s / columnar_truth_s if columnar_truth_s > 0 else 0.0,
+    }
+
+
+def run_execution_bench(
+    scale: float = 1.0,
+    repeats: int = 5,
+    seed: int = 42,
+    workers: int = 1,
+    sweep: bool = True,
+) -> Dict[str, object]:
+    """Run the full execution benchmark and return the report dict.
+
+    Args:
+        scale: Table-size scale of the S/M/B/G database (1.0 = the
+            paper's 157k rows).
+        repeats: Timing samples per measurement; medians are reported.
+        seed: Data-generation seed.
+        workers: Process count for the parallel-harness sweep section.
+        sweep: Also time :func:`~repro.analysis.harness.evaluate_workloads`
+            over the prefix workloads (includes per-worker data
+            generation; disable for the quickest run).
+    """
+    if repeats < 1:
+        raise BenchmarkError(f"repeats must be positive, got {repeats}")
+    database = load_smbg_database(scale=scale, seed=seed)
+    query = smbg_query(threshold=max(2, int(100 * scale)))
+    tables = list(query.tables)
+    prefixes = [
+        _bench_prefix(database, query, tables[: k + 2], repeats)
+        for k in range(len(tables) - 1)
+    ]
+    overall_row = sum(p["row_truth_s"] for p in prefixes)
+    overall_columnar = sum(p["columnar_truth_s"] for p in prefixes)
+    report: Dict[str, object] = {
+        "meta": {
+            "tool": "repro-els bench",
+            "scale": scale,
+            "repeats": repeats,
+            "seed": seed,
+            "workers": workers,
+            "engines": ["row", "columnar"],
+            "machine": machine_metadata(),
+        },
+        "prefixes": prefixes,
+        "overall": {
+            "row_truth_s": overall_row,
+            "columnar_truth_s": overall_columnar,
+            "speedup": overall_row / overall_columnar if overall_columnar > 0 else 0.0,
+        },
+    }
+    if sweep:
+        workloads = [
+            GeneratedWorkload(
+                tuple(smbg_specs(scale)), prefix_query(query, tables[: k + 2])
+            )
+            for k in range(len(tables) - 1)
+        ]
+        started = time.perf_counter()
+        evaluate_workloads(workloads, seed=seed, workers=workers)
+        report["parallel_sweep"] = {
+            "workers": workers,
+            "workloads": len(workloads),
+            "seconds": time.perf_counter() - started,
+        }
+    return report
+
+
+def write_bench_json(report: Dict[str, object], path: str) -> None:
+    """Write the benchmark report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def render_bench_report(report: Dict[str, object]) -> str:
+    """A human-readable summary table of one benchmark report."""
+    from .report import AsciiTable
+
+    meta = report["meta"]
+    table = AsciiTable(
+        ["Prefix", "True", "Build (s)", "Estimate (s)", "Row (s)", "Columnar (s)", "Speedup"],
+        title=f"Execution benchmark at scale {meta['scale']} ({meta['repeats']} repeats)",
+    )
+    for prefix in report["prefixes"]:
+        table.add_row(
+            prefix["label"],
+            prefix["true_count"],
+            f"{prefix['estimator_build_s']:.6f}",
+            f"{prefix['estimate_s']:.6f}",
+            f"{prefix['row_truth_s']:.6f}",
+            f"{prefix['columnar_truth_s']:.6f}",
+            f"{prefix['speedup']:.2f}x",
+        )
+    overall = report["overall"]
+    lines = [table.render()]
+    lines.append(
+        f"overall ground truth: row {overall['row_truth_s']:.6f}s, "
+        f"columnar {overall['columnar_truth_s']:.6f}s "
+        f"({overall['speedup']:.2f}x speedup)"
+    )
+    sweep = report.get("parallel_sweep")
+    if sweep:
+        lines.append(
+            f"parallel sweep: {sweep['workloads']} workloads with "
+            f"{sweep['workers']} worker(s) in {sweep['seconds']:.3f}s"
+        )
+    return "\n".join(lines)

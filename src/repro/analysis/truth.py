@@ -6,6 +6,16 @@ the optimizer: scans with all local predicates pushed down, then hash joins
 (nested loops when no equi-key exists) in a size-aware greedy order.  Any
 correct plan yields the same count, so the choice only affects how long the
 ground truth takes to compute.
+
+Two layers keep that cost down on the hot path:
+
+* ground truths execute on the **columnar vectorized engine** by default
+  (``engine="columnar"``; the differential test suite proves it
+  count-identical to the row engine), and
+* :func:`true_join_size` consults the **ground-truth cache**
+  (:mod:`repro.analysis.truthcache`) keyed by database fingerprint and
+  canonical query text, so an identical join is never executed twice in a
+  process.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from ..optimizer.plans import JoinMethod, JoinPlan, PlanNode, ScanPlan
 from ..sql.predicates import ComparisonPredicate, Op
 from ..sql.query import Query
 from ..storage.database import Database
+from .truthcache import DEFAULT_TRUTH_CACHE, TruthCache
 
 __all__ = ["build_reference_plan", "execute_query", "true_join_size"]
 
@@ -117,17 +128,43 @@ def _greedy_order(query: Query, database: Database) -> List[str]:
 
 
 def execute_query(
-    query: Query, database: Database, order: Optional[Sequence[str]] = None
+    query: Query,
+    database: Database,
+    order: Optional[Sequence[str]] = None,
+    engine: str = "columnar",
 ) -> ExecutionResult:
     """Execute a query via the reference plan, honoring its projection."""
     plan = build_reference_plan(query, database, order)
-    executor = Executor(database)
+    executor = Executor(database, engine=engine)
     return executor.execute(plan, query.projection)
 
 
 def true_join_size(
-    query: Query, database: Database, order: Optional[Sequence[str]] = None
+    query: Query,
+    database: Database,
+    order: Optional[Sequence[str]] = None,
+    engine: str = "columnar",
+    cache: Optional[TruthCache] = DEFAULT_TRUTH_CACHE,
 ) -> int:
-    """The exact result cardinality of the query's join."""
+    """The exact result cardinality of the query's join.
+
+    Args:
+        query: The query whose join size to execute.
+        database: Stored tables.
+        order: Explicit join order for the reference plan (does not affect
+            the count, only execution time).
+        engine: Execution engine; the vectorized ``"columnar"`` default is
+            several times faster than ``"row"`` on COUNT ground truths.
+        cache: Ground-truth cache to consult and fill; defaults to the
+            process-wide :data:`~repro.analysis.truthcache.DEFAULT_TRUTH_CACHE`.
+            Pass ``None`` to force execution.
+    """
+    if cache is not None:
+        cached = cache.get(database, query)
+        if cached is not None:
+            return cached
     plan = build_reference_plan(query, database, order)
-    return Executor(database).count(plan).count
+    count = Executor(database, engine=engine).count(plan).count
+    if cache is not None:
+        cache.put(database, query, count)
+    return int(count)

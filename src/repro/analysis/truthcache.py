@@ -1,0 +1,131 @@
+"""Ground-truth result cache keyed by database content and query text.
+
+Every accuracy study in this repository compares estimates against
+*executed* ground truth, and the studies overlap heavily: the prefix-query
+analysis executes each join prefix once per algorithm sweep, sensitivity
+studies re-execute the same query against the same data under perturbed
+*statistics* (the data never changes), and repeated benchmark runs execute
+identical plans again and again.  A ground truth is a pure function of
+``(database content, query)``, so it is safe to cache — provided the key
+really captures both.
+
+* **Database side** — :meth:`Database.fingerprint
+  <repro.storage.database.Database.fingerprint>`: a content digest over
+  every table's name, schema, and rows.  Appending a single row changes
+  the fingerprint, so stale entries are never served; they simply stop
+  being reachable and age out of the LRU.
+* **Query side** — :func:`canonical_query_text`: a normalized rendering
+  that is invariant under FROM-clause order, predicate order, and
+  predicate operand orientation, so ``R1 ⋈ R2`` and ``R2 ⋈ R1`` share one
+  entry.
+
+The module-level :data:`DEFAULT_TRUTH_CACHE` is what
+:func:`repro.analysis.truth.true_join_size` uses unless told otherwise;
+pass ``cache=None`` there to force re-execution.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..sql.query import Query
+from ..storage.database import Database
+
+__all__ = [
+    "DEFAULT_TRUTH_CACHE",
+    "TruthCache",
+    "TruthCacheStats",
+    "canonical_query_text",
+]
+
+
+def canonical_query_text(query: Query) -> str:
+    """A normalized query rendering for cache keying.
+
+    Two queries over the same tables with the same predicate conjunction
+    produce the same text regardless of FROM-clause order or predicate
+    order (predicates are already canonicalized operand-wise by
+    :meth:`ComparisonPredicate.canonical` at query construction).  The
+    projection is *excluded*: the cache stores join cardinalities, which
+    are projection-independent.
+    """
+    tables = sorted(f"{t}={query.base_table(t)}" for t in query.tables)
+    predicates = sorted(str(p) for p in query.predicates)
+    return f"FROM {','.join(tables)} WHERE {' AND '.join(predicates)}"
+
+
+@dataclass
+class TruthCacheStats:
+    """Observability counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:  # els: quantity=count
+        return self.hits + self.misses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class TruthCache:
+    """An LRU cache of executed join cardinalities.
+
+    Keys are ``(database fingerprint, canonical query text)``; values are
+    exact result counts.  The cache never invalidates eagerly — a changed
+    database simply produces a different fingerprint, and untouched
+    entries are evicted least-recently-used once ``max_entries`` is
+    reached.
+
+    Thread-unsafe by design (the harness parallelizes with processes, not
+    threads; each worker process holds its own cache).
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
+        self.stats = TruthCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, database: Database, query: Query) -> Tuple[str, str]:
+        """The cache key for one (database, query) pair."""
+        return (database.fingerprint(), canonical_query_text(query))
+
+    def get(self, database: Database, query: Query) -> Optional[int]:
+        """The cached count, or ``None`` on a miss (counted either way)."""
+        key = self.key(database, query)
+        count = self._entries.get(key)
+        if count is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return count
+
+    def put(self, database: Database, query: Query, count: int) -> None:
+        """Store an executed count, evicting the LRU entry when full."""
+        key = self.key(database, query)
+        self._entries[key] = int(count)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.stats.reset()
+
+
+#: The process-wide default cache used by :func:`repro.analysis.truth.true_join_size`.
+DEFAULT_TRUTH_CACHE = TruthCache()

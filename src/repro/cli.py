@@ -9,6 +9,8 @@ The CLI exposes the library's core loop without writing Python:
 * ``repro-els closure`` — the query after predicate transitive closure,
   with each implied predicate and the rule that derived it;
 * ``repro-els demo`` — the paper's Section 8 experiment end to end;
+* ``repro-els bench`` — estimator and ground-truth timings (row vs
+  columnar engine) written to ``BENCH_execution.json``;
 * ``repro-els lint`` — the repo's own static-analysis rules (``ELS1xx``)
   over Python sources;
 * ``repro-els check`` — semantic invariant diagnostics (``ELS2xx``) for a
@@ -93,6 +95,46 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="run the paper's Section 8 experiment")
     demo.add_argument(
         "--scale", type=float, default=0.2, help="table-size scale (1.0 = paper)"
+    )
+    demo.add_argument(
+        "--engine",
+        choices=("row", "columnar"),
+        default="columnar",
+        help="execution engine for the ground-truth runs (default columnar)",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="time estimator build/estimate and row vs columnar ground truth",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=1.0, help="table-size scale (1.0 = paper)"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=5, help="timing samples per measurement"
+    )
+    bench.add_argument("--seed", type=int, default=42, help="data-generation seed")
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for the parallel-harness sweep section",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_execution.json",
+        help="report path (default BENCH_execution.json)",
+    )
+    bench.add_argument(
+        "--no-sweep",
+        action="store_true",
+        help="skip the evaluate_workloads parallel-sweep section",
+    )
+    bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when the overall columnar speedup is below this",
     )
 
     lint = commands.add_parser(
@@ -220,7 +262,7 @@ def _command_demo(args) -> int:
     database = load_smbg_database(scale=args.scale, seed=42)
     query = smbg_query(threshold=max(2, int(100 * args.scale)))
     optimizer = Optimizer(database.catalog)
-    executor = Executor(database)
+    executor = Executor(database, engine=args.engine)
     table = AsciiTable(
         ["Algorithm", "Join order", "Estimates", "True", "Time (s)"],
         title=f"Section 8 experiment at scale {args.scale}",
@@ -242,6 +284,34 @@ def _command_demo(args) -> int:
             f"{run.wall_seconds:.3f}",
         )
     print(table.render())
+    return 0
+
+
+def _command_bench(args) -> int:
+    from .analysis.bench import (
+        render_bench_report,
+        run_execution_bench,
+        write_bench_json,
+    )
+
+    report = run_execution_bench(
+        scale=args.scale,
+        repeats=args.repeats,
+        seed=args.seed,
+        workers=args.workers,
+        sweep=not args.no_sweep,
+    )
+    write_bench_json(report, args.output)
+    print(render_bench_report(report))
+    print(f"report written to {args.output}")
+    speedup = report["overall"]["speedup"]
+    if args.min_speedup > 0 and speedup < args.min_speedup:
+        print(
+            f"FAIL: columnar speedup {speedup:.2f}x is below the required "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -267,6 +337,7 @@ _COMMANDS = {
     "optimize": _command_optimize,
     "closure": _command_closure,
     "demo": _command_demo,
+    "bench": _command_bench,
     "lint": _command_lint,
     "check": _command_check,
 }

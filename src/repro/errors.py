@@ -18,6 +18,7 @@ __all__ = [
     "OptimizationError",
     "ExecutionError",
     "WorkloadError",
+    "BenchmarkError",
     "LintError",
     "DiagnosticError",
 ]
@@ -78,6 +79,15 @@ class ExecutionError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by workload/data generators for invalid parameter choices."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness for invalid runs.
+
+    Bad parameters (non-positive repeats) and, more importantly, engine
+    disagreement: a benchmark that timed two engines computing *different*
+    answers must fail loudly rather than report a meaningless speedup.
+    """
 
 
 class LintError(ReproError):

@@ -1,8 +1,36 @@
-"""Execution engine: operators, plan executor, and run-time metrics."""
+"""Execution engine: operators, plan executor, and run-time metrics.
+
+Two engines share one executor surface: the classic row-at-a-time
+operators (:mod:`.operators`) and the columnar vectorized path
+(:mod:`.columnar`), selected via ``Executor(engine="row"|"columnar")``.
+"""
 
 from .aggregate import AggregateFunction, AggregateSpec, HashAggregateOp
-from .executor import ExecutionResult, Executor
-from .layout import Layout, compile_conjunction, compile_join_condition, compile_predicate
+from .columnar import (
+    BlockBridgeOp,
+    ColumnBlock,
+    ColumnarFilterOp,
+    ColumnarHashJoinOp,
+    ColumnarOperator,
+    ColumnarProjectOp,
+    ColumnarTableScanOp,
+    GatherBlock,
+    JoinBlock,
+    MaterializedBlock,
+    ProjectBlock,
+    RowBridgeOp,
+    compile_block_predicate,
+)
+from .executor import ENGINES, ExecutionResult, Executor
+from .layout import (
+    JoinCondition,
+    Layout,
+    compile_conjunction,
+    compile_join_condition,
+    compile_predicate,
+    operator_function,
+    split_join_condition,
+)
 from .metrics import ExecutionMetrics, OperatorStats
 from .operators import (
     FilterOp,
@@ -17,20 +45,37 @@ from .operators import (
 __all__ = [
     "AggregateFunction",
     "AggregateSpec",
+    "BlockBridgeOp",
+    "ColumnBlock",
+    "ColumnarFilterOp",
+    "ColumnarHashJoinOp",
+    "ColumnarOperator",
+    "ColumnarProjectOp",
+    "ColumnarTableScanOp",
+    "ENGINES",
     "ExecutionMetrics",
     "ExecutionResult",
     "Executor",
     "FilterOp",
+    "GatherBlock",
     "HashAggregateOp",
     "HashJoinOp",
+    "JoinBlock",
+    "JoinCondition",
     "Layout",
+    "MaterializedBlock",
     "NestedLoopJoinOp",
     "Operator",
     "OperatorStats",
+    "ProjectBlock",
     "ProjectOp",
+    "RowBridgeOp",
     "SortMergeJoinOp",
     "TableScanOp",
+    "compile_block_predicate",
     "compile_conjunction",
     "compile_join_condition",
     "compile_predicate",
+    "operator_function",
+    "split_join_condition",
 ]

@@ -19,6 +19,16 @@ from ..optimizer.plans import JoinMethod, JoinPlan, PlanNode, ScanPlan
 from ..sql.predicates import ColumnRef
 from ..sql.query import Projection
 from ..storage.database import Database
+from .columnar import (
+    BlockBridgeOp,
+    ColumnarFilterOp,
+    ColumnarHashJoinOp,
+    ColumnarOperator,
+    ColumnarProjectOp,
+    ColumnarTableScanOp,
+    RowBridgeOp,
+)
+from .layout import split_join_condition
 from .metrics import ExecutionMetrics
 from .operators import (
     FilterOp,
@@ -30,9 +40,12 @@ from .operators import (
     TableScanOp,
 )
 
-__all__ = ["ExecutionResult", "Executor"]
+__all__ = ["ENGINES", "ExecutionResult", "Executor"]
 
 Row = Tuple
+
+#: The two execution engines: classic row-at-a-time and columnar vectorized.
+ENGINES = ("row", "columnar")
 
 
 @dataclass
@@ -58,14 +71,32 @@ class Executor:
         page_size: Page size used for the *simulated* I/O counters; has no
             effect on results.
         buffer_pages: Buffer pool size for the nested-loops I/O simulation.
+        engine: ``"row"`` for the classic tuple-at-a-time operators,
+            ``"columnar"`` for the vectorized engine
+            (:mod:`repro.execution.columnar`).  Both produce identical row
+            multisets, counts, and operator statistics; the columnar
+            engine is several times faster on COUNT(*) ground truths.
     """
 
     def __init__(
-        self, database: Database, page_size: int = 4096, buffer_pages: int = 64
+        self,
+        database: Database,
+        page_size: int = 4096,
+        buffer_pages: int = 64,
+        engine: str = "row",
     ) -> None:
+        if engine not in ENGINES:
+            raise ExecutionError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self._database = database
         self._page_size = page_size
         self._buffer_pages = buffer_pages
+        self._engine = engine
+
+    @property
+    def engine(self) -> str:
+        return self._engine
 
     def execute(
         self, plan: PlanNode, projection: Optional[Projection] = None
@@ -80,6 +111,8 @@ class Executor:
         """
         metrics = ExecutionMetrics()
         started = time.perf_counter()
+        if self._engine == "columnar":
+            return self._execute_columnar(plan, projection, metrics, started)
         root = self._build(plan, metrics)
         if projection is not None and projection.aggregates:
             root = self._build_aggregate(root, projection, metrics)
@@ -115,6 +148,90 @@ class Executor:
         """Run a plan as ``SELECT COUNT(*)``."""
         return self.execute(plan, Projection(count_star=True))
 
+    # -- columnar engine -------------------------------------------------
+
+    def _execute_columnar(
+        self,
+        plan: PlanNode,
+        projection: Optional[Projection],
+        metrics: ExecutionMetrics,
+        started: float,
+    ) -> ExecutionResult:
+        root = self._build_columnar(plan, metrics)
+        if projection is not None and projection.aggregates:
+            # Aggregation runs on the row operator (one implementation of
+            # aggregate semantics); the bridge is invisible in metrics.
+            agg = self._build_aggregate(RowBridgeOp(root), projection, metrics)
+            rows = agg.rows()
+            metrics.wall_seconds = time.perf_counter() - started
+            count = agg.stats.rows_in
+            return ExecutionResult(
+                rows=rows, columns=agg.layout.columns, count=count, metrics=metrics
+            )
+        if projection is not None and projection.columns:
+            root = ColumnarProjectOp(root, projection.columns, metrics)
+        block = root.block()
+        if projection is not None and projection.count_star:
+            # The COUNT(*) fast path: the count is the root block's row
+            # count — no output tuple is ever materialized.
+            metrics.wall_seconds = time.perf_counter() - started
+            return ExecutionResult(
+                rows=[],
+                columns=root.layout.columns,
+                count=block.num_rows,
+                metrics=metrics,
+            )
+        rows = block.tuples()
+        metrics.wall_seconds = time.perf_counter() - started
+        return ExecutionResult(
+            rows=rows, columns=root.layout.columns, count=len(rows), metrics=metrics
+        )
+
+    def _build_columnar(
+        self, plan: PlanNode, metrics: ExecutionMetrics
+    ) -> ColumnarOperator:
+        if isinstance(plan, ScanPlan):
+            return self._build_columnar_scan(plan, metrics)
+        if isinstance(plan, JoinPlan):
+            return self._build_columnar_join(plan, metrics)
+        raise ExecutionError(f"unknown plan node {plan!r}")
+
+    def _build_columnar_scan(
+        self, plan: ScanPlan, metrics: ExecutionMetrics
+    ) -> ColumnarOperator:
+        table = self._database.table(plan.base_table)
+        pages = _page_count(
+            table.row_count, table.schema.row_width_bytes, self._page_size
+        )
+        scan: ColumnarOperator = ColumnarTableScanOp(
+            relation=plan.relation,
+            column_names=table.schema.column_names,
+            columns=table.columns(),
+            metrics=metrics,
+            pages=pages,
+        )
+        if plan.local_predicates:
+            scan = ColumnarFilterOp(scan, plan.local_predicates, metrics)
+        return scan
+
+    def _build_columnar_join(
+        self, plan: JoinPlan, metrics: ExecutionMetrics
+    ) -> ColumnarOperator:
+        left = self._build_columnar(plan.left, metrics)
+        right = self._build_columnar(plan.right, metrics)
+        if plan.method is JoinMethod.HASH:
+            condition = split_join_condition(
+                plan.predicates, left.layout, right.layout
+            )
+            if condition.keys and not condition.has_residual:
+                return ColumnarHashJoinOp(left, right, plan.predicates, metrics)
+        # Fallback: nested loops, sort-merge, and hash joins with non-equi
+        # residuals run on the row operators between invisible bridges.
+        row_join = self._join_operator(
+            plan, RowBridgeOp(left), RowBridgeOp(right), metrics
+        )
+        return BlockBridgeOp(row_join)
+
     # -- internals -------------------------------------------------------
 
     def _build(self, plan: PlanNode, metrics: ExecutionMetrics) -> Operator:
@@ -143,6 +260,15 @@ class Executor:
     def _build_join(self, plan: JoinPlan, metrics: ExecutionMetrics) -> Operator:
         left = self._build(plan.left, metrics)
         right = self._build(plan.right, metrics)
+        return self._join_operator(plan, left, right, metrics)
+
+    def _join_operator(
+        self,
+        plan: JoinPlan,
+        left: Operator,
+        right: Operator,
+        metrics: ExecutionMetrics,
+    ) -> Operator:
         if plan.method is JoinMethod.NESTED_LOOPS:
             return NestedLoopJoinOp(
                 left,

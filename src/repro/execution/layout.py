@@ -14,7 +14,15 @@ from typing import Callable, Dict, List, Sequence, Tuple
 from ..errors import ExecutionError
 from ..sql.predicates import ColumnRef, ComparisonPredicate, Literal, Op
 
-__all__ = ["Layout", "compile_predicate", "compile_conjunction", "compile_join_condition"]
+__all__ = [
+    "JoinCondition",
+    "Layout",
+    "compile_predicate",
+    "compile_conjunction",
+    "compile_join_condition",
+    "operator_function",
+    "split_join_condition",
+]
 
 Row = Tuple
 
@@ -49,6 +57,27 @@ class Layout:
         """The layout of a join output: left columns then right columns."""
         return Layout(self._columns + other.columns)
 
+    def compile_resolver(self) -> Callable[[ColumnRef], int]:
+        """A compiled column-index resolver: ``ColumnRef -> position``.
+
+        Binds the position table into a closure once, so hot code (the
+        columnar engine resolves every predicate and join-key column
+        through this) pays a single dict lookup per resolution with no
+        attribute traffic and a uniform error path.
+        """
+        index = dict(self._index)
+        columns = self._columns
+
+        def resolve(column: ColumnRef) -> int:
+            try:
+                return index[column]
+            except KeyError:
+                raise ExecutionError(
+                    f"column {column} is not in layout {columns}"
+                ) from None
+
+        return resolve
+
     def __repr__(self) -> str:
         return f"Layout({', '.join(str(c) for c in self._columns)})"
 
@@ -61,6 +90,11 @@ _OPERATOR_FUNCS = {
     Op.GT: lambda a, b: a > b,
     Op.GE: lambda a, b: a >= b,
 }
+
+
+def operator_function(op: Op) -> Callable[[object, object], bool]:
+    """The two-argument comparison function for a predicate operator."""
+    return _OPERATOR_FUNCS[op]
 
 
 def compile_predicate(
@@ -96,6 +130,33 @@ def compile_conjunction(
     return evaluate
 
 
+class JoinCondition:
+    """A compiled join condition: equi-key positions plus residual check.
+
+    Attributes:
+        keys: (left-position, right-position) pairs of cross-input equality
+            predicates — the hash/merge keys.
+        residual: Evaluates every non-key predicate given the left and
+            right rows separately (always-true when ``has_residual`` is
+            False).
+        has_residual: Whether any non-key predicate exists.  The columnar
+            engine uses this to decide between the vectorized hash join
+            (pure equi-join) and the row-engine fallback.
+    """
+
+    __slots__ = ("keys", "residual", "has_residual")
+
+    def __init__(
+        self,
+        keys: List[Tuple[int, int]],
+        residual: Callable[[Row, Row], bool],
+        has_residual: bool,
+    ) -> None:
+        self.keys = keys
+        self.residual = residual
+        self.has_residual = has_residual
+
+
 def compile_join_condition(
     predicates: Sequence[ComparisonPredicate],
     left: Layout,
@@ -112,6 +173,21 @@ def compile_join_condition(
         input — the hash/merge keys; ``residual`` evaluates every remaining
         predicate given the left row and right row separately (so the
         operators can check it before materializing the concatenated row).
+
+    Raises:
+        ExecutionError: if a predicate references columns outside the two
+            inputs.
+    """
+    condition = split_join_condition(predicates, left, right)
+    return condition.keys, condition.residual
+
+
+def split_join_condition(
+    predicates: Sequence[ComparisonPredicate],
+    left: Layout,
+    right: Layout,
+) -> JoinCondition:
+    """Like :func:`compile_join_condition`, exposing residual presence.
 
     Raises:
         ExecutionError: if a predicate references columns outside the two
@@ -172,4 +248,4 @@ def compile_join_condition(
         def residual(left_row: Row, right_row: Row) -> bool:
             return True
 
-    return keys, residual
+    return JoinCondition(keys, residual, bool(residual_parts))

@@ -34,6 +34,16 @@ class OperatorStats:
             self.label, self.rows_out, self.rows_in, self.comparisons, self.pages_read
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-friendly view (used by the ``bench`` report writer)."""
+        return {
+            "label": self.label,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "comparisons": self.comparisons,
+            "pages_read": self.pages_read,
+        }
+
 
 @dataclass
 class ExecutionMetrics:
@@ -70,6 +80,16 @@ class ExecutionMetrics:
                 n += 1
             result[label] = op
         return result
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-friendly view (used by the ``bench`` report writer)."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "total_rows_out": self.total_rows_out,
+            "total_comparisons": self.total_comparisons,
+            "total_pages_read": self.total_pages_read,
+            "operators": [op.to_dict() for op in self.operators],
+        }
 
     def summary(self) -> str:
         lines = [

@@ -20,7 +20,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError
 from ..sql.predicates import ColumnRef, ComparisonPredicate
-from .layout import Layout, compile_conjunction, compile_join_condition
+from .layout import Layout, compile_conjunction, split_join_condition
 from .metrics import ExecutionMetrics, OperatorStats
 
 __all__ = [
@@ -82,12 +82,19 @@ class TableScanOp(Operator):
         super().__init__(layout, metrics.register(f"scan({relation})"))
         self._source_rows = source_rows
         self._pages = pages
+        self._materialized: Optional[List[Row]] = None
 
     def rows(self) -> List[Row]:
+        # Materialize once: multi-call plans (e.g. a scan feeding a
+        # nested-loop inner that is re-read) must not re-copy the source or
+        # double-count the scan's rows and simulated page I/O.
+        if self._materialized is not None:
+            return self._materialized
         result = list(self._source_rows)
         self._stats.rows_in += len(result)
         self._stats.rows_out += len(result)
         self._stats.pages_read += self._pages
+        self._materialized = result
         return result
 
 
@@ -152,9 +159,27 @@ class _JoinOp(Operator):
         self._left = left
         self._right = right
         self._predicates = tuple(predicates)
-        self._keys, self._residual = compile_join_condition(
+        condition = split_join_condition(
             self._predicates, left.layout, right.layout
         )
+        self._keys = condition.keys
+        self._residual = condition.residual
+        self._has_residual = condition.has_residual
+
+    def _key_functions(self) -> Tuple[Callable[[Row], object], Callable[[Row], object]]:
+        """Left/right key extractors, specialized for single-column keys.
+
+        The common equi-join has exactly one key pair; extracting the bare
+        value instead of a 1-tuple skips a tuple allocation per row on the
+        hash-build, probe, and sort paths.
+        """
+        keys = self._keys
+        if len(keys) == 1:
+            a, b = keys[0]
+            return (lambda row: row[a]), (lambda row: row[b])
+        left_key = lambda row: tuple(row[a] for a, _ in keys)
+        right_key = lambda row: tuple(row[b] for _, b in keys)
+        return left_key, right_key
 
 
 class NestedLoopJoinOp(_JoinOp):
@@ -233,16 +258,15 @@ class HashJoinOp(_JoinOp):
         outer = self._left.rows()
         inner = self._right.rows()
         self._stats.rows_in += len(outer) + len(inner)
-        keys = self._keys
+        left_key, right_key = self._key_functions()
         residual = self._residual
         table: dict = {}
         for right_row in inner:
-            key = tuple(right_row[b] for _, b in keys)
-            table.setdefault(key, []).append(right_row)
+            table.setdefault(right_key(right_row), []).append(right_row)
         result: List[Row] = []
         comparisons = 0
         for left_row in outer:
-            key = tuple(left_row[a] for a, _ in keys)
+            key = left_key(left_row)
             comparisons += 1
             for right_row in table.get(key, ()):
                 comparisons += 1
@@ -282,10 +306,8 @@ class SortMergeJoinOp(_JoinOp):
         outer = self._left.rows()
         inner = self._right.rows()
         self._stats.rows_in += len(outer) + len(inner)
-        keys = self._keys
         residual = self._residual
-        left_key = lambda row: tuple(row[a] for a, _ in keys)
-        right_key = lambda row: tuple(row[b] for _, b in keys)
+        left_key, right_key = self._key_functions()
         outer_sorted = sorted(outer, key=left_key)
         inner_sorted = sorted(inner, key=right_key)
         # Simulated external sort: 2 passes (write runs + read merged).

@@ -9,6 +9,7 @@ to execution.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from ..catalog.collector import HistogramKind, collect_table_stats
@@ -121,3 +122,18 @@ class Database:
     def true_count(self, name: str) -> int:
         """Ground-truth row count straight from storage (not the catalog)."""
         return self.table(name).row_count
+
+    def fingerprint(self) -> str:
+        """A stable hex digest of the database's full content.
+
+        Combines every table's :meth:`~repro.storage.table.Table.content_digest`
+        (which covers name, schema, and row data) in name order.  Two
+        databases with the same fingerprint hold identical data, so the
+        fingerprint is a sound cache key for executed ground truths
+        (:mod:`repro.analysis.truthcache`).  Per-table digests are cached
+        against the append-only row counts, so repeated calls are cheap.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        for name in self.table_names():
+            hasher.update(self._tables[name].content_digest().encode())
+        return hasher.hexdigest()

@@ -4,11 +4,18 @@ Rows are plain tuples laid out in schema order.  The executor scans tables
 through :meth:`Table.scan`; the statistics collector reads whole columns via
 :meth:`Table.column_values`.  Data is append-only, which is all the paper's
 workloads need — there is no update/delete path to complicate statistics.
+
+Append-only storage buys two cheap invariants the execution layer leans on:
+the row count alone identifies a table's content state, so both the
+columnar transpose (:meth:`Table.columns`) and the content digest
+(:meth:`Table.content_digest`) can be cached and invalidated by comparing
+``row_count`` against the count they were computed at.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
+import hashlib
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..catalog.schema import ColumnType, TableSchema
 from ..errors import StorageError
@@ -25,6 +32,9 @@ class Table:
     def __init__(self, schema: TableSchema) -> None:
         self._schema = schema
         self._rows: List[Row] = []
+        # Caches invalidated by row-count comparison (append-only storage).
+        self._columns_cache: Optional[Tuple[int, Tuple[List[Scalar], ...]]] = None
+        self._digest_cache: Optional[Tuple[int, str]] = None
 
     @property
     def schema(self) -> TableSchema:
@@ -101,6 +111,46 @@ class Table:
     def rows(self) -> List[Row]:
         """A copy of all rows (callers may mutate the list freely)."""
         return list(self._rows)
+
+    def columns(self) -> Tuple[List[Scalar], ...]:
+        """All columns as parallel value lists, in schema order.
+
+        The transpose is computed once and cached; because storage is
+        append-only, the cache is valid exactly while ``row_count`` is
+        unchanged.  Callers (the columnar execution engine) must not
+        mutate the returned lists.
+        """
+        cached = self._columns_cache
+        if cached is not None and cached[0] == len(self._rows):
+            return cached[1]
+        if self._rows:
+            transposed = tuple(list(col) for col in zip(*self._rows))
+        else:
+            transposed = tuple([] for _ in self._schema.column_names)
+        self._columns_cache = (len(self._rows), transposed)
+        return transposed
+
+    def content_digest(self) -> str:
+        """A stable hex digest of the table's schema and row contents.
+
+        Used as the table's part of a :meth:`Database.fingerprint
+        <repro.storage.database.Database.fingerprint>` for ground-truth
+        caching.  Cached per row count (valid under append-only storage);
+        equal digests imply equal name, column names/types, and row
+        sequences.
+        """
+        cached = self._digest_cache
+        if cached is not None and cached[0] == len(self._rows):
+            return cached[1]
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(self.name.encode())
+        for column in self._schema.columns:
+            hasher.update(f"|{column.name}:{column.type.value}".encode())
+        for row in self._rows:
+            hasher.update(repr(row).encode())
+        digest = hasher.hexdigest()
+        self._digest_cache = (len(self._rows), digest)
+        return digest
 
     def column_values(self, column: str) -> List[Scalar]:
         """All values of one column, in row order (duplicates preserved)."""

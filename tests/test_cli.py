@@ -153,6 +153,80 @@ class TestDemo:
         assert code == 0
         assert "ELS" in out and "SM (no PTC)" in out
 
+    @pytest.mark.parametrize("engine", ["row", "columnar"])
+    def test_engine_flag(self, capsys, engine):
+        code = main(["demo", "--scale", "0.02", "--engine", engine])
+        assert code == 0
+        assert "ELS" in capsys.readouterr().out
+
+
+class TestBench:
+    def _run(self, tmp_path, capsys, *extra):
+        output = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--scale",
+                "0.02",
+                "--repeats",
+                "1",
+                "--no-sweep",
+                "--output",
+                str(output),
+                *extra,
+            ]
+        )
+        return code, output, capsys.readouterr()
+
+    def test_writes_parseable_report(self, tmp_path, capsys):
+        code, output, captured = self._run(tmp_path, capsys)
+        assert code == 0
+        assert "Execution benchmark" in captured.out
+        report = json.loads(output.read_text())
+        assert report["meta"]["scale"] == 0.02
+        assert report["meta"]["engines"] == ["row", "columnar"]
+        assert "machine" in report["meta"]
+        assert len(report["prefixes"]) == 3
+        for prefix in report["prefixes"]:
+            assert prefix["true_count"] >= 0
+            assert prefix["row_truth_s"] > 0
+            assert prefix["columnar_truth_s"] > 0
+        assert report["overall"]["speedup"] > 0
+        assert "parallel_sweep" not in report
+
+    def test_sweep_section_recorded(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--scale",
+                "0.02",
+                "--repeats",
+                "1",
+                "--workers",
+                "2",
+                "--output",
+                str(output),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["parallel_sweep"]["workers"] == 2
+        assert report["parallel_sweep"]["workloads"] == 3
+
+    def test_unreachable_min_speedup_fails(self, tmp_path, capsys):
+        code, output, captured = self._run(tmp_path, capsys, "--min-speedup", "1e9")
+        assert code == 1
+        assert "FAIL" in captured.err
+        # The report is still written for inspection.
+        assert output.exists()
+
+    def test_bad_repeats_is_error_exit(self, tmp_path, capsys):
+        code, _, captured = self._run(tmp_path, capsys, "--repeats", "0")
+        assert code == 1
+        assert "error" in captured.err
+
 
 class TestParser:
     def test_missing_command_exits(self):

@@ -1,0 +1,257 @@
+"""Columnar engine unit tests: blocks, vectorized operators, and bridges."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution import (
+    BlockBridgeOp,
+    ColumnarFilterOp,
+    ColumnarHashJoinOp,
+    ColumnarProjectOp,
+    ColumnarTableScanOp,
+    ExecutionMetrics,
+    Executor,
+    FilterOp,
+    GatherBlock,
+    HashJoinOp,
+    Layout,
+    MaterializedBlock,
+    RowBridgeOp,
+    TableScanOp,
+    compile_block_predicate,
+)
+from repro.sql import ColumnRef, Op, column_equality, join_predicate, local_predicate
+
+
+def layout(relation, *columns):
+    return Layout([ColumnRef(relation, c) for c in columns])
+
+
+def scan(relation, columns, data, metrics, pages=0.0):
+    """A columnar scan from per-column value lists."""
+    return ColumnarTableScanOp(relation, columns, data, metrics, pages)
+
+
+class TestColumnBlocks:
+    def test_materialized_block_round_trip(self):
+        block = MaterializedBlock(layout("R", "x", "y"), [[1, 2, 3], [4, 5, 6]])
+        assert block.num_rows == 3
+        assert block.column(0) == [1, 2, 3]
+        assert block.tuples() == [(1, 4), (2, 5), (3, 6)]
+
+    def test_materialized_block_arity_checked(self):
+        with pytest.raises(ExecutionError):
+            MaterializedBlock(layout("R", "x", "y"), [[1, 2]])
+
+    def test_gather_block_selects_rows(self):
+        base = MaterializedBlock(layout("R", "x", "y"), [[1, 2, 3], [4, 5, 6]])
+        view = GatherBlock(base, [2, 0])
+        assert view.num_rows == 2
+        assert view.tuples() == [(3, 6), (1, 4)]
+
+    def test_gather_of_gather_composes(self):
+        base = MaterializedBlock(layout("R", "x"), [[10, 20, 30, 40]])
+        inner = GatherBlock(base, [3, 2, 1])
+        outer = GatherBlock(inner, [0, 2])
+        assert outer.tuples() == [(40,), (20,)]
+
+    def test_columns_cached_by_identity(self):
+        base = MaterializedBlock(layout("R", "x"), [[1, 2, 3]])
+        view = GatherBlock(base, [0, 2])
+        assert view.column(0) is view.column(0)
+
+    def test_tuples_cached(self):
+        block = MaterializedBlock(layout("R", "x"), [[1, 2]])
+        assert block.tuples() is block.tuples()
+
+
+class TestVectorPredicates:
+    def test_constant_predicate_full_scan(self):
+        block = MaterializedBlock(layout("R", "x"), [[5, 1, 7, 3]])
+        check = compile_block_predicate(
+            local_predicate("R", "x", Op.LT, 4), block.layout
+        )
+        assert check(block, None) == [1, 3]
+
+    def test_constant_predicate_narrows_candidates(self):
+        block = MaterializedBlock(layout("R", "x"), [[5, 1, 7, 3]])
+        check = compile_block_predicate(
+            local_predicate("R", "x", Op.GT, 2), block.layout
+        )
+        assert check(block, [1, 3]) == [3]
+
+    def test_column_column_predicate(self):
+        block = MaterializedBlock(layout("R", "x", "y"), [[1, 2, 3], [1, 5, 3]])
+        check = compile_block_predicate(column_equality("R", "x", "y"), block.layout)
+        assert check(block, None) == [0, 2]
+        assert check(block, [2]) == [2]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExecutionError):
+            compile_block_predicate(
+                local_predicate("S", "z", Op.LT, 1), layout("R", "x")
+            )
+
+
+class TestColumnarScanAndFilter:
+    def test_scan_emits_block_and_charges_once(self):
+        metrics = ExecutionMetrics()
+        op = scan("R", ["x"], [[1, 2, 3]], metrics, pages=5.0)
+        first = op.block()
+        second = op.block()
+        assert first is second
+        assert op.stats.rows_out == 3
+        assert metrics.total_pages_read == 5.0
+
+    def test_filter_matches_row_engine_counters(self):
+        predicates = [local_predicate("R", "x", Op.LT, 5)]
+        row_metrics = ExecutionMetrics()
+        row_op = FilterOp(
+            TableScanOp("R", ["x"], [(i,) for i in range(10)], row_metrics),
+            predicates,
+            row_metrics,
+        )
+        col_metrics = ExecutionMetrics()
+        col_op = ColumnarFilterOp(
+            scan("R", ["x"], [list(range(10))], col_metrics), predicates, col_metrics
+        )
+        assert row_op.rows() == col_op.rows()
+        row_stats = [(s.rows_in, s.rows_out, s.comparisons) for s in row_metrics.operators]
+        col_stats = [(s.rows_in, s.rows_out, s.comparisons) for s in col_metrics.operators]
+        assert row_stats == col_stats
+
+    def test_filter_without_predicates_is_identity(self):
+        metrics = ExecutionMetrics()
+        op = ColumnarFilterOp(scan("R", ["x"], [[1, 2]], metrics), [], metrics)
+        assert op.rows() == [(1,), (2,)]
+        assert op.stats.comparisons == 2  # rows * max(1, 0 predicates)
+
+    def test_project_reorders_columns(self):
+        metrics = ExecutionMetrics()
+        op = ColumnarProjectOp(
+            scan("R", ["x", "y"], [[1, 2], [3, 4]], metrics),
+            [ColumnRef("R", "y"), ColumnRef("R", "x")],
+            metrics,
+        )
+        assert op.rows() == [(3, 1), (4, 2)]
+        assert op.layout.columns == (ColumnRef("R", "y"), ColumnRef("R", "x"))
+
+
+class TestColumnarHashJoin:
+    def _join_both_engines(self, left_values, right_values):
+        predicates = [join_predicate("L", "k", "R", "k")]
+        row_metrics = ExecutionMetrics()
+        row_join = HashJoinOp(
+            TableScanOp("L", ["k"], [(v,) for v in left_values], row_metrics),
+            TableScanOp("R", ["k"], [(v,) for v in right_values], row_metrics),
+            predicates,
+            row_metrics,
+        )
+        col_metrics = ExecutionMetrics()
+        col_join = ColumnarHashJoinOp(
+            scan("L", ["k"], [list(left_values)], col_metrics),
+            scan("R", ["k"], [list(right_values)], col_metrics),
+            predicates,
+            col_metrics,
+        )
+        return row_join, row_metrics, col_join, col_metrics
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ([1, 2, 2, 3], [2, 2, 3, 4]),
+            ([1, 2, 3], [4, 5]),  # empty result
+            ([], [1, 2]),  # empty probe side
+            ([1, 2], []),  # empty build side
+            (list(range(20)), [5]),  # build side smaller than probe side
+            ([5], list(range(20))),  # probe side smaller than build side
+        ],
+    )
+    def test_matches_row_engine(self, left, right):
+        row_join, row_metrics, col_join, col_metrics = self._join_both_engines(
+            left, right
+        )
+        assert sorted(row_join.rows()) == sorted(col_join.rows())
+        row_stats = [
+            (s.label, s.rows_in, s.rows_out, s.comparisons, s.pages_read)
+            for s in row_metrics.operators
+        ]
+        col_stats = [
+            (s.label, s.rows_in, s.rows_out, s.comparisons, s.pages_read)
+            for s in col_metrics.operators
+        ]
+        assert row_stats == col_stats
+
+    def test_multi_key_join(self):
+        predicates = [
+            join_predicate("L", "a", "R", "a"),
+            join_predicate("L", "b", "R", "b"),
+        ]
+        metrics = ExecutionMetrics()
+        op = ColumnarHashJoinOp(
+            scan("L", ["a", "b"], [[1, 1, 2], [1, 2, 1]], metrics),
+            scan("R", ["a", "b"], [[1, 2], [2, 1]], metrics),
+            predicates,
+            metrics,
+        )
+        assert sorted(op.rows()) == [(1, 2, 1, 2), (2, 1, 2, 1)]
+
+    def test_requires_equality_key(self):
+        metrics = ExecutionMetrics()
+        with pytest.raises(ExecutionError):
+            ColumnarHashJoinOp(
+                scan("L", ["k"], [[1]], metrics),
+                scan("R", ["k"], [[1]], metrics),
+                [],
+                metrics,
+            )
+
+    def test_rejects_residual_predicates(self):
+        metrics = ExecutionMetrics()
+        with pytest.raises(ExecutionError):
+            ColumnarHashJoinOp(
+                scan("L", ["k", "v"], [[1], [2]], metrics),
+                scan("R", ["k", "v"], [[1], [2]], metrics),
+                [
+                    join_predicate("L", "k", "R", "k"),
+                    join_predicate("L", "v", "R", "v", Op.LT),
+                ],
+                metrics,
+            )
+
+
+class TestBridges:
+    def test_row_bridge_is_invisible_in_metrics(self):
+        metrics = ExecutionMetrics()
+        columnar = scan("R", ["x"], [[1, 2]], metrics)
+        bridge = RowBridgeOp(columnar)
+        assert bridge.rows() == [(1,), (2,)]
+        assert [s.label for s in metrics.operators] == ["scan(R)"]
+
+    def test_block_bridge_transposes_rows(self):
+        metrics = ExecutionMetrics()
+        row_op = TableScanOp("R", ["x", "y"], [(1, 2), (3, 4)], metrics)
+        bridge = BlockBridgeOp(row_op)
+        assert bridge.block().column(1) == [2, 4]
+        assert [s.label for s in metrics.operators] == ["scan(R)"]
+
+    def test_block_bridge_empty_input(self):
+        metrics = ExecutionMetrics()
+        row_op = TableScanOp("R", ["x"], [], metrics)
+        bridge = BlockBridgeOp(row_op)
+        assert bridge.block().num_rows == 0
+        assert bridge.rows() == []
+
+
+class TestExecutorEngineSelection:
+    def test_unknown_engine_rejected(self):
+        from repro.storage.database import Database
+
+        with pytest.raises(ExecutionError):
+            Executor(Database(), engine="gpu")
+
+    def test_engine_property(self):
+        from repro.storage.database import Database
+
+        assert Executor(Database(), engine="columnar").engine == "columnar"
+        assert Executor(Database()).engine == "row"

@@ -45,6 +45,23 @@ class TestTableScan:
         op.rows()
         assert metrics.total_pages_read == 7.0
 
+    def test_repeated_calls_charge_once(self):
+        """A scan re-read by a multi-call plan (nested-loop inner) must not
+        double-count rows or simulated page I/O."""
+        metrics = ExecutionMetrics()
+        op = scan("R", ["x"], [(1,), (2,)], metrics, pages=3.0)
+        first = op.rows()
+        second = op.rows()
+        assert first is second
+        assert op.stats.rows_in == 2 and op.stats.rows_out == 2
+        assert metrics.total_pages_read == 3.0
+
+    def test_generator_source_survives_rereads(self):
+        metrics = ExecutionMetrics()
+        op = scan("R", ["x"], ((i,) for i in range(3)), metrics)
+        assert op.rows() == [(0,), (1,), (2,)]
+        assert op.rows() == [(0,), (1,), (2,)]
+
 
 class TestFilter:
     def test_filters_rows(self):
@@ -154,6 +171,46 @@ class TestEquiJoins:
             metrics,
         )
         assert sorted(op.rows()) == [(1, 1, 1, 1), (2, 1, 2, 1)]
+
+
+class TestSingleKeySpecialization:
+    """Keyed joins use bare values (no tuple wrap) for single-column keys."""
+
+    @pytest.mark.parametrize("join_class", [HashJoinOp, SortMergeJoinOp])
+    def test_single_key_functions_return_bare_values(self, join_class):
+        metrics = ExecutionMetrics()
+        op = join_class(
+            scan("L", ["k"], [(7,)], metrics),
+            scan("R", ["k"], [(7,)], metrics),
+            [join_predicate("L", "k", "R", "k")],
+            metrics,
+        )
+        left_key, right_key = op._key_functions()
+        assert left_key((7,)) == 7 and right_key((7,)) == 7
+
+    @pytest.mark.parametrize("join_class", [HashJoinOp, SortMergeJoinOp])
+    def test_multi_key_functions_return_tuples(self, join_class):
+        metrics = ExecutionMetrics()
+        op = join_class(
+            scan("L", ["a", "b"], [(1, 2)], metrics),
+            scan("R", ["a", "b"], [(1, 2)], metrics),
+            [
+                join_predicate("L", "a", "R", "a"),
+                join_predicate("L", "b", "R", "b"),
+            ],
+            metrics,
+        )
+        left_key, right_key = op._key_functions()
+        assert left_key((1, 2)) == (1, 2) and right_key((1, 2)) == (1, 2)
+
+    def test_single_key_join_with_unhashable_free_values(self):
+        """Only the key column must be hashable; payload columns need not
+        be — the specialization must never hash the whole row."""
+        metrics = ExecutionMetrics()
+        left = scan("L", ["k", "payload"], [(1, [10]), (2, [20])], metrics)
+        right = scan("R", ["k"], [(1,), (2,)], metrics)
+        op = HashJoinOp(left, right, [join_predicate("L", "k", "R", "k")], metrics)
+        assert sorted(op.rows(), key=lambda r: r[0]) == [(1, [10], 1), (2, [20], 2)]
 
 
 class TestNestedLoopsSpecifics:

@@ -1,0 +1,159 @@
+"""Ground-truth cache: keying, invalidation, LRU behavior, integration."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    TruthCache,
+    canonical_query_text,
+    true_join_size,
+)
+from repro.sql import parse_query
+from repro.workloads import build_database, chain_workload
+
+
+@pytest.fixture()
+def chain():
+    workload = chain_workload(3, random.Random(0))
+    database = build_database(workload.specs, seed=0)
+    return workload.query, database
+
+
+class TestCanonicalQueryText:
+    def test_invariant_under_from_order(self):
+        a = parse_query("SELECT COUNT(*) FROM R1, R2 WHERE R1.x = R2.x")
+        b = parse_query("SELECT COUNT(*) FROM R2, R1 WHERE R1.x = R2.x")
+        assert canonical_query_text(a) == canonical_query_text(b)
+
+    def test_invariant_under_predicate_order(self):
+        a = parse_query(
+            "SELECT COUNT(*) FROM A, B, C WHERE A.x = B.x AND B.x = C.x AND A.x < 5"
+        )
+        b = parse_query(
+            "SELECT COUNT(*) FROM A, B, C WHERE A.x < 5 AND B.x = C.x AND A.x = B.x"
+        )
+        assert canonical_query_text(a) == canonical_query_text(b)
+
+    def test_invariant_under_operand_orientation(self):
+        a = parse_query("SELECT COUNT(*) FROM R1, R2 WHERE R1.x = R2.x")
+        b = parse_query("SELECT COUNT(*) FROM R1, R2 WHERE R2.x = R1.x")
+        assert canonical_query_text(a) == canonical_query_text(b)
+
+    def test_projection_excluded(self):
+        a = parse_query("SELECT COUNT(*) FROM R1, R2 WHERE R1.x = R2.x")
+        b = parse_query("SELECT R1.x FROM R1, R2 WHERE R1.x = R2.x")
+        assert canonical_query_text(a) == canonical_query_text(b)
+
+    def test_aliases_distinguished_from_base_tables(self):
+        a = parse_query("SELECT COUNT(*) FROM Orders o, Items i WHERE o.x = i.x")
+        b = parse_query("SELECT COUNT(*) FROM Orders, Items WHERE Orders.x = Items.x")
+        assert canonical_query_text(a) != canonical_query_text(b)
+
+    def test_different_constants_distinguished(self):
+        a = parse_query("SELECT COUNT(*) FROM R1 WHERE R1.x < 5")
+        b = parse_query("SELECT COUNT(*) FROM R1 WHERE R1.x < 6")
+        assert canonical_query_text(a) != canonical_query_text(b)
+
+
+class TestTruthCache:
+    def test_miss_then_hit(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        assert cache.get(database, query) is None
+        cache.put(database, query, 42)
+        assert cache.get(database, query) == 42
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.lookups == 2
+
+    def test_count_coerced_to_int(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        cache.put(database, query, 42.0)
+        value = cache.get(database, query)
+        assert value == 42 and isinstance(value, int)
+
+    def test_fingerprint_invalidation_on_append(self, chain):
+        """Appending one row must make the old entry unreachable."""
+        query, database = chain
+        cache = TruthCache()
+        cache.put(database, query, 7)
+        table = database.table(database.table_names()[0])
+        template = table.rows()[0]
+        table.append(template)
+        assert cache.get(database, query) is None
+        assert cache.stats.misses == 1
+
+    def test_equivalent_queries_share_one_entry(self, chain):
+        _, database = chain
+        cache = TruthCache()
+        a = parse_query("SELECT COUNT(*) FROM T1, T2 WHERE T1.c = T2.c")
+        b = parse_query("SELECT COUNT(*) FROM T2, T1 WHERE T2.c = T1.c")
+        cache.put(database, a, 9)
+        assert cache.get(database, b) == 9
+        assert len(cache) == 1
+
+    def test_lru_eviction(self, chain):
+        _, database = chain
+        cache = TruthCache(max_entries=2)
+        q = [
+            parse_query(f"SELECT COUNT(*) FROM R1 WHERE R1.x < {i}") for i in range(3)
+        ]
+        cache.put(database, q[0], 0)
+        cache.put(database, q[1], 1)
+        cache.get(database, q[0])  # refresh q0: q1 becomes LRU
+        cache.put(database, q[2], 2)  # evicts q1
+        assert cache.get(database, q[0]) == 0
+        assert cache.get(database, q[2]) == 2
+        assert cache.get(database, q[1]) is None
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_clear_resets_entries_and_stats(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        cache.put(database, query, 1)
+        cache.get(database, query)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TruthCache(max_entries=0)
+
+
+class TestTrueJoinSizeIntegration:
+    def test_cache_round_trip_matches_execution(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        first = true_join_size(query, database, cache=cache)
+        second = true_join_size(query, database, cache=cache)
+        assert first == second
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        uncached = true_join_size(query, database, cache=None)
+        assert uncached == first
+
+    def test_engines_fill_cache_identically(self, chain):
+        query, database = chain
+        row_cache = TruthCache()
+        columnar_cache = TruthCache()
+        row = true_join_size(query, database, engine="row", cache=row_cache)
+        columnar = true_join_size(
+            query, database, engine="columnar", cache=columnar_cache
+        )
+        assert row == columnar
+
+    def test_append_forces_reexecution_with_new_count(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        before = true_join_size(query, database, cache=cache)
+        # Duplicate every T1 row: every join result through T1 doubles.
+        table = database.table("T1")
+        for row in list(table.rows()):
+            table.append(row)
+        after = true_join_size(query, database, cache=cache)
+        assert after == 2 * before
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
