@@ -138,7 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     lint = commands.add_parser(
-        "lint", help="run the ELS static-analysis rules (ELS1xx/ELS3xx) over sources"
+        "lint",
+        help="run the ELS static-analysis rules (ELS1xx/ELS3xx/ELS4xx) over sources",
     )
     lint.add_argument("paths", nargs="+", help="files or directories to lint")
     lint.add_argument(
@@ -152,6 +153,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         dest="dataflow",
         help="disable the ELS3xx pass (the default)",
+    )
+    lint.add_argument(
+        "--effects",
+        action="store_true",
+        default=False,
+        help="also run the interprocedural ELS4xx effect/determinism pass",
+    )
+    lint.add_argument(
+        "--no-effects",
+        action="store_false",
+        dest="effects",
+        help="disable the ELS4xx pass (the default)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files with N parallel worker processes (default 1)",
     )
     _add_diagnostic_args(lint)
 
@@ -317,7 +337,13 @@ def _command_bench(args) -> int:
 
 def _command_lint(args) -> int:
     return run_lint(
-        args.paths, args.select, args.ignore, args.format, dataflow=args.dataflow
+        args.paths,
+        args.select,
+        args.ignore,
+        args.format,
+        dataflow=args.dataflow,
+        effects=args.effects,
+        jobs=args.jobs,
     )
 
 

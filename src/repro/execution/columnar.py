@@ -61,7 +61,7 @@ __all__ = [
 ]
 
 Row = Tuple
-Column = List
+Column = Sequence
 
 
 # ---------------------------------------------------------------------------
@@ -82,7 +82,7 @@ class ColumnBlock:
         self._layout = layout
         self._num_rows = num_rows
         self._column_cache: Dict[int, Column] = {}
-        self._tuples: Optional[List[Row]] = None
+        self._tuples: Optional[Tuple[Row, ...]] = None
 
     @property
     def layout(self) -> Layout:
@@ -103,14 +103,18 @@ class ColumnBlock:
     def _gather(self, position: int) -> Column:
         raise NotImplementedError
 
-    def tuples(self) -> List[Row]:
-        """Materialize the block as row tuples (cached)."""
+    def tuples(self) -> Tuple[Row, ...]:
+        """Materialize the block as row tuples (cached, frozen).
+
+        The materialization is returned as a tuple so callers cannot
+        corrupt the cached copy shared by later calls.
+        """
         if self._tuples is None:
             columns = [self.column(p) for p in range(len(self._layout))]
             if columns:
-                self._tuples = list(zip(*columns))
+                self._tuples = tuple(zip(*columns))
             else:  # pragma: no cover - layouts are never empty in practice
-                self._tuples = [() for _ in range(self._num_rows)]
+                self._tuples = tuple(() for _ in range(self._num_rows))
         return self._tuples
 
 
@@ -270,7 +274,7 @@ class ColumnarOperator:
             self._block = self._execute()
         return self._block
 
-    def rows(self) -> List[Row]:
+    def rows(self) -> Sequence[Row]:
         return self.block().tuples()
 
     def _execute(self) -> ColumnBlock:
@@ -471,7 +475,7 @@ class RowBridgeOp(Operator):
         super().__init__(child.layout, OperatorStats("bridge(rows)"))
         self._child = child
 
-    def rows(self) -> List[Row]:
+    def rows(self) -> Sequence[Row]:
         return self._child.rows()
 
 

@@ -124,7 +124,9 @@ class Executor:
             )
         if projection is not None and projection.columns:
             root = ProjectOp(root, projection.columns, metrics)
-        rows = root.rows()
+        # Operators may hand back their frozen materialization; the result
+        # contract is a list the caller owns.
+        rows = list(root.rows())
         metrics.wall_seconds = time.perf_counter() - started
         count = len(rows)
         if projection is not None and projection.count_star:
@@ -181,7 +183,9 @@ class Executor:
                 count=block.num_rows,
                 metrics=metrics,
             )
-        rows = block.tuples()
+        # tuples() is the block's frozen materialization; the result
+        # contract is a list the caller owns.
+        rows = list(block.tuples())
         metrics.wall_seconds = time.perf_counter() - started
         return ExecutionResult(
             rows=rows, columns=root.layout.columns, count=len(rows), metrics=metrics

@@ -58,7 +58,7 @@ class Operator:
     def stats(self) -> OperatorStats:
         return self._stats
 
-    def rows(self) -> List[Row]:
+    def rows(self) -> Sequence[Row]:
         raise NotImplementedError
 
 
@@ -82,15 +82,17 @@ class TableScanOp(Operator):
         super().__init__(layout, metrics.register(f"scan({relation})"))
         self._source_rows = source_rows
         self._pages = pages
-        self._materialized: Optional[List[Row]] = None
+        self._materialized: Optional[Tuple[Row, ...]] = None
 
-    def rows(self) -> List[Row]:
+    def rows(self) -> Sequence[Row]:
         # Materialize once: multi-call plans (e.g. a scan feeding a
         # nested-loop inner that is re-read) must not re-copy the source or
-        # double-count the scan's rows and simulated page I/O.
+        # double-count the scan's rows and simulated page I/O.  The result
+        # is frozen to a tuple so no downstream operator can corrupt the
+        # shared materialization.
         if self._materialized is not None:
             return self._materialized
-        result = list(self._source_rows)
+        result = tuple(self._source_rows)
         self._stats.rows_in += len(result)
         self._stats.rows_out += len(result)
         self._stats.pages_read += self._pages

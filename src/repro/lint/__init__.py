@@ -23,6 +23,12 @@ model and the text/JSON/SARIF renderers:
   distinct counts ``d_x``, selectivities in ``[0, 1]`` — each expression
   carries and flags dimensionally invalid arithmetic.  Exposed behind
   ``repro-els lint --dataflow``.
+* **Layer 4 — effects and determinism** (:mod:`repro.lint.effects`):
+  bottom-up effect summaries (``ELS400``-``ELS407``) guarding the
+  ground-truth caches and process-pool parallelism — cached-value
+  mutation, ambient RNG on evaluation paths, unpicklable pool payloads,
+  stale digests, set-iteration order, missing copy-on-return, and
+  mutable cache keys.  Exposed behind ``repro-els lint --effects``.
 
 Inline ``# els: noqa`` / ``# els: noqa[ELS101]`` comments suppress
 findings on their line (unused suppressions warn as ``ELS199``).  See
@@ -36,6 +42,12 @@ from .dataflow import (
     Quantity,
     analyze_modules,
     analyze_source,
+)
+from .effects import (
+    EFFECT_CODES,
+    EffectSummary,
+    analyze_modules as analyze_effect_modules,
+    analyze_source as analyze_effect_source,
 )
 from .diagnostics import (
     Diagnostic,
@@ -60,14 +72,18 @@ from .semantic import SEMANTIC_CODES, analyze_query, check_estimator_input
 
 __all__ = [
     "DATAFLOW_CODES",
+    "EFFECT_CODES",
     "SEMANTIC_CODES",
     "AbstractValue",
     "Diagnostic",
+    "EffectSummary",
     "Quantity",
     "Severity",
     "LintRule",
     "ModuleUnderLint",
     "all_rules",
+    "analyze_effect_modules",
+    "analyze_effect_source",
     "analyze_modules",
     "analyze_query",
     "analyze_source",

@@ -72,20 +72,28 @@ def run_lint(
     output_format: str = "text",
     stream: Optional[IO[str]] = None,
     dataflow: bool = False,
+    effects: bool = False,
+    jobs: int = 1,
 ) -> int:
     """Run the layer-1 rules over files/directories; print and exit-code.
 
     ``dataflow=True`` additionally runs the interprocedural ELS3xx
-    quantity pass over the whole file set.
+    quantity pass over the whole file set; ``effects=True`` the ELS4xx
+    effect-and-determinism pass.  ``jobs > 1`` fans per-file work out
+    over a process pool (output is deterministic either way).
 
     Raises:
         LintError: for unusable paths or filter lists (usage errors).
     """
+    if jobs < 1:
+        raise LintError(f"--jobs must be >= 1, got {jobs}")
     diagnostics = lint_paths(
         paths,
         select=_split_codes(select),
         ignore=_split_codes(ignore),
         dataflow=dataflow,
+        effects=effects,
+        jobs=jobs,
     )
     return render_diagnostics(diagnostics, output_format, stream or sys.stdout)
 
@@ -158,10 +166,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         dest="dataflow",
         help="disable the ELS3xx pass (the default)",
     )
+    parser.add_argument(
+        "--effects",
+        action="store_true",
+        default=False,
+        help="also run the interprocedural ELS4xx effect/determinism pass",
+    )
+    parser.add_argument(
+        "--no-effects",
+        action="store_false",
+        dest="effects",
+        help="disable the ELS4xx pass (the default)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files with N parallel worker processes (default 1)",
+    )
     args = parser.parse_args(argv)
     try:
         return run_lint(
-            args.paths, args.select, args.ignore, args.format, dataflow=args.dataflow
+            args.paths,
+            args.select,
+            args.ignore,
+            args.format,
+            dataflow=args.dataflow,
+            effects=args.effects,
+            jobs=args.jobs,
         )
     except LintError as exc:
         print(f"usage error: {exc}", file=sys.stderr)

@@ -12,6 +12,7 @@ guide.
 from .analysis import DATAFLOW_CODES, analyze_modules, analyze_source
 from .annotations import (
     Directive,
+    EFFECT_ALIASES,
     MalformedDirective,
     QUANTITY_ALIASES,
     parse_directives,
@@ -37,6 +38,7 @@ __all__ = [
     "analyze_modules",
     "analyze_source",
     "Directive",
+    "EFFECT_ALIASES",
     "MalformedDirective",
     "QUANTITY_ALIASES",
     "parse_directives",

@@ -751,6 +751,9 @@ def analyze_modules(modules: Iterable[object], max_passes: int = 8) -> List[Diag
             continue
         directives, malformed = parse_directives(module.source)
         for bad in malformed:
+            if bad.family == "effect":
+                # The effects layer owns the 'effect=' family (ELS400).
+                continue
             diagnostics.append(
                 Diagnostic(
                     code="ELS300",

@@ -22,11 +22,14 @@ Two cooperating conventions feed the dataflow analysis:
   quantity; on any other line it declares the quantity of the assigned
   name(s).  ``noqa`` suppresses all (or the listed) diagnostics on its
   line; a suppression that matches nothing is itself reported (ELS199).
+  ``effect=...`` on a ``def`` line overrides the effect summary inferred
+  by :mod:`repro.lint.effects` (``pure``, ``mutates``, ``nondet``).
 
 Directives are extracted with :mod:`tokenize`, so the marker inside a
 string literal is never mistaken for a directive.  A comment that starts
-with the ``els:`` marker but does not parse yields an ELS300 diagnostic —
-a silently ignored annotation would be worse than none.
+with the ``els:`` marker but does not parse yields an ELS300 diagnostic
+(or ELS400 for the ``effect=`` family) — a silently ignored annotation
+would be worse than none.
 """
 
 from __future__ import annotations
@@ -44,6 +47,7 @@ __all__ = [
     "MalformedDirective",
     "parse_directives",
     "quantity_from_name",
+    "EFFECT_ALIASES",
     "QUANTITY_ALIASES",
 ]
 
@@ -60,11 +64,21 @@ QUANTITY_ALIASES: Dict[str, Quantity] = {
     "top": Quantity.TOP,
 }
 
+#: Accepted spellings on the right of ``effect=`` -> canonical effect name.
+EFFECT_ALIASES: Dict[str, str] = {
+    "pure": "pure",
+    "mutates": "mutates",
+    "mutating": "mutates",
+    "nondet": "nondet",
+    "nondeterministic": "nondet",
+}
+
 #: Anchored at the start of the comment so prose that merely *mentions*
 #: the marker (docs, examples) is never parsed as a directive.
 _DIRECTIVE_RE = re.compile(r"^#\s*els:\s*(?P<body>.*)$")
 _NOQA_RE = re.compile(r"^noqa(?:\[(?P<codes>[^\]]*)\])?$")
 _QUANTITY_RE = re.compile(r"^quantity\s*=\s*(?P<name>[A-Za-z_]+)$")
+_EFFECT_RE = re.compile(r"^effect\s*=\s*(?P<name>[A-Za-z_]+)$")
 _CODE_RE = re.compile(r"^ELS\d{3}$")
 
 
@@ -74,25 +88,34 @@ class Directive:
 
     Attributes:
         line: 1-based source line the comment sits on.
-        kind: ``"noqa"`` or ``"quantity"``.
+        kind: ``"noqa"``, ``"quantity"``, or ``"effect"``.
         codes: For ``noqa``: the exact codes suppressed (``None`` means a
             blanket suppression of every code on the line).
         quantity: For ``quantity``: the declared dimension.
+        effect: For ``effect``: the canonical declared effect
+            (``"pure"``, ``"mutates"``, or ``"nondet"``).
     """
 
     line: int
     kind: str
     codes: Optional[FrozenSet[str]] = None
     quantity: Optional[Quantity] = None
+    effect: Optional[str] = None
 
 
 @dataclass(frozen=True)
 class MalformedDirective:
-    """An ``# els:`` comment that failed to parse (reported as ELS300)."""
+    """An ``# els:`` comment that failed to parse.
+
+    ``family`` routes the report to the owning layer: ``"effect"``
+    directives are reported as ELS400 by :mod:`repro.lint.effects`,
+    everything else as ELS300 by :mod:`repro.lint.dataflow`.
+    """
 
     line: int
     col: int
     reason: str
+    family: str = "general"
 
 
 def parse_directives(
@@ -119,15 +142,19 @@ def parse_directives(
         body = match.group("body").strip()
         line, col = token.start
         parsed = _parse_body(line, body)
-        if isinstance(parsed, str):
-            malformed.append(MalformedDirective(line, col, parsed))
-        else:
+        if isinstance(parsed, Directive):
             directives.append(parsed)
+        else:
+            family, reason = parsed
+            malformed.append(MalformedDirective(line, col, reason, family))
     return directives, malformed
 
 
 def _parse_body(line: int, body: str):
-    """Parse one directive body; returns a Directive or an error string."""
+    """Parse one directive body.
+
+    Returns a :class:`Directive`, or a ``(family, reason)`` error pair.
+    """
     noqa = _NOQA_RE.match(body)
     if noqa is not None:
         raw_codes = noqa.group("codes")
@@ -135,19 +162,39 @@ def _parse_body(line: int, body: str):
             return Directive(line, "noqa")
         codes = [c.strip().upper() for c in raw_codes.split(",") if c.strip()]
         if not codes:
-            return "empty code list in 'noqa[...]'"
+            return ("noqa", "empty code list in 'noqa[...]'")
         bad = [c for c in codes if not _CODE_RE.match(c)]
         if bad:
-            return f"invalid code(s) {', '.join(sorted(bad))} in 'noqa[...]'"
+            return (
+                "noqa",
+                f"invalid code(s) {', '.join(sorted(bad))} in 'noqa[...]'",
+            )
         return Directive(line, "noqa", codes=frozenset(codes))
     quantity = _QUANTITY_RE.match(body)
     if quantity is not None:
         name = quantity.group("name").lower()
         if name not in QUANTITY_ALIASES:
             known = ", ".join(sorted(QUANTITY_ALIASES))
-            return f"unknown quantity {name!r} (expected one of: {known})"
+            return (
+                "quantity",
+                f"unknown quantity {name!r} (expected one of: {known})",
+            )
         return Directive(line, "quantity", quantity=QUANTITY_ALIASES[name])
-    return f"unrecognized directive {body!r} (expected 'noqa', 'noqa[...]', or 'quantity=...')"
+    effect = _EFFECT_RE.match(body)
+    if effect is not None:
+        name = effect.group("name").lower()
+        if name not in EFFECT_ALIASES:
+            known = ", ".join(sorted(set(EFFECT_ALIASES)))
+            return (
+                "effect",
+                f"unknown effect {name!r} (expected one of: {known})",
+            )
+        return Directive(line, "effect", effect=EFFECT_ALIASES[name])
+    return (
+        "general",
+        f"unrecognized directive {body!r} (expected 'noqa', 'noqa[...]', "
+        "'quantity=...', or 'effect=...')",
+    )
 
 
 # ---------------------------------------------------------------------------

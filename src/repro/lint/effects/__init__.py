@@ -1,0 +1,54 @@
+"""Layer 4: the ELS4xx effect-and-determinism analysis.
+
+Where the ELS3xx layer tracks what *dimension* a value carries, this
+layer tracks what a function *does*: which parameters it mutates in
+place, whether it reads ambient randomness, and whether shared mutable
+state leaks across the cache and process-pool boundaries PR 4
+introduced.  Per-function facts come from an alias-aware body scan
+(:mod:`repro.lint.effects.summary`); :class:`EffectSummary` values are
+then iterated bottom-up over the resolved call graph, and the rule pass
+(:mod:`repro.lint.effects.analysis`) reports ELS400–ELS407.
+
+Declared overrides ride the existing directive machinery::
+
+    def regenerate(self):  # els: effect=pure
+        ...
+
+``effect=pure`` pins the summary to the empty effect, ``effect=mutates``
+marks every parameter mutated, ``effect=nondet`` marks the function
+nondeterministic.  A malformed or misplaced ``effect=`` directive is
+itself reported (ELS400), and ``# els: noqa[...]`` suppressions apply to
+ELS4xx findings exactly as to every other layer.
+"""
+
+from __future__ import annotations
+
+from .analysis import EFFECT_CODES, analyze_modules, analyze_source
+from .summary import (
+    EffectSummary,
+    FunctionScan,
+    MUTATOR_METHODS,
+    MutationSite,
+    NondetSite,
+    PoolShipment,
+    ReturnSite,
+    collect_effect_summaries,
+    is_cache_attr,
+    provably_mutable,
+)
+
+__all__ = [
+    "EFFECT_CODES",
+    "EffectSummary",
+    "FunctionScan",
+    "MUTATOR_METHODS",
+    "MutationSite",
+    "NondetSite",
+    "PoolShipment",
+    "ReturnSite",
+    "analyze_modules",
+    "analyze_source",
+    "collect_effect_summaries",
+    "is_cache_attr",
+    "provably_mutable",
+]

@@ -148,12 +148,14 @@ def all_rules() -> Tuple[LintRule, ...]:
 def known_codes() -> Tuple[str, ...]:
     """Every diagnostic code any layer can emit (drives CLI validation)."""
     from .dataflow import DATAFLOW_CODES
+    from .effects import EFFECT_CODES
     from .semantic import SEMANTIC_CODES
 
     codes = {SYNTAX_ERROR_CODE, UNUSED_SUPPRESSION_CODE}
     codes.update(rule.code for rule in all_rules())
     codes.update(SEMANTIC_CODES)
     codes.update(DATAFLOW_CODES)
+    codes.update(EFFECT_CODES)
     return tuple(sorted(codes))
 
 
@@ -244,10 +246,12 @@ def lint_source(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
     dataflow: bool = False,
+    effects: bool = False,
 ) -> List[Diagnostic]:
     """Lint one source string and return its (filtered, sorted) findings.
 
-    With ``dataflow=True`` the ELS3xx quantity-dimension pass also runs
+    With ``dataflow=True`` the ELS3xx quantity-dimension pass also runs;
+    with ``effects=True`` the ELS4xx effect-and-determinism pass runs
     (function summaries stay within this one module).
     """
     try:
@@ -260,6 +264,10 @@ def lint_source(
         from .dataflow import analyze_modules
 
         findings.extend(analyze_modules([module]))
+    if effects:
+        from .effects import analyze_modules as analyze_effect_modules
+
+        findings.extend(analyze_effect_modules([module]))
     findings = _apply_suppressions(_dedupe(findings), [module])
     return filter_diagnostics(findings, select, ignore)
 
@@ -283,39 +291,96 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
             raise LintError(f"no such file or directory: {path}")
 
 
+@dataclass(frozen=True)
+class _SourceRecord:
+    """Path + source of a linted file (what suppressions need)."""
+
+    path: str
+    source: str
+
+
+def _lint_worker(path_str: str) -> Tuple[str, str, List[Diagnostic], bool]:
+    """Read, parse, and rule-check one file (picklable for ``--jobs``).
+
+    Returns ``(path, source, findings, parsed_ok)``.  Diagnostics are
+    frozen dataclasses, so the result round-trips through a process pool.
+    """
+    try:
+        source = Path(path_str).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path_str}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as exc:
+        return (path_str, source, [_parse_failure(path_str, exc)], False)
+    module = ModuleUnderLint(path=path_str, source=source, tree=tree)
+    return (path_str, source, _rule_findings(module), True)
+
+
+def _pool_context():
+    """A fork-preferred multiprocessing context (same policy as the
+    evaluation harness): fork inherits the populated rule registry."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return multiprocessing.get_context()
+
+
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
     dataflow: bool = False,
+    effects: bool = False,
+    jobs: int = 1,
 ) -> List[Diagnostic]:
     """Lint files and directory trees; returns all findings, sorted.
 
     With ``dataflow=True`` the ELS3xx pass runs over the *whole* file set
-    at once, so function summaries propagate across modules.
+    at once, so function summaries propagate across modules; the same
+    holds for the ELS4xx effect pass under ``effects=True``.  With
+    ``jobs > 1`` per-file reading/parsing/rule-checking fans out over a
+    process pool — the file list is sorted and ``pool.map`` preserves
+    order, so output is byte-identical to a serial run.
 
     Raises:
         LintError: for unusable paths (see :func:`iter_python_files`) or
             unreadable files.
     """
+    if jobs < 1:
+        raise LintError(f"jobs must be >= 1, got {jobs}")
+    file_paths = [str(p) for p in iter_python_files(paths)]
     findings: List[Diagnostic] = []
-    modules: List[ModuleUnderLint] = []
-    for file_path in iter_python_files(paths):
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise LintError(f"cannot read {file_path}: {exc}") from exc
-        try:
-            tree = ast.parse(source, filename=str(file_path))
-        except SyntaxError as exc:
-            findings.append(_parse_failure(str(file_path), exc))
-            continue
-        module = ModuleUnderLint(path=str(file_path), source=source, tree=tree)
-        modules.append(module)
-        findings.extend(_rule_findings(module))
-    if dataflow:
-        from .dataflow import analyze_modules
+    records: List[Tuple[str, str, bool]] = []
+    if jobs > 1 and len(file_paths) > 1:
+        context = _pool_context()
+        with context.Pool(processes=min(jobs, len(file_paths))) as pool:
+            results = pool.map(_lint_worker, file_paths)
+    else:
+        results = [_lint_worker(path_str) for path_str in file_paths]
+    for path_str, source, file_findings, parsed_ok in results:
+        findings.extend(file_findings)
+        records.append((path_str, source, parsed_ok))
+    if dataflow or effects:
+        analysis_modules = [
+            ModuleUnderLint(
+                path=path_str,
+                source=source,
+                tree=ast.parse(source, filename=path_str),
+            )
+            for path_str, source, parsed_ok in records
+            if parsed_ok
+        ]
+        if dataflow:
+            from .dataflow import analyze_modules
 
-        findings.extend(analyze_modules(modules))
-    findings = _apply_suppressions(_dedupe(findings), modules)
+            findings.extend(analyze_modules(analysis_modules))
+        if effects:
+            from .effects import analyze_modules as analyze_effect_modules
+
+            findings.extend(analyze_effect_modules(analysis_modules))
+    sources = [_SourceRecord(path_str, source) for path_str, source, _ in records]
+    findings = _apply_suppressions(_dedupe(findings), sources)
     return filter_diagnostics(findings, select, ignore)

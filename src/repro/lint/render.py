@@ -76,12 +76,16 @@ _SARIF_SCHEMA_URI = (
 def _rule_metadata(code: str) -> Dict[str, object]:
     """SARIF ``reportingDescriptor`` for one diagnostic code."""
     from .dataflow import DATAFLOW_CODES
+    from .effects import EFFECT_CODES
     from .engine import SYNTAX_ERROR_CODE, UNUSED_SUPPRESSION_CODE, all_rules
 
     description: Optional[str] = None
     level = "error"
     if code in DATAFLOW_CODES:
         description, severity = DATAFLOW_CODES[code]
+        level = _SARIF_LEVEL[severity]
+    elif code in EFFECT_CODES:
+        description, severity = EFFECT_CODES[code]
         level = _SARIF_LEVEL[severity]
     elif code == SYNTAX_ERROR_CODE:
         description = "file does not parse"

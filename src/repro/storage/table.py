@@ -33,7 +33,7 @@ class Table:
         self._schema = schema
         self._rows: List[Row] = []
         # Caches invalidated by row-count comparison (append-only storage).
-        self._columns_cache: Optional[Tuple[int, Tuple[List[Scalar], ...]]] = None
+        self._columns_cache: Optional[Tuple[int, Tuple[Tuple[Scalar, ...], ...]]] = None
         self._digest_cache: Optional[Tuple[int, str]] = None
 
     @property
@@ -112,21 +112,21 @@ class Table:
         """A copy of all rows (callers may mutate the list freely)."""
         return list(self._rows)
 
-    def columns(self) -> Tuple[List[Scalar], ...]:
-        """All columns as parallel value lists, in schema order.
+    def columns(self) -> Tuple[Tuple[Scalar, ...], ...]:
+        """All columns as parallel value tuples, in schema order.
 
         The transpose is computed once and cached; because storage is
         append-only, the cache is valid exactly while ``row_count`` is
-        unchanged.  Callers (the columnar execution engine) must not
-        mutate the returned lists.
+        unchanged.  The columns are frozen to tuples so the cached
+        transpose cannot be corrupted through the returned reference.
         """
         cached = self._columns_cache
         if cached is not None and cached[0] == len(self._rows):
             return cached[1]
         if self._rows:
-            transposed = tuple(list(col) for col in zip(*self._rows))
+            transposed = tuple(tuple(col) for col in zip(*self._rows))
         else:
-            transposed = tuple([] for _ in self._schema.column_names)
+            transposed = tuple(() for _ in self._schema.column_names)
         self._columns_cache = (len(self._rows), transposed)
         return transposed
 

@@ -342,6 +342,53 @@ class TestLint:
         )
         assert main(["lint", str(path), "--dataflow", "--no-dataflow"]) == 0
 
+    def test_effects_flag_enables_els4xx(self, tmp_path, capsys):
+        path = tmp_path / "effects.py"
+        path.write_text(
+            "import random\n"
+            "\n"
+            "\n"
+            "def evaluate_workloads(workloads):\n"
+            "    return [random.random() for _ in workloads]\n"
+        )
+        assert main(["lint", str(path)]) == 0
+        code = main(["lint", str(path), "--effects"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ELS402" in out
+
+    def test_no_effects_flag_wins_over_effects(self, tmp_path, capsys):
+        path = tmp_path / "effects.py"
+        path.write_text(
+            "import random\n"
+            "\n"
+            "\n"
+            "def evaluate_workloads(workloads):\n"
+            "    return [random.random() for _ in workloads]\n"
+        )
+        assert main(["lint", str(path), "--effects", "--no-effects"]) == 0
+
+    def test_jobs_flag_output_matches_serial(self, tmp_path, capsys):
+        for name, body in [
+            ("dirty_a.py", "def f(xs=[]):\n    return xs\n"),
+            ("dirty_b.py", "def g(ys=[]):\n    return ys\n"),
+            ("clean_c.py", "X = 1\n"),
+        ]:
+            (tmp_path / name).write_text(body)
+        serial_code = main(["lint", str(tmp_path)])
+        serial_out = capsys.readouterr().out
+        parallel_code = main(["lint", str(tmp_path), "--jobs", "4"])
+        parallel_out = capsys.readouterr().out
+        assert serial_code == parallel_code == 1
+        assert serial_out == parallel_out
+
+    def test_jobs_zero_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("X = 1\n")
+        code = main(["lint", str(path), "--jobs", "0"])
+        assert code == 2
+        assert "usage error" in capsys.readouterr().err
+
     def test_sarif_format_is_parseable(self, tmp_path, capsys):
         path = tmp_path / "dirty.py"
         path.write_text("def f(xs=[]):\n    return xs\n\nif __name__ == '__main__':\n    f()\n")

@@ -1,0 +1,104 @@
+"""Error paths of ``repro-els bench`` and the documented exit contract.
+
+The CLI promises three exit codes: ``0`` clean, ``1`` runtime failure
+(:class:`~repro.errors.ReproError`, including a failed ``--min-speedup``
+gate), ``2`` usage error.  These tests pin the bench-specific failure
+modes: the engine-disagreement guard, the speedup gate, and invalid
+repeat counts.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.bench import run_execution_bench
+from repro.cli import main
+from repro.errors import BenchmarkError
+
+
+def _bench_args(tmp_path, *extra):
+    return [
+        "bench",
+        "--scale",
+        "0.02",
+        "--repeats",
+        "1",
+        "--no-sweep",
+        "--output",
+        str(tmp_path / "bench.json"),
+        *extra,
+    ]
+
+
+class _DisagreeingExecutor:
+    """Stands in for the real Executor: the engines disagree by one row."""
+
+    def __init__(self, database, engine="row"):
+        self._engine = engine
+
+    def count(self, plan):
+        return SimpleNamespace(count=0 if self._engine == "row" else 1)
+
+
+class TestEngineDisagreementGuard:
+    def test_guard_trips_and_exits_one(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr("repro.analysis.bench.Executor", _DisagreeingExecutor)
+        code = main(_bench_args(tmp_path))
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "engine disagreement" in captured.err
+        # The guard fires before any report is assembled.
+        assert not (tmp_path / "bench.json").exists()
+
+    def test_guard_names_the_prefix_and_counts(self, monkeypatch):
+        monkeypatch.setattr("repro.analysis.bench.Executor", _DisagreeingExecutor)
+        with pytest.raises(BenchmarkError) as excinfo:
+            run_execution_bench(scale=0.02, repeats=1, sweep=False)
+        message = str(excinfo.value)
+        assert "row=0" in message and "columnar=1" in message
+
+
+class TestMinSpeedupGate:
+    def test_unreachable_floor_exits_one_but_writes_report(
+        self, tmp_path, capsys
+    ):
+        code = main(_bench_args(tmp_path, "--min-speedup", "1e9"))
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in captured.err
+        report = json.loads((tmp_path / "bench.json").read_text())
+        assert report["overall"]["speedup"] > 0
+
+    def test_trivial_floor_exits_zero(self, tmp_path, capsys):
+        code = main(_bench_args(tmp_path, "--min-speedup", "0.0"))
+        capsys.readouterr()
+        assert code == 0
+
+
+class TestExitContract:
+    def test_invalid_repeats_is_runtime_error_one(self, tmp_path, capsys):
+        code = main(_bench_args(tmp_path, "--repeats", "0"))
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error" in captured.err
+
+    def test_invalid_repeats_raises_benchmark_error(self):
+        with pytest.raises(BenchmarkError):
+            run_execution_bench(repeats=0)
+
+    def test_usage_error_is_exit_two(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(_bench_args(tmp_path, "--repeats"))  # missing value
+        assert excinfo.value.code == 2
+
+    def test_lint_usage_error_is_exit_two(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path / "does-not-exist.py")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "usage error" in captured.err
+
+    def test_clean_bench_exits_zero(self, tmp_path, capsys):
+        code = main(_bench_args(tmp_path))
+        capsys.readouterr()
+        assert code == 0

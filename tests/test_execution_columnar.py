@@ -37,7 +37,7 @@ class TestColumnBlocks:
         block = MaterializedBlock(layout("R", "x", "y"), [[1, 2, 3], [4, 5, 6]])
         assert block.num_rows == 3
         assert block.column(0) == [1, 2, 3]
-        assert block.tuples() == [(1, 4), (2, 5), (3, 6)]
+        assert block.tuples() == ((1, 4), (2, 5), (3, 6))
 
     def test_materialized_block_arity_checked(self):
         with pytest.raises(ExecutionError):
@@ -47,13 +47,13 @@ class TestColumnBlocks:
         base = MaterializedBlock(layout("R", "x", "y"), [[1, 2, 3], [4, 5, 6]])
         view = GatherBlock(base, [2, 0])
         assert view.num_rows == 2
-        assert view.tuples() == [(3, 6), (1, 4)]
+        assert view.tuples() == ((3, 6), (1, 4))
 
     def test_gather_of_gather_composes(self):
         base = MaterializedBlock(layout("R", "x"), [[10, 20, 30, 40]])
         inner = GatherBlock(base, [3, 2, 1])
         outer = GatherBlock(inner, [0, 2])
-        assert outer.tuples() == [(40,), (20,)]
+        assert outer.tuples() == ((40,), (20,))
 
     def test_columns_cached_by_identity(self):
         base = MaterializedBlock(layout("R", "x"), [[1, 2, 3]])
@@ -63,6 +63,14 @@ class TestColumnBlocks:
     def test_tuples_cached(self):
         block = MaterializedBlock(layout("R", "x"), [[1, 2]])
         assert block.tuples() is block.tuples()
+
+    def test_tuples_frozen(self):
+        """The cached materialization is a tuple, so no caller can corrupt
+        the copy shared with every later ``tuples()`` call."""
+        block = MaterializedBlock(layout("R", "x"), [[1, 2]])
+        rows = block.tuples()
+        assert isinstance(rows, tuple)
+        assert list(block.tuples()) == [(1,), (2,)]
 
 
 class TestVectorPredicates:
@@ -115,7 +123,7 @@ class TestColumnarScanAndFilter:
         col_op = ColumnarFilterOp(
             scan("R", ["x"], [list(range(10))], col_metrics), predicates, col_metrics
         )
-        assert row_op.rows() == col_op.rows()
+        assert list(row_op.rows()) == list(col_op.rows())
         row_stats = [(s.rows_in, s.rows_out, s.comparisons) for s in row_metrics.operators]
         col_stats = [(s.rows_in, s.rows_out, s.comparisons) for s in col_metrics.operators]
         assert row_stats == col_stats
@@ -123,7 +131,7 @@ class TestColumnarScanAndFilter:
     def test_filter_without_predicates_is_identity(self):
         metrics = ExecutionMetrics()
         op = ColumnarFilterOp(scan("R", ["x"], [[1, 2]], metrics), [], metrics)
-        assert op.rows() == [(1,), (2,)]
+        assert list(op.rows()) == [(1,), (2,)]
         assert op.stats.comparisons == 2  # rows * max(1, 0 predicates)
 
     def test_project_reorders_columns(self):
@@ -133,7 +141,7 @@ class TestColumnarScanAndFilter:
             [ColumnRef("R", "y"), ColumnRef("R", "x")],
             metrics,
         )
-        assert op.rows() == [(3, 1), (4, 2)]
+        assert list(op.rows()) == [(3, 1), (4, 2)]
         assert op.layout.columns == (ColumnRef("R", "y"), ColumnRef("R", "x"))
 
 
@@ -225,7 +233,7 @@ class TestBridges:
         metrics = ExecutionMetrics()
         columnar = scan("R", ["x"], [[1, 2]], metrics)
         bridge = RowBridgeOp(columnar)
-        assert bridge.rows() == [(1,), (2,)]
+        assert list(bridge.rows()) == [(1,), (2,)]
         assert [s.label for s in metrics.operators] == ["scan(R)"]
 
     def test_block_bridge_transposes_rows(self):
@@ -240,7 +248,7 @@ class TestBridges:
         row_op = TableScanOp("R", ["x"], [], metrics)
         bridge = BlockBridgeOp(row_op)
         assert bridge.block().num_rows == 0
-        assert bridge.rows() == []
+        assert list(bridge.rows()) == []
 
 
 class TestExecutorEngineSelection:

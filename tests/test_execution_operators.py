@@ -31,7 +31,7 @@ class TestTableScan:
     def test_emits_all_rows(self):
         metrics = ExecutionMetrics()
         op = scan("R", ["x"], [(1,), (2,)], metrics)
-        assert op.rows() == [(1,), (2,)]
+        assert list(op.rows()) == [(1,), (2,)]
         assert op.stats.rows_out == 2
 
     def test_layout_qualified_by_relation(self):
@@ -59,8 +59,19 @@ class TestTableScan:
     def test_generator_source_survives_rereads(self):
         metrics = ExecutionMetrics()
         op = scan("R", ["x"], ((i,) for i in range(3)), metrics)
-        assert op.rows() == [(0,), (1,), (2,)]
-        assert op.rows() == [(0,), (1,), (2,)]
+        assert list(op.rows()) == [(0,), (1,), (2,)]
+        assert list(op.rows()) == [(0,), (1,), (2,)]
+
+    def test_materialization_is_frozen(self):
+        """The shared materialization must be immutable: a downstream
+        consumer mutating it would corrupt every later re-read."""
+        metrics = ExecutionMetrics()
+        op = scan("R", ["x"], [(1,), (2,)], metrics)
+        rows = op.rows()
+        assert isinstance(rows, tuple)
+        with pytest.raises((TypeError, AttributeError)):
+            rows.append((3,))  # type: ignore[union-attr]
+        assert list(op.rows()) == [(1,), (2,)]
 
 
 class TestFilter:

@@ -33,6 +33,16 @@ class TestEvaluateWorkloads:
         parallel = evaluate_workloads(workloads, seed=10, workers=3)
         assert _flatten(serial) == _flatten(parallel)
 
+    def test_four_workers_byte_identical_to_serial(self):
+        # Stronger than field-wise equality: the full repr of every record
+        # (all fields, formatting included) must match byte for byte, so a
+        # worker-local RNG or float nondeterminism cannot hide anywhere.
+        workloads = _workloads()
+        serial = evaluate_workloads(workloads, seed=42, workers=1)
+        parallel = evaluate_workloads(workloads, seed=42, workers=4)
+        assert repr(serial) == repr(parallel)
+        assert repr(serial).encode("utf-8") == repr(parallel).encode("utf-8")
+
     def test_more_workers_than_workloads(self):
         workloads = _workloads()[:2]
         results = evaluate_workloads(workloads, seed=0, workers=16)

@@ -1,0 +1,709 @@
+"""Tests for the ELS4xx effect-and-determinism layer.
+
+Covers the ``effect=`` directive parsing (ELS400 positive/negative),
+every diagnostic code ELS401-ELS407 with positive *and* negative
+snippets, bottom-up effect-summary propagation, the suppression
+interplay with ``# els: noqa``, and the engine integration
+(``effects=`` flag of ``lint_source``/``lint_paths``, ``jobs=``
+determinism).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint.dataflow.annotations import parse_directives
+from repro.lint.effects import (
+    EFFECT_CODES,
+    analyze_source,
+    is_cache_attr,
+    provably_mutable,
+)
+from repro.lint.engine import lint_paths, lint_source
+
+
+def codes(source):
+    return [d.code for d in analyze_source(textwrap.dedent(source))]
+
+
+def findings(source):
+    return analyze_source(textwrap.dedent(source))
+
+
+class TestEffectDirectiveParsing:
+    def test_valid_effect_directive(self):
+        directives, malformed = parse_directives(
+            "def f():  # els: effect=pure\n    pass\n"
+        )
+        assert malformed == []
+        assert directives[0].kind == "effect"
+        assert directives[0].effect == "pure"
+
+    def test_aliases_canonicalized(self):
+        directives, _ = parse_directives("def f():  # els: effect=mutating\n    pass\n")
+        assert directives[0].effect == "mutates"
+        directives, _ = parse_directives(
+            "def f():  # els: effect=nondeterministic\n    pass\n"
+        )
+        assert directives[0].effect == "nondet"
+
+    def test_unknown_effect_is_malformed_with_effect_family(self):
+        _, malformed = parse_directives("def f():  # els: effect=bogus\n    pass\n")
+        assert len(malformed) == 1
+        assert malformed[0].family == "effect"
+
+    def test_unknown_family_stays_general(self):
+        _, malformed = parse_directives("x = 1  # els: wibble=3\n")
+        assert malformed[0].family == "general"
+        assert "effect=..." in malformed[0].reason
+
+
+class TestELS400:
+    def test_malformed_effect_directive_fires(self):
+        assert "ELS400" in codes(
+            """
+            def f():  # els: effect=sometimes
+                pass
+            """
+        )
+
+    def test_misplaced_effect_directive_fires(self):
+        assert "ELS400" in codes(
+            """
+            def f():
+                x = 1  # els: effect=pure
+                return x
+            """
+        )
+
+    def test_effect_on_def_line_is_clean(self):
+        assert codes(
+            """
+            def f():  # els: effect=pure
+                return 1
+            """
+        ) == []
+
+    def test_malformed_quantity_not_reported_here(self):
+        # The quantity family belongs to ELS300 (dataflow layer).
+        assert codes(
+            """
+            def f():  # els: quantity=bogus
+                return 1
+            """
+        ) == []
+
+
+CACHE_CLASS = """
+class Cache:
+    def __init__(self):
+        self._cache = {}
+
+    def put(self, key, value):
+        self._cache[key] = value
+
+    def get(self, key):
+        return self._cache.get(key)
+"""
+
+
+class TestELS401:
+    def test_mutating_cached_value_fires(self):
+        assert "ELS401" in codes(
+            """
+            class Cache:
+                def __init__(self):
+                    self._cache = {}
+                def corrupt(self, key):
+                    value = self._cache[key]
+                    value.append(1)
+            """
+        )
+
+    def test_mutating_via_get_alias_fires(self):
+        assert "ELS401" in codes(
+            """
+            class Cache:
+                def __init__(self):
+                    self._cache = {}
+                def corrupt(self, key):
+                    self._cache.get(key).update({"a": 1})
+            """
+        )
+
+    def test_cache_management_at_depth_zero_is_clean(self):
+        # Filling, evicting, and clearing the container itself is what a
+        # cache does; only *interior* mutation is corruption.
+        assert codes(
+            """
+            class Cache:
+                def __init__(self):
+                    self._cache = {}
+                def put(self, key, value):
+                    self._cache[key] = value
+                def evict(self, key):
+                    self._cache.pop(key, None)
+                def reset(self):
+                    self._cache.clear()
+            """
+        ) == []
+
+    def test_interprocedural_mutation_of_cached_value_fires(self):
+        assert "ELS401" in codes(
+            """
+            def grow(items):
+                items.append(1)
+
+            class Cache:
+                def __init__(self):
+                    self._cache = {}
+                def corrupt(self, key):
+                    value = self._cache[key]
+                    grow(value)
+            """
+        )
+
+    def test_fresh_copy_breaks_the_alias_chain(self):
+        assert codes(
+            """
+            class Cache:
+                def __init__(self):
+                    self._cache = {}
+                def safe(self, key):
+                    value = list(self._cache[key])
+                    value.append(1)
+                    return value
+            """
+        ) == []
+
+    def test_non_cache_attribute_is_clean(self):
+        assert codes(
+            """
+            class Rows:
+                def __init__(self):
+                    self._rows = []
+                def add(self, row):
+                    self._rows.append(row)
+            """
+        ) == []
+
+
+class TestELS402:
+    def test_ambient_rng_in_entry_fires(self):
+        assert "ELS402" in codes(
+            """
+            import random
+
+            def evaluate_workloads(specs):
+                return [random.random() for _ in specs]
+            """
+        )
+
+    def test_ambient_rng_reachable_from_entry_fires(self):
+        result = findings(
+            """
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 1.0)
+
+            def run_bench(n):
+                return [jitter() for _ in range(n)]
+            """
+        )
+        assert [d.code for d in result] == ["ELS402"]
+        assert "reachable from 'run_bench'" in result[0].message
+
+    def test_unseeded_random_constructor_fires(self):
+        assert "ELS402" in codes(
+            """
+            from random import Random
+
+            def evaluate_workloads():
+                return Random().random()
+            """
+        )
+
+    def test_seeded_random_is_clean(self):
+        assert codes(
+            """
+            from random import Random
+
+            def evaluate_workloads(seed):
+                rng = Random(seed)
+                return rng.random()
+            """
+        ) == []
+
+    def test_rng_not_reachable_from_entry_is_clean(self):
+        assert codes(
+            """
+            import random
+
+            def scratch_helper():
+                return random.random()
+            """
+        ) == []
+
+    def test_declared_pure_entry_is_trusted(self):
+        assert codes(
+            """
+            import random
+
+            def evaluate_workloads():  # els: effect=pure
+                return random.random()
+            """
+        ) == []
+
+
+class TestELS403:
+    def test_lambda_shipped_to_pool_fires(self):
+        assert "ELS403" in codes(
+            """
+            import multiprocessing
+
+            def run(items):
+                with multiprocessing.Pool(4) as pool:
+                    return pool.map(lambda x: x + 1, items)
+            """
+        )
+
+    def test_nested_function_shipped_fires(self):
+        assert "ELS403" in codes(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(items):
+                def work(x):
+                    return x + 1
+                pool = ProcessPoolExecutor()
+                return pool.submit(work, items)
+            """
+        )
+
+    def test_module_global_mutable_arg_fires(self):
+        assert "ELS403" in codes(
+            """
+            import multiprocessing
+
+            SHARED = {}
+
+            def work(x):
+                return x
+
+            def run():
+                with multiprocessing.Pool() as pool:
+                    return pool.map(work, SHARED)
+            """
+        )
+
+    def test_module_level_function_and_local_payload_is_clean(self):
+        assert codes(
+            """
+            import multiprocessing
+
+            def work(x):
+                return x + 1
+
+            def run(items):
+                payloads = [(i, x) for i, x in enumerate(items)]
+                with multiprocessing.Pool(2) as pool:
+                    return pool.map(work, payloads)
+            """
+        ) == []
+
+    def test_thread_pool_not_flagged(self):
+        # Threads share memory; pickling hazards do not apply.
+        assert codes(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run(items):
+                pool = ThreadPoolExecutor()
+                return pool.map(lambda x: x + 1, items)
+            """
+        ) == []
+
+
+DIGEST_CLASS_HEADER = """
+class Table:
+    def __init__(self):
+        self._rows = []
+        self._digest_cache = None
+
+    def content_digest(self):
+        if self._digest_cache is None:
+            self._digest_cache = str(self._rows)
+        return self._digest_cache
+"""
+
+
+class TestELS404:
+    def test_length_preserving_mutation_fires(self):
+        assert "ELS404" in codes(
+            DIGEST_CLASS_HEADER
+            + """
+    def sort_rows(self):
+        self._rows.sort()
+            """
+        )
+
+    def test_subscript_store_fires(self):
+        assert "ELS404" in codes(
+            DIGEST_CLASS_HEADER
+            + """
+    def patch(self, index, row):
+        self._rows[index] = row
+            """
+        )
+
+    def test_rebind_outside_init_fires(self):
+        assert "ELS404" in codes(
+            DIGEST_CLASS_HEADER
+            + """
+    def replace(self, rows):
+        self._rows = rows
+            """
+        )
+
+    def test_append_and_extend_are_clean(self):
+        # Length-changing growth is observed by the row-count check the
+        # digest cache keys on (append-only storage).
+        assert codes(
+            DIGEST_CLASS_HEADER
+            + """
+    def append(self, row):
+        self._rows.append(row)
+
+    def extend(self, rows):
+        self._rows.extend(rows)
+            """
+        ) == []
+
+    def test_uncached_digest_is_clean(self):
+        # Without memoization there is nothing to go stale.
+        assert codes(
+            """
+            class Database:
+                def __init__(self):
+                    self._tables = {}
+                def fingerprint(self):
+                    return str(sorted(self._tables))
+                def create_table(self, name, table):
+                    self._tables[name] = table
+            """
+        ) == []
+
+
+class TestELS405:
+    def test_list_of_set_fires(self):
+        assert "ELS405" in codes(
+            """
+            def order(names):
+                unique = set(names)
+                return list(unique)
+            """
+        )
+
+    def test_listcomp_over_set_literal_fires(self):
+        assert "ELS405" in codes(
+            """
+            def order():
+                return [n for n in {"b", "a"}]
+            """
+        )
+
+    def test_join_of_set_fires(self):
+        assert "ELS405" in codes(
+            """
+            def label(parts):
+                return ",".join(set(parts))
+            """
+        )
+
+    def test_loop_appending_from_set_fires(self):
+        assert "ELS405" in codes(
+            """
+            def collect(names):
+                out = []
+                for name in set(names):
+                    out.append(name)
+                return out
+            """
+        )
+
+    def test_sorted_set_is_clean(self):
+        assert codes(
+            """
+            def order(names):
+                return sorted(set(names))
+            """
+        ) == []
+
+    def test_aggregating_loop_is_clean(self):
+        # Order-independent consumption (sum/max/membership) is fine.
+        assert codes(
+            """
+            def total(values):
+                acc = 0
+                for value in set(values):
+                    acc += value
+                return acc
+            """
+        ) == []
+
+
+class TestELS406:
+    def test_cached_mutable_list_returned_fires(self):
+        assert "ELS406" in codes(
+            """
+            class Table:
+                def __init__(self):
+                    self._columns_cache = None
+                def columns(self):
+                    if self._columns_cache is None:
+                        self._columns_cache = [[1, 2], [3, 4]]
+                    return self._columns_cache
+            """
+        )
+
+    def test_cached_value_alias_returned_fires(self):
+        assert "ELS406" in codes(
+            """
+            class Blocks:
+                def __init__(self):
+                    self._block_cache = {}
+                def block(self, key):
+                    self._block_cache[key] = list(range(3))
+                    return self._block_cache[key]
+            """
+        )
+
+    def test_frozen_tuple_cache_is_clean(self):
+        assert codes(
+            """
+            class Table:
+                def __init__(self):
+                    self._columns_cache = None
+                def columns(self):
+                    if self._columns_cache is None:
+                        self._columns_cache = tuple(
+                            tuple(col) for col in zip((1, 2), (3, 4))
+                        )
+                    return self._columns_cache
+            """
+        ) == []
+
+    def test_immutable_cached_values_are_clean(self):
+        assert codes(
+            """
+            class Counts:
+                def __init__(self):
+                    self._entries = {}
+                def put(self, key, count):
+                    self._entries[key] = int(count)
+                def get(self, key):
+                    return self._entries.get(key)
+            """
+        ) == []
+
+    def test_init_only_stores_are_trusted(self):
+        assert codes(
+            """
+            class Block:
+                def __init__(self, columns):
+                    self._column_cache = {}
+                    for index, values in enumerate(columns):
+                        self._column_cache[index] = values
+                def column(self, index):
+                    return self._column_cache[index]
+            """
+        ) == []
+
+
+class TestELS407:
+    def test_hash_on_mutable_class_warns(self):
+        result = findings(
+            """
+            class Key:
+                def __init__(self, value):
+                    self.value = value
+                def __hash__(self):
+                    return hash(self.value)
+                def __eq__(self, other):
+                    return self.value == other.value
+                def bump(self):
+                    self.value += 1
+            """
+        )
+        assert [d.code for d in result] == ["ELS407", "ELS407"]
+        assert all(d.severity.value == "warning" for d in result)
+
+    def test_immutable_class_with_eq_is_clean(self):
+        assert codes(
+            """
+            class Key:
+                def __init__(self, value):
+                    self.value = value
+                def __hash__(self):
+                    return hash(self.value)
+                def __eq__(self, other):
+                    return self.value == other.value
+            """
+        ) == []
+
+    def test_unhashable_marker_is_clean(self):
+        assert codes(
+            """
+            class Record:
+                __hash__ = None
+                def __init__(self):
+                    self.items = []
+                def __eq__(self, other):
+                    return self.items == other.items
+                def add(self, item):
+                    self.items.append(item)
+            """
+        ) == []
+
+
+class TestSummaryPropagation:
+    def test_mutation_propagates_through_two_call_levels(self):
+        assert "ELS401" in codes(
+            """
+            def deep(acc):
+                acc.append(1)
+
+            def middle(rows):
+                deep(rows)
+
+            class Cache:
+                def __init__(self):
+                    self._cache = {}
+                def corrupt(self, key):
+                    value = self._cache[key]
+                    middle(value)
+            """
+        )
+
+    def test_declared_pure_stops_propagation(self):
+        assert codes(
+            """
+            def regenerate(acc):  # els: effect=pure
+                acc.append(1)
+
+            class Cache:
+                def __init__(self):
+                    self._cache = {}
+                def safe(self, key):
+                    regenerate(self._cache[key])
+            """
+        ) == []
+
+    def test_declared_mutates_taints_without_body_evidence(self):
+        assert "ELS401" in codes(
+            """
+            def opaque(rows):  # els: effect=mutates
+                pass
+
+            class Cache:
+                def __init__(self):
+                    self._cache = {}
+                def corrupt(self, key):
+                    opaque(self._cache[key])
+            """
+        )
+
+    def test_nondet_propagates_through_helpers(self):
+        assert "ELS402" in codes(
+            """
+            import random
+
+            def inner():
+                return random.random()
+
+            def outer():
+                return inner()
+
+            def evaluate_workloads():
+                return outer()
+            """
+        )
+
+
+class TestHelpers:
+    def test_is_cache_attr(self):
+        assert is_cache_attr("_columns_cache")
+        assert is_cache_attr("memo_table")
+        assert is_cache_attr("_entries")
+        assert is_cache_attr("_materialized")
+        assert not is_cache_attr("_rows")
+
+    def test_provably_mutable_literals(self):
+        import ast
+
+        def expr(text):
+            return ast.parse(text, mode="eval").body
+
+        assert provably_mutable(expr("[1, 2]"))
+        assert provably_mutable(expr("{'a': 1}"))
+        assert provably_mutable(expr("list(x)"))
+        assert provably_mutable(expr("([],)"))
+        assert not provably_mutable(expr("(1, 2)"))
+        assert not provably_mutable(expr("tuple(zip(a, b))"))
+        assert not provably_mutable(expr("helper()"))
+
+
+class TestEngineIntegration:
+    SNIPPET = textwrap.dedent(
+        """
+        class Cache:
+            def __init__(self):
+                self._cache = {}
+
+            def corrupt(self, key):
+                self._cache[key].append(1)
+        """
+    )
+
+    def test_lint_source_effects_flag(self):
+        assert "ELS401" not in [d.code for d in lint_source(self.SNIPPET)]
+        assert "ELS401" in [
+            d.code for d in lint_source(self.SNIPPET, effects=True)
+        ]
+
+    def test_noqa_suppresses_effect_finding(self):
+        suppressed = self.SNIPPET.replace(
+            "self._cache[key].append(1)",
+            "self._cache[key].append(1)  # els: noqa[ELS401]",
+        )
+        result = lint_source(suppressed, effects=True)
+        assert "ELS401" not in [d.code for d in result]
+        assert "ELS199" not in [d.code for d in result]
+
+    def test_test_files_are_exempt(self):
+        result = lint_source(self.SNIPPET, path="test_cache.py", effects=True)
+        assert "ELS401" not in [d.code for d in result]
+
+    def test_lint_paths_jobs_output_is_identical(self, tmp_path):
+        (tmp_path / "a.py").write_text(self.SNIPPET)
+        (tmp_path / "b.py").write_text("import random\n\ndef bench():\n    return random.random()\n")
+        serial = lint_paths([str(tmp_path)], effects=True, jobs=1)
+        parallel = lint_paths([str(tmp_path)], effects=True, jobs=4)
+        assert serial == parallel
+        assert {d.code for d in serial} >= {"ELS401", "ELS402"}
+
+    def test_jobs_must_be_positive(self, tmp_path):
+        from repro.errors import LintError
+
+        (tmp_path / "a.py").write_text("x = 1\n")
+        with pytest.raises(LintError):
+            lint_paths([str(tmp_path)], jobs=0)
+
+    def test_every_code_has_metadata(self):
+        from repro.lint.render import _rule_metadata
+
+        for code in EFFECT_CODES:
+            descriptor = _rule_metadata(code)
+            assert descriptor["id"] == code
+            assert "shortDescription" in descriptor

@@ -88,6 +88,25 @@ class TestTableAccessors:
         rows.append((9, 9))
         assert table.row_count == 1
 
+    def test_columns_transpose_is_frozen(self):
+        """The cached transpose is tuples all the way down: a caller must
+        not be able to corrupt the copy served to later calls."""
+        table = Table.from_columns(schema_rx(), {"x": [1, 2], "y": [5, 6]})
+        columns = table.columns()
+        assert columns == ((1, 2), (5, 6))
+        assert all(isinstance(column, tuple) for column in columns)
+        assert table.columns() == ((1, 2), (5, 6))
+
+    def test_columns_cache_revalidates_after_append(self):
+        table = Table.from_columns(schema_rx(), {"x": [1], "y": [5]})
+        assert table.columns() == ((1,), (5,))
+        table.append((2, 6))
+        assert table.columns() == ((1, 2), (5, 6))
+
+    def test_empty_table_columns_are_tuples(self):
+        table = Table(schema_rx())
+        assert table.columns() == ((), ())
+
     def test_string_column_type_enforced(self):
         schema = TableSchema.of("S", ColumnDef("name", ColumnType.STR))
         table = Table(schema)
