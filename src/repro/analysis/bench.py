@@ -35,6 +35,7 @@ from ..sql.query import Query
 from ..storage.database import Database
 from ..workloads.paper import load_smbg_database, smbg_query, smbg_specs
 from ..workloads.queries import GeneratedWorkload
+from ..resilience.retry import RetryPolicy
 from .harness import evaluate_workloads, prefix_query
 from .truth import build_reference_plan, true_join_size
 from .truthcache import TruthCache
@@ -116,6 +117,7 @@ def _bench_prefix(
         "columnar_truth_s": columnar_truth_s,
         "cached_truth_s": cached_truth_s,
         "speedup": row_truth_s / columnar_truth_s if columnar_truth_s > 0 else 0.0,
+        "truth_cache": cache.stats.to_dict(),
     }
 
 
@@ -125,6 +127,9 @@ def run_execution_bench(
     seed: int = 42,
     workers: int = 1,
     sweep: bool = True,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the full execution benchmark and return the report dict.
 
@@ -137,6 +142,14 @@ def run_execution_bench(
         sweep: Also time :func:`~repro.analysis.harness.evaluate_workloads`
             over the prefix workloads (includes per-worker data
             generation; disable for the quickest run).
+        timeout_s: Per-payload ground-truth budget for the sweep section;
+            payloads that exceed it after retries are recorded as
+            degraded (counted in ``parallel_sweep.degraded_count``)
+            instead of failing the bench.
+        retries: Attempts per sweep payload (``None`` = the harness
+            default policy).
+        checkpoint_path: Sweep checkpoint file; completed payloads are
+            skipped on restart.
     """
     if repeats < 1:
         raise BenchmarkError(f"repeats must be positive, got {repeats}")
@@ -173,12 +186,26 @@ def run_execution_bench(
             )
             for k in range(len(tables) - 1)
         ]
+        policy = (
+            RetryPolicy(max_attempts=retries) if retries is not None else None
+        )
         started = time.perf_counter()
-        evaluate_workloads(workloads, seed=seed, workers=workers)
+        records = evaluate_workloads(
+            workloads,
+            seed=seed,
+            workers=workers,
+            timeout_s=timeout_s,
+            retry=policy,
+            checkpoint_path=checkpoint_path,
+        )
+        degraded_count = sum(
+            1 for workload_records in records if any(r.degraded for r in workload_records)
+        )
         report["parallel_sweep"] = {
             "workers": workers,
             "workloads": len(workloads),
             "seconds": time.perf_counter() - started,
+            "degraded_count": degraded_count,
         }
     return report
 
@@ -218,8 +245,12 @@ def render_bench_report(report: Dict[str, object]) -> str:
     )
     sweep = report.get("parallel_sweep")
     if sweep:
-        lines.append(
+        line = (
             f"parallel sweep: {sweep['workloads']} workloads with "
             f"{sweep['workers']} worker(s) in {sweep['seconds']:.3f}s"
         )
+        degraded_count = sweep.get("degraded_count", 0)
+        if degraded_count:
+            line += f" ({degraded_count} degraded)"
+        lines.append(line)
     return "\n".join(lines)

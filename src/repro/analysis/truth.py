@@ -25,12 +25,24 @@ from typing import FrozenSet, List, Optional, Sequence, Tuple
 from ..errors import ExecutionError
 from ..execution.executor import ExecutionResult, Executor
 from ..optimizer.plans import JoinMethod, JoinPlan, PlanNode, ScanPlan
+from ..resilience.deadline import Deadline
 from ..sql.predicates import ComparisonPredicate, Op
 from ..sql.query import Query
 from ..storage.database import Database
 from .truthcache import DEFAULT_TRUTH_CACHE, TruthCache
 
 __all__ = ["build_reference_plan", "execute_query", "true_join_size"]
+
+
+def _resolve_deadline(
+    timeout_s: Optional[float], deadline: Optional[Deadline]
+) -> Optional[Deadline]:
+    """An explicit deadline wins; else a fresh one from ``timeout_s``."""
+    if deadline is not None:
+        return deadline
+    if timeout_s is not None:
+        return Deadline(timeout_s)
+    return None
 
 
 def _eligible(
@@ -132,10 +144,27 @@ def execute_query(
     database: Database,
     order: Optional[Sequence[str]] = None,
     engine: str = "columnar",
+    timeout_s: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
 ) -> ExecutionResult:
-    """Execute a query via the reference plan, honoring its projection."""
+    """Execute a query via the reference plan, honoring its projection.
+
+    Args:
+        query: The query to execute.
+        database: Stored tables.
+        order: Explicit join order for the reference plan.
+        engine: Execution engine (``"row"`` or ``"columnar"``).
+        timeout_s: Optional wall-clock budget; the executors check it
+            cooperatively and raise
+            :class:`~repro.errors.DeadlineExceededError` when spent.
+        deadline: An already-running :class:`Deadline` to honor instead
+            (wins over ``timeout_s``; lets callers share one budget across
+            several executions).
+    """
     plan = build_reference_plan(query, database, order)
-    executor = Executor(database, engine=engine)
+    executor = Executor(
+        database, engine=engine, deadline=_resolve_deadline(timeout_s, deadline)
+    )
     return executor.execute(plan, query.projection)
 
 
@@ -145,6 +174,8 @@ def true_join_size(
     order: Optional[Sequence[str]] = None,
     engine: str = "columnar",
     cache: Optional[TruthCache] = DEFAULT_TRUTH_CACHE,
+    timeout_s: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
 ) -> int:
     """The exact result cardinality of the query's join.
 
@@ -158,13 +189,21 @@ def true_join_size(
         cache: Ground-truth cache to consult and fill; defaults to the
             process-wide :data:`~repro.analysis.truthcache.DEFAULT_TRUTH_CACHE`.
             Pass ``None`` to force execution.
+        timeout_s: Optional wall-clock budget for the execution; cache
+            hits never consume it.  When spent, the run aborts with
+            :class:`~repro.errors.DeadlineExceededError`.
+        deadline: An already-running :class:`Deadline` to honor instead
+            (wins over ``timeout_s``).
     """
     if cache is not None:
         cached = cache.get(database, query)
         if cached is not None:
             return cached
     plan = build_reference_plan(query, database, order)
-    count = Executor(database, engine=engine).count(plan).count
+    executor = Executor(
+        database, engine=engine, deadline=_resolve_deadline(timeout_s, deadline)
+    )
+    count = executor.count(plan).count
     if cache is not None:
         cache.put(database, query, count)
     return int(count)

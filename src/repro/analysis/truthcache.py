@@ -19,6 +19,12 @@ really captures both.
   predicate operand orientation, so ``R1 ⋈ R2`` and ``R2 ⋈ R1`` share one
   entry.
 
+Entries are *digest-verified on read*: each stored count carries a
+content digest over its key and value, recomputed and compared on every
+hit.  A tampered or bit-rotted entry therefore surfaces as a counted
+miss (``stats.corruptions``) and is dropped — the cache can serve stale
+*nothing*, but never a wrong ground truth.
+
 The module-level :data:`DEFAULT_TRUTH_CACHE` is what
 :func:`repro.analysis.truth.true_join_size` uses unless told otherwise;
 pass ``cache=None`` there to force re-execution.
@@ -26,9 +32,10 @@ pass ``cache=None`` there to force re-execution.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..sql.query import Query
 from ..storage.database import Database
@@ -39,6 +46,17 @@ __all__ = [
     "TruthCacheStats",
     "canonical_query_text",
 ]
+
+
+def _entry_digest(key: Tuple[str, str], count: int) -> str:
+    """Content digest binding a cached count to its key."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(key[0].encode("utf-8"))
+    digest.update(b"|")
+    digest.update(key[1].encode("utf-8"))
+    digest.update(b"|")
+    digest.update(str(count).encode("ascii"))
+    return digest.hexdigest()
 
 
 def canonical_query_text(query: Query) -> str:
@@ -58,11 +76,17 @@ def canonical_query_text(query: Query) -> str:
 
 @dataclass
 class TruthCacheStats:
-    """Observability counters for one cache instance."""
+    """Observability counters for one cache instance.
+
+    ``corruptions`` counts entries whose digest verification failed on
+    read; each such lookup is also counted as a miss (the caller
+    re-executes), never as an eviction (capacity was not the cause).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    corruptions: int = 0
 
     @property
     def lookups(self) -> int:  # els: quantity=count
@@ -72,6 +96,17 @@ class TruthCacheStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruptions = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """A JSON-friendly view (used by the ``bench`` report writer)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corruptions": self.corruptions,
+            "lookups": self.lookups,
+        }
 
 
 class TruthCache:
@@ -91,7 +126,7 @@ class TruthCache:
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self._max_entries = max_entries
-        self._entries: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple[str, str], Tuple[int, str]]" = OrderedDict()
         self.stats = TruthCacheStats()
 
     def __len__(self) -> int:
@@ -102,10 +137,22 @@ class TruthCache:
         return (database.fingerprint(), canonical_query_text(query))
 
     def get(self, database: Database, query: Query) -> Optional[int]:
-        """The cached count, or ``None`` on a miss (counted either way)."""
+        """The cached count, or ``None`` on a miss (counted either way).
+
+        Every hit is digest-verified: an entry whose stored digest no
+        longer matches its key and count is dropped and reported as a
+        miss (and counted in ``stats.corruptions``), so corruption can
+        cost a re-execution but never a wrong ground truth.
+        """
         key = self.key(database, query)
-        count = self._entries.get(key)
-        if count is None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        count, stored_digest = entry
+        if stored_digest != _entry_digest(key, count):
+            self._entries.pop(key, None)
+            self.stats.corruptions += 1
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
@@ -115,11 +162,29 @@ class TruthCache:
     def put(self, database: Database, query: Query, count: int) -> None:
         """Store an executed count, evicting the LRU entry when full."""
         key = self.key(database, query)
-        self._entries[key] = int(count)
+        value = int(count)
+        self._entries[key] = (value, _entry_digest(key, value))
         self._entries.move_to_end(key)
         while len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def corrupt(self, database: Database, query: Query) -> bool:
+        """Deliberately tamper with one entry (chaos/test hook).
+
+        Flips the stored count without refreshing the digest, simulating
+        bit rot or a torn write.  Returns whether an entry was present to
+        corrupt.  Production code never calls this; the fault-injection
+        layer (:mod:`repro.resilience.chaos`) uses it to prove the
+        digest-verification path end to end.
+        """
+        key = self.key(database, query)
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        count, stored_digest = entry
+        self._entries[key] = (count + 1, stored_digest)
+        return True
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""

@@ -17,7 +17,9 @@ The CLI exposes the library's core loop without writing Python:
   query against a statistics file, before any estimation runs.
 
 Exit codes: 0 on success/clean, 1 on an error or diagnostics found, 2 on
-usage errors (bad flags, bad lint paths).
+usage errors (bad flags, bad lint paths), 3 on *partial* failure — a
+``bench`` sweep that completed but degraded some payloads (ground truth
+exceeded ``--timeout`` after retries; the report still lands on disk).
 
 Statistics files use the shape of
 :func:`repro.storage.loader.load_stats_json`::
@@ -135,6 +137,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="fail (exit 1) when the overall columnar speedup is below this",
+    )
+    bench.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-payload ground-truth budget for the sweep; payloads that "
+        "exceed it after retries degrade instead of aborting (exit 3)",
+    )
+    bench.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per sweep payload (default: the harness retry policy)",
+    )
+    bench.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="JSONL sweep checkpoint; completed payloads are skipped on restart",
     )
 
     lint = commands.add_parser(
@@ -320,6 +343,9 @@ def _command_bench(args) -> int:
         seed=args.seed,
         workers=args.workers,
         sweep=not args.no_sweep,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        checkpoint_path=args.checkpoint,
     )
     write_bench_json(report, args.output)
     print(render_bench_report(report))
@@ -332,6 +358,15 @@ def _command_bench(args) -> int:
             file=sys.stderr,
         )
         return 1
+    sweep_section = report.get("parallel_sweep") or {}
+    degraded_count = sweep_section.get("degraded_count", 0)
+    if degraded_count:
+        print(
+            f"PARTIAL: {degraded_count} workload(s) degraded (ground truth "
+            f"exceeded the timeout after retries); report written anyway",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -373,7 +408,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
     0 = success / no diagnostics, 1 = failure or diagnostics found,
-    2 = usage error (argparse also exits 2 on malformed flags).
+    2 = usage error (argparse also exits 2 on malformed flags),
+    3 = partial failure (a bench sweep completed with degraded payloads).
     """
     parser = build_parser()
     args = parser.parse_args(argv)

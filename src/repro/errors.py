@@ -7,6 +7,8 @@ still being able to distinguish parse errors from catalog errors and so on.
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "ReproError",
     "ParseError",
@@ -21,6 +23,10 @@ __all__ = [
     "BenchmarkError",
     "LintError",
     "DiagnosticError",
+    "ResilienceError",
+    "DeadlineExceededError",
+    "RetryExhaustedError",
+    "CheckpointError",
 ]
 
 
@@ -78,7 +84,35 @@ class ExecutionError(ReproError):
 
 
 class WorkloadError(ReproError):
-    """Raised by workload/data generators for invalid parameter choices."""
+    """Raised for invalid workload parameters or failed workload payloads.
+
+    The generators raise it with a bare message for bad parameter choices.
+    The parallel harness additionally attaches *which* payload failed, so a
+    sweep that dies after hours names the workload instead of surfacing a
+    raw remote traceback.
+
+    Attributes:
+        message: Human-readable description of the failure.
+        index: Zero-based payload index in the sweep, when known.
+        description: Short workload description (joined table names).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        index: Optional[int] = None,
+        description: Optional[str] = None,
+    ) -> None:
+        self.message = message
+        self.index = index
+        self.description = description
+        if index is not None:
+            where = f"workload[{index}]"
+            if description:
+                where += f" ({description})"
+            super().__init__(f"{where}: {message}")
+        else:
+            super().__init__(message)
 
 
 class BenchmarkError(ReproError):
@@ -124,3 +158,55 @@ class DiagnosticError(ReproError):
             if errors
             else "invariant check failed"
         )
+
+
+class ResilienceError(ReproError):
+    """Base class for fault-tolerance failures (:mod:`repro.resilience`).
+
+    Groups deadline, retry, and checkpoint errors so callers can treat
+    "the runtime degraded" separately from "the computation is wrong".
+    """
+
+
+class DeadlineExceededError(ResilienceError):
+    """Raised by a cooperative cancellation check once a deadline expires.
+
+    Attributes:
+        budget_s: The deadline's total budget in seconds.
+        elapsed_s: Seconds elapsed when the check fired.
+        label: Where the check fired (operator label or call site), when known.
+    """
+
+    def __init__(self, budget_s: float, elapsed_s: float, label: str = "") -> None:
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+        self.label = label
+        where = f" in {label}" if label else ""
+        super().__init__(
+            f"deadline of {budget_s:.3f}s exceeded after {elapsed_s:.3f}s{where}"
+        )
+
+
+class RetryExhaustedError(ResilienceError):
+    """Raised when every attempt allowed by a retry policy has failed.
+
+    Attributes:
+        attempts: How many attempts were made.
+        last_error: The error of the final attempt, when available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 0,
+        last_error: Optional[BaseException] = None,
+    ) -> None:
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"{message} (after {attempts} attempt(s))" if attempts else message
+        )
+
+
+class CheckpointError(ResilienceError):
+    """Raised for unreadable or structurally invalid checkpoint files."""

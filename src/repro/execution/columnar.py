@@ -301,9 +301,13 @@ class ColumnarTableScanOp(ColumnarOperator):
         super().__init__(layout, metrics.register(f"scan({relation})"))
         self._columns = tuple(columns)
         self._pages = pages
+        self._deadline = metrics.deadline
 
     def _execute(self) -> ColumnBlock:
         block = MaterializedBlock(self._layout, self._columns)
+        if self._deadline is not None:
+            self._deadline.check(self._stats.label)
+            self._deadline.tick(block.num_rows, self._stats.label)
         self._stats.rows_in += block.num_rows
         self._stats.rows_out += block.num_rows
         self._stats.pages_read += self._pages
@@ -331,9 +335,13 @@ class ColumnarFilterOp(ColumnarOperator):
         self._checks = [
             compile_block_predicate(p, child.layout) for p in self._predicates
         ]
+        self._deadline = metrics.deadline
 
     def _execute(self) -> ColumnBlock:
         source = self._child.block()
+        if self._deadline is not None:
+            self._deadline.check(self._stats.label)
+            self._deadline.tick(source.num_rows, self._stats.label)
         self._stats.rows_in += source.num_rows
         self._stats.comparisons += source.num_rows * max(1, len(self._predicates))
         selected: Optional[List[int]] = None
@@ -406,6 +414,7 @@ class ColumnarHashJoinOp(ColumnarOperator):
                 "must run on the row engine"
             )
         self._keys = condition.keys
+        self._deadline = metrics.deadline
 
     def _key_columns(
         self, left_block: ColumnBlock, right_block: ColumnBlock
@@ -417,6 +426,44 @@ class ColumnarHashJoinOp(ColumnarOperator):
         right_parts = [right_block.column(b) for _, b in self._keys]
         return list(zip(*left_parts)), list(zip(*right_parts))
 
+    def _probe(
+        self, build_keys: Column, probe_keys: Column
+    ) -> Tuple[List[int], List[int]]:
+        """Build on ``build_keys``, probe with ``probe_keys``.
+
+        Returns matched ``(probe_indices, build_indices)`` pairs in probe
+        order.  The probe loop stays branch-free per row on the fault-free
+        path; under a deadline, a chunked variant ticks the budget every
+        :data:`~repro.resilience.deadline.DEFAULT_TICK_INTERVAL`-ish rows
+        so unbounded joins stay cancelable.
+        """
+        table: Dict[object, List[int]] = {}
+        setdefault = table.setdefault
+        for j, value in enumerate(build_keys):
+            setdefault(value, []).append(j)
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check(self._stats.label)
+            deadline.tick(len(build_keys), self._stats.label)
+        probe_indices: List[int] = []
+        build_indices: List[int] = []
+        get = table.get
+        if deadline is None:
+            for i, value in enumerate(probe_keys):
+                matches = get(value)
+                if matches:
+                    probe_indices += [i] * len(matches)
+                    build_indices += matches
+        else:
+            label = self._stats.label
+            for i, value in enumerate(probe_keys):
+                deadline.tick(1, label)
+                matches = get(value)
+                if matches:
+                    probe_indices += [i] * len(matches)
+                    build_indices += matches
+        return probe_indices, build_indices
+
     def _execute(self) -> ColumnBlock:
         left_block = self._left.block()
         right_block = self._right.block()
@@ -424,31 +471,12 @@ class ColumnarHashJoinOp(ColumnarOperator):
         n_right = right_block.num_rows
         self._stats.rows_in += n_left + n_right
         left_keys, right_keys = self._key_columns(left_block, right_block)
-        left_indices: List[int] = []
-        right_indices: List[int] = []
-        table: Dict[object, List[int]] = {}
         if n_right <= n_left:
             # Build on the right (smaller), probe from the left.
-            setdefault = table.setdefault
-            for j, value in enumerate(right_keys):
-                setdefault(value, []).append(j)
-            get = table.get
-            for i, value in enumerate(left_keys):
-                matches = get(value)
-                if matches:
-                    left_indices += [i] * len(matches)
-                    right_indices += matches
+            left_indices, right_indices = self._probe(right_keys, left_keys)
         else:
             # Build on the left (smaller), probe from the right.
-            setdefault = table.setdefault
-            for i, value in enumerate(left_keys):
-                setdefault(value, []).append(i)
-            get = table.get
-            for j, value in enumerate(right_keys):
-                matches = get(value)
-                if matches:
-                    left_indices += matches
-                    right_indices += [j] * len(matches)
+            right_indices, left_indices = self._probe(left_keys, right_keys)
         matched = len(left_indices)
         self._stats.comparisons += n_left + matched
         self._stats.rows_out += matched

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError
 from ..optimizer.plans import JoinMethod, JoinPlan, PlanNode, ScanPlan
+from ..resilience.deadline import Deadline
 from ..sql.predicates import ColumnRef
 from ..sql.query import Projection
 from ..storage.database import Database
@@ -76,6 +77,10 @@ class Executor:
             (:mod:`repro.execution.columnar`).  Both produce identical row
             multisets, counts, and operator statistics; the columnar
             engine is several times faster on COUNT(*) ground truths.
+        deadline: Optional cooperative cancellation budget
+            (:class:`~repro.resilience.deadline.Deadline`).  Operators
+            check it as rows flow; an expired budget aborts the run with
+            :class:`~repro.errors.DeadlineExceededError`.
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class Executor:
         page_size: int = 4096,
         buffer_pages: int = 64,
         engine: str = "row",
+        deadline: Optional[Deadline] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ExecutionError(
@@ -93,6 +99,7 @@ class Executor:
         self._page_size = page_size
         self._buffer_pages = buffer_pages
         self._engine = engine
+        self._deadline = deadline
 
     @property
     def engine(self) -> str:
@@ -109,7 +116,7 @@ class Executor:
         the number of *input* rows that reached the aggregate — the join's
         cardinality, which is what estimation experiments compare against.
         """
-        metrics = ExecutionMetrics()
+        metrics = ExecutionMetrics(deadline=self._deadline)
         started = time.perf_counter()
         if self._engine == "columnar":
             return self._execute_columnar(plan, projection, metrics, started)

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..resilience.deadline import Deadline
+
 __all__ = ["OperatorStats", "ExecutionMetrics"]
 
 
@@ -47,10 +49,17 @@ class OperatorStats:
 
 @dataclass
 class ExecutionMetrics:
-    """Aggregated counters for one plan execution."""
+    """Aggregated counters for one plan execution.
+
+    ``deadline`` is the run's optional cooperative cancellation budget
+    (:class:`~repro.resilience.deadline.Deadline`).  Operators read it at
+    construction and tick it as rows flow, so a single budget bounds the
+    whole plan rather than each operator separately.
+    """
 
     operators: List[OperatorStats] = field(default_factory=list)
     wall_seconds: float = 0.0
+    deadline: Optional[Deadline] = None
 
     def register(self, label: str) -> OperatorStats:
         stats = OperatorStats(label)

@@ -82,6 +82,7 @@ class TableScanOp(Operator):
         super().__init__(layout, metrics.register(f"scan({relation})"))
         self._source_rows = source_rows
         self._pages = pages
+        self._deadline = metrics.deadline
         self._materialized: Optional[Tuple[Row, ...]] = None
 
     def rows(self) -> Sequence[Row]:
@@ -93,6 +94,9 @@ class TableScanOp(Operator):
         if self._materialized is not None:
             return self._materialized
         result = tuple(self._source_rows)
+        if self._deadline is not None:
+            self._deadline.check(self._stats.label)
+            self._deadline.tick(len(result), self._stats.label)
         self._stats.rows_in += len(result)
         self._stats.rows_out += len(result)
         self._stats.pages_read += self._pages
@@ -113,9 +117,13 @@ class FilterOp(Operator):
         self._child = child
         self._predicates = tuple(predicates)
         self._check = compile_conjunction(self._predicates, child.layout)
+        self._deadline = metrics.deadline
 
     def rows(self) -> List[Row]:
         source = self._child.rows()
+        if self._deadline is not None:
+            self._deadline.check(self._stats.label)
+            self._deadline.tick(len(source), self._stats.label)
         self._stats.rows_in += len(source)
         self._stats.comparisons += len(source) * max(1, len(self._predicates))
         result = [row for row in source if self._check(row)]
@@ -160,6 +168,7 @@ class _JoinOp(Operator):
         super().__init__(layout, metrics.register(label))
         self._left = left
         self._right = right
+        self._deadline = metrics.deadline
         self._predicates = tuple(predicates)
         condition = split_join_condition(
             self._predicates, left.layout, right.layout
@@ -216,9 +225,15 @@ class NestedLoopJoinOp(_JoinOp):
         self._stats.rows_in += len(outer) + len(inner)
         keys = self._keys
         residual = self._residual
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check(self._stats.label)
         result: List[Row] = []
         comparisons = 0
         for left_row in outer:
+            if deadline is not None:
+                # One unit per inner-row comparison this outer row costs.
+                deadline.tick(max(1, len(inner)), self._stats.label)
             for right_row in inner:
                 comparisons += 1
                 if all(left_row[a] == right_row[b] for a, b in keys) and residual(
@@ -262,12 +277,18 @@ class HashJoinOp(_JoinOp):
         self._stats.rows_in += len(outer) + len(inner)
         left_key, right_key = self._key_functions()
         residual = self._residual
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check(self._stats.label)
+            deadline.tick(len(inner), self._stats.label)
         table: dict = {}
         for right_row in inner:
             table.setdefault(right_key(right_row), []).append(right_row)
         result: List[Row] = []
         comparisons = 0
         for left_row in outer:
+            if deadline is not None:
+                deadline.tick(1, self._stats.label)
             key = left_key(left_row)
             comparisons += 1
             for right_row in table.get(key, ()):
@@ -309,6 +330,10 @@ class SortMergeJoinOp(_JoinOp):
         inner = self._right.rows()
         self._stats.rows_in += len(outer) + len(inner)
         residual = self._residual
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check(self._stats.label)
+            deadline.tick(len(outer) + len(inner), self._stats.label)
         left_key, right_key = self._key_functions()
         outer_sorted = sorted(outer, key=left_key)
         inner_sorted = sorted(inner, key=right_key)
@@ -322,6 +347,8 @@ class SortMergeJoinOp(_JoinOp):
         i = j = 0
         n, m = len(outer_sorted), len(inner_sorted)
         while i < n and j < m:
+            if deadline is not None:
+                deadline.tick(1, self._stats.label)
             lk = left_key(outer_sorted[i])
             rk = right_key(inner_sorted[j])
             comparisons += 1

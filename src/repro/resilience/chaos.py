@@ -1,0 +1,188 @@
+"""Deterministic fault injection for the evaluation harness.
+
+Testing a fault-tolerant runtime needs *reproducible* faults.  A
+:class:`FaultPlan` is a frozen, fully-serializable schedule: each
+:class:`Fault` names a payload index, the attempt numbers it fires on,
+and a kind — a simulated worker crash, a slow execution, or a corrupted
+ground-truth cache entry.  Plans are stateless values (fork-safe: every
+worker process sees the same schedule) and travel either as an explicit
+``fault_plan=`` argument or through the ``REPRO_FAULT_PLAN`` environment
+variable as JSON, which is how the CI chaos job injects faults under a
+real multi-worker pool.
+
+Determinism contract: a fault fires iff ``(payload index, attempt)``
+matches the plan — no clocks, no ambient RNG.  :meth:`FaultPlan.sample`
+*derives* a plan from a seed with a private seeded generator, so chaos
+suites can sweep many schedules while each one stays reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ResilienceError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "Fault",
+    "FaultPlan",
+    "InjectedWorkerCrash",
+]
+
+#: The supported fault kinds.
+FAULT_KINDS = ("crash", "slow", "corrupt-cache")
+
+#: Environment variable carrying a JSON fault plan into worker processes.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+class InjectedWorkerCrash(ResilienceError):
+    """The simulated worker-crash fault (never raised by real workloads).
+
+    Raised inside ``_evaluate_one`` when a ``"crash"`` fault fires, and
+    treated by the harness exactly like a worker that died: the payload
+    is retried on a later attempt.
+    """
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        index: The payload index the fault targets.
+        attempts: Attempt numbers (0-based) on which the fault fires; the
+            default fires only on the first attempt, so retries succeed.
+        delay_s: For ``"slow"`` faults, how long the injected sleep runs.
+    """
+
+    kind: str
+    index: int
+    attempts: Tuple[int, ...] = (0,)
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.index < 0:
+            raise ValueError(f"fault index must be non-negative, got {self.index}")
+        if self.delay_s < 0:
+            raise ValueError(
+                f"fault delay_s must be non-negative, got {self.delay_s}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-friendly view."""
+        return {
+            "kind": self.kind,
+            "index": self.index,
+            "attempts": list(self.attempts),
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Fault":
+        """Rebuild a fault from :meth:`to_dict` output."""
+        return cls(
+            kind=str(data["kind"]),
+            index=int(data["index"]),  # type: ignore[call-overload]
+            attempts=tuple(int(a) for a in data.get("attempts", (0,))),  # type: ignore[union-attr]
+            delay_s=float(data.get("delay_s", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen schedule of faults, keyed by (payload index, attempt).
+
+    Attributes:
+        faults: The scheduled faults.
+        seed: The seed the plan was derived from (informational; kept so
+            reports can name the schedule).
+    """
+
+    faults: Tuple[Fault, ...] = field(default=())
+    seed: int = 0
+
+    def faults_for(self, index: int, attempt: int) -> Tuple[Fault, ...]:
+        """Every fault that fires for this payload index and attempt."""
+        return tuple(
+            f for f in self.faults if f.index == index and attempt in f.attempts
+        )
+
+    def to_json(self) -> str:
+        """Serialize the plan (inverse of :meth:`from_json`)."""
+        return json.dumps(
+            {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan serialized by :meth:`to_json`.
+
+        Raises:
+            ResilienceError: on malformed JSON or structure.
+        """
+        try:
+            data = json.loads(text)
+            faults = tuple(Fault.from_dict(f) for f in data.get("faults", ()))
+            seed = int(data.get("seed", 0))
+        except (ValueError, TypeError, KeyError, AttributeError) as exc:
+            raise ResilienceError(f"invalid fault plan JSON: {exc}") from exc
+        return cls(faults=faults, seed=seed)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan carried by :data:`FAULT_PLAN_ENV`, or ``None``.
+
+        Args:
+            environ: Mapping to read; defaults to ``os.environ``.  The
+                variable's value must be :meth:`to_json` output.
+        """
+        source = environ if environ is not None else os.environ
+        text = source.get(FAULT_PLAN_ENV)
+        if not text:
+            return None
+        return cls.from_json(text)
+
+    @classmethod
+    def sample(
+        cls,
+        payload_count: int,
+        seed: int = 0,
+        crashes: int = 1,
+        slows: int = 1,
+        corruptions: int = 1,
+        slow_delay_s: float = 0.05,
+    ) -> "FaultPlan":
+        """Derive a schedule from a seed with a private seeded generator.
+
+        Target indices are drawn without replacement per fault kind (kinds
+        may overlap on an index), so the same ``(payload_count, seed)``
+        always yields the same plan.
+        """
+        if payload_count < 1:
+            raise ValueError(
+                f"payload_count must be positive, got {payload_count}"
+            )
+        rng = random.Random(1000003 * seed + 12289)
+        faults = []
+        for kind, wanted in (
+            ("crash", crashes),
+            ("slow", slows),
+            ("corrupt-cache", corruptions),
+        ):
+            chosen = rng.sample(range(payload_count), min(wanted, payload_count))
+            for index in sorted(chosen):
+                delay = slow_delay_s if kind == "slow" else 0.0
+                faults.append(Fault(kind=kind, index=index, delay_s=delay))
+        return cls(faults=tuple(faults), seed=seed)

@@ -1,0 +1,112 @@
+"""Append-only JSONL checkpoints for long evaluation sweeps.
+
+A sweep over hundreds of workloads can die hours in — from a fault the
+retries could not absorb, a preempted machine, or a plain Ctrl-C.  The
+checkpoint file makes the work durable: the harness appends one JSON
+line per *completed* payload, keyed by a content fingerprint of the
+payload (workload query, specs, seed, engine, algorithms), and on
+restart any payload whose fingerprint is already present is skipped.
+
+Format — one JSON object per line::
+
+    {"fingerprint": "<hex>", "index": 3, "records": [...]}
+
+The fingerprint keys the skip decision; ``index`` is informational.
+Torn final lines (a crash mid-write) are ignored on load, so a restart
+after a hard kill re-runs at most the one payload whose line tore.
+Structurally invalid *complete* lines raise
+:class:`~repro.errors.CheckpointError` — they mean the file is not a
+checkpoint at all, and silently re-running everything (or worse,
+trusting garbage) would hide it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List
+
+from ..errors import CheckpointError
+
+__all__ = ["append_checkpoint", "fingerprint_of", "load_checkpoint"]
+
+
+def fingerprint_of(parts: Iterable[str]) -> str:
+    """A stable content digest over an ordered sequence of strings.
+
+    Each part is length-prefixed before hashing so ``("ab", "c")`` and
+    ``("a", "bc")`` cannot collide.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        encoded = part.encode("utf-8")
+        digest.update(str(len(encoded)).encode("ascii"))
+        digest.update(b":")
+        digest.update(encoded)
+    return digest.hexdigest()
+
+
+def load_checkpoint(path: str) -> Dict[str, Dict[str, object]]:
+    """Completed entries keyed by payload fingerprint.
+
+    A missing file is an empty checkpoint (first run).  A final line that
+    is not complete JSON is treated as torn and skipped; a line that *is*
+    valid JSON but lacks the checkpoint structure raises.
+
+    Raises:
+        CheckpointError: on unreadable files or structurally invalid
+            entries.
+    """
+    if not os.path.exists(path):
+        return {}
+    entries: Dict[str, Dict[str, object]] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            # A torn write from a crashed run; the payload simply re-runs.
+            continue
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise CheckpointError(
+                f"checkpoint {path!r} line {number} is not a checkpoint entry"
+            )
+        if "records" not in entry or not isinstance(entry["records"], list):
+            raise CheckpointError(
+                f"checkpoint {path!r} line {number} lacks a records list"
+            )
+        entries[str(entry["fingerprint"])] = entry
+    return entries
+
+
+def append_checkpoint(
+    path: str,
+    fingerprint: str,
+    index: int,
+    records: List[Dict[str, object]],
+) -> None:
+    """Append one completed payload's records as a single JSON line.
+
+    The line is written and flushed in one call so concurrent readers see
+    either the whole entry or a torn tail (which :func:`load_checkpoint`
+    skips) — never a half-parsed success.
+
+    Raises:
+        CheckpointError: when the file cannot be written.
+    """
+    entry = {"fingerprint": fingerprint, "index": index, "records": records}
+    line = json.dumps(entry, sort_keys=True)
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint {path!r}: {exc}") from exc

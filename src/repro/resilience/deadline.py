@@ -1,0 +1,96 @@
+"""Cooperative deadlines for bounded-latency ground-truth execution.
+
+A :class:`Deadline` is a wall-clock budget that long-running loops check
+*cooperatively*: the executors call :meth:`Deadline.tick` once per row (or
+block) processed, and the tick only consults the clock every
+``tick_interval`` rows, so the fast path costs one integer add and one
+comparison.  When the budget is spent, :meth:`Deadline.check` raises a
+structured :class:`~repro.errors.DeadlineExceededError` naming the budget,
+the elapsed time, and the operator that noticed.
+
+The clock is injectable (any ``() -> float`` callable) so tests drive
+expiry deterministically with a fake clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..errors import DeadlineExceededError
+
+__all__ = ["DEFAULT_TICK_INTERVAL", "Deadline"]
+
+#: Rows/blocks processed between clock reads on the tick fast path.
+DEFAULT_TICK_INTERVAL = 4096
+
+
+class Deadline:
+    """A wall-clock budget with cheap cooperative cancellation checks.
+
+    Args:
+        seconds: The budget; must be positive and finite.
+        clock: Monotonic time source (seconds); defaults to
+            :func:`time.monotonic`.  Injectable for deterministic tests.
+        tick_interval: How many :meth:`tick` units elapse between actual
+            clock reads; lower values notice expiry sooner but cost more.
+    """
+
+    def __init__(
+        self,
+        seconds: float,
+        clock: Optional[Callable[[], float]] = None,
+        tick_interval: int = DEFAULT_TICK_INTERVAL,
+    ) -> None:
+        if not seconds > 0:
+            raise ValueError(f"deadline seconds must be positive, got {seconds}")
+        if seconds != seconds or seconds == float("inf"):
+            raise ValueError(f"deadline seconds must be finite, got {seconds}")
+        if tick_interval < 1:
+            raise ValueError(
+                f"tick_interval must be positive, got {tick_interval}"
+            )
+        self._budget_s = float(seconds)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tick_interval = tick_interval
+        self._started = self._clock()
+        self._pending = 0
+
+    @property
+    def budget_s(self) -> float:
+        """The total budget in seconds."""
+        return self._budget_s
+
+    def elapsed_s(self) -> float:
+        """Seconds since the deadline was created."""
+        return self._clock() - self._started
+
+    def remaining_s(self) -> float:
+        """Seconds of budget left (may be negative once expired)."""
+        return self._budget_s - self.elapsed_s()
+
+    def expired(self) -> bool:
+        """Whether the budget is spent (reads the clock)."""
+        return self.elapsed_s() > self._budget_s
+
+    def check(self, label: str = "") -> None:
+        """Read the clock and raise if the budget is spent.
+
+        Raises:
+            DeadlineExceededError: once ``elapsed > budget``, carrying the
+                budget, the elapsed seconds, and ``label``.
+        """
+        elapsed = self.elapsed_s()
+        if elapsed > self._budget_s:
+            raise DeadlineExceededError(self._budget_s, elapsed, label)
+
+    def tick(self, count: int = 1, label: str = "") -> None:
+        """Account ``count`` units of work; check the clock periodically.
+
+        The clock is only read once at least ``tick_interval`` units have
+        accumulated since the last read, so per-row calls stay cheap.
+        """
+        self._pending += count
+        if self._pending >= self._tick_interval:
+            self._pending = 0
+            self.check(label)

@@ -1,0 +1,168 @@
+"""Bounded retries with seeded-deterministic exponential backoff.
+
+A :class:`RetryPolicy` is a frozen value object: attempts, base delay,
+multiplier, cap, and jitter fraction.  The jitter is *derived*, never
+ambient — :meth:`RetryPolicy.delay_s` seeds a private
+:class:`random.Random` from ``(seed, attempt)`` arithmetic, so the same
+policy, seed, and attempt always back off for exactly the same duration
+(the ELS402 effect lint forbids ambient RNG on these paths, and the
+harness's byte-identical determinism contract depends on it).
+
+:class:`FailureReport` is the machine-readable record a degraded payload
+carries: what kind of fault, how many attempts were burned, how long it
+took.  :func:`retry_call` is the generic driver used by tests and simple
+call sites; the evaluation harness drives its own retry rounds because
+its attempts run on a process pool.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Type
+
+from ..errors import ReproError, RetryExhaustedError
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FailureReport",
+    "RetryPolicy",
+    "retry_call",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try and how long to wait between tries.
+
+    Args:
+        max_attempts: Total attempts including the first; at least 1.
+        base_delay_s: Backoff before the second attempt.
+        multiplier: Exponential growth factor per further attempt.
+        max_delay_s: Cap applied before jitter.
+        jitter: Symmetric jitter fraction in ``[0, 1]``: the delay is
+            scaled by a seeded-deterministic factor in ``1 ± jitter``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0:
+            raise ValueError(
+                f"base_delay_s must be non-negative, got {self.base_delay_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be at least 1, got {self.multiplier}"
+            )
+        if self.max_delay_s < 0:
+            raise ValueError(
+                f"max_delay_s must be non-negative, got {self.max_delay_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(self, attempt: int, seed: int = 0) -> float:
+        """Backoff before retry number ``attempt`` (0 = first retry).
+
+        Deterministic: the jitter RNG is seeded from ``(seed, attempt)``
+        arithmetic, so identical inputs always produce identical delays
+        across processes and runs.
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be non-negative, got {attempt}")
+        raw = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        rng = random.Random(1000003 * seed + 8191 * attempt + 1)
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, raw * factor)
+
+
+#: The harness default: three attempts, fast capped backoff.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Machine-readable description of why a payload degraded.
+
+    Attributes:
+        kind: Failure class (``"deadline"``, ``"crash"``, ``"exception"``).
+        attempts: How many attempts were made before giving up.
+        elapsed_s: Wall-clock seconds burned across the attempts.
+        message: Human-readable detail from the final error.
+    """
+
+    kind: str
+    attempts: int
+    elapsed_s: float
+    message: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-friendly view (stored in checkpoints and bench reports)."""
+        return {
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FailureReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            kind=str(data["kind"]),
+            attempts=int(data["attempts"]),  # type: ignore[call-overload]
+            elapsed_s=float(data["elapsed_s"]),  # type: ignore[arg-type]
+            message=str(data.get("message", "")),
+        )
+
+
+def retry_call(
+    action: Callable[[], object],
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    seed: int = 0,
+    retryable: Tuple[Type[BaseException], ...] = (ReproError,),
+    sleep: Callable[[float], None] = time.sleep,
+    label: str = "",
+) -> object:
+    """Call ``action`` under the policy, backing off between failures.
+
+    Args:
+        action: Zero-argument callable to attempt.
+        policy: Attempt/backoff schedule.
+        seed: Jitter seed, so concurrent callers can decorrelate their
+            backoff deterministically.
+        retryable: Exception types that trigger a retry; anything else
+            propagates immediately.
+        sleep: Delay function; injectable so tests never actually sleep.
+        label: Call-site name used in the exhaustion error.
+
+    Raises:
+        RetryExhaustedError: when every allowed attempt failed; carries
+            ``attempts`` and ``last_error``.
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        if attempt > 0:
+            sleep(policy.delay_s(attempt - 1, seed=seed))
+        try:
+            return action()
+        except retryable as exc:
+            last_error = exc
+    what = label or getattr(action, "__name__", "action")
+    raise RetryExhaustedError(
+        f"{what} failed: {last_error}",
+        attempts=policy.max_attempts,
+        last_error=last_error,
+    )

@@ -1,10 +1,11 @@
 """Error paths of ``repro-els bench`` and the documented exit contract.
 
-The CLI promises three exit codes: ``0`` clean, ``1`` runtime failure
+The CLI promises four exit codes: ``0`` clean, ``1`` runtime failure
 (:class:`~repro.errors.ReproError`, including a failed ``--min-speedup``
-gate), ``2`` usage error.  These tests pin the bench-specific failure
-modes: the engine-disagreement guard, the speedup gate, and invalid
-repeat counts.
+gate), ``2`` usage error, ``3`` partial failure (the run finished but
+some sweep payloads were degraded).  These tests pin the bench-specific
+failure modes: the engine-disagreement guard, the speedup gate, invalid
+repeat counts, and the degraded-sweep path.
 """
 
 import json
@@ -13,6 +14,7 @@ from types import SimpleNamespace
 import pytest
 
 from repro.analysis.bench import run_execution_bench
+from repro.analysis.truthcache import DEFAULT_TRUTH_CACHE
 from repro.cli import main
 from repro.errors import BenchmarkError
 
@@ -25,6 +27,22 @@ def _bench_args(tmp_path, *extra):
         "--repeats",
         "1",
         "--no-sweep",
+        "--output",
+        str(tmp_path / "bench.json"),
+        *extra,
+    ]
+
+
+def _sweep_args(tmp_path, *extra):
+    """Bench arguments with the parallel sweep left enabled."""
+    return [
+        "bench",
+        "--scale",
+        "0.02",
+        "--repeats",
+        "1",
+        "--retries",
+        "2",
         "--output",
         str(tmp_path / "bench.json"),
         *extra,
@@ -102,3 +120,60 @@ class TestExitContract:
         code = main(_bench_args(tmp_path))
         capsys.readouterr()
         assert code == 0
+
+
+class TestPartialFailureExitThree:
+    def test_degraded_sweep_exits_three_with_partial_notice(
+        self, tmp_path, capsys
+    ):
+        DEFAULT_TRUTH_CACHE.clear()  # a warm cache would answer before the deadline
+        code = main(_sweep_args(tmp_path, "--timeout", "1e-9"))
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "PARTIAL" in captured.err
+        report = json.loads((tmp_path / "bench.json").read_text())
+        sweep = report["parallel_sweep"]
+        assert sweep["degraded_count"] == sweep["workloads"]
+        assert "degraded" in captured.out  # the rendered summary says so too
+
+    def test_generous_timeout_keeps_the_sweep_clean(self, tmp_path, capsys):
+        code = main(_sweep_args(tmp_path, "--timeout", "120"))
+        capsys.readouterr()
+        assert code == 0
+        report = json.loads((tmp_path / "bench.json").read_text())
+        assert report["parallel_sweep"]["degraded_count"] == 0
+
+    def test_checkpoint_file_records_every_sweep_payload(self, tmp_path, capsys):
+        checkpoint = tmp_path / "sweep.jsonl"
+        code = main(_sweep_args(tmp_path, "--checkpoint", str(checkpoint)))
+        capsys.readouterr()
+        assert code == 0
+        lines = [
+            line for line in checkpoint.read_text().splitlines() if line.strip()
+        ]
+        report = json.loads((tmp_path / "bench.json").read_text())
+        assert len(lines) == report["parallel_sweep"]["workloads"]
+        # A restart skips the completed payloads: no new lines appear.
+        code = main(_sweep_args(tmp_path, "--checkpoint", str(checkpoint)))
+        capsys.readouterr()
+        assert code == 0
+        again = [
+            line for line in checkpoint.read_text().splitlines() if line.strip()
+        ]
+        assert again == lines
+
+    def test_report_carries_truth_cache_stats(self, tmp_path, capsys):
+        code = main(_bench_args(tmp_path))
+        capsys.readouterr()
+        assert code == 0
+        report = json.loads((tmp_path / "bench.json").read_text())
+        for prefix in report["prefixes"]:
+            stats = prefix["truth_cache"]
+            assert set(stats) == {
+                "hits",
+                "misses",
+                "evictions",
+                "corruptions",
+                "lookups",
+            }
+            assert stats["hits"] >= 1  # the cached-truth timing loop hit

@@ -19,12 +19,14 @@ PACKAGES = [
     "repro.execution",
     "repro.lint",
     "repro.optimizer",
+    "repro.resilience",
     "repro.sql",
     "repro.storage",
     "repro.workloads",
 ]
 
 MODULES = PACKAGES + [
+    "repro.analysis.bench",
     "repro.analysis.explain_analyze",
     "repro.analysis.graphs",
     "repro.analysis.harness",
@@ -33,6 +35,7 @@ MODULES = PACKAGES + [
     "repro.analysis.report",
     "repro.analysis.sensitivity",
     "repro.analysis.truth",
+    "repro.analysis.truthcache",
     "repro.catalog.collector",
     "repro.catalog.histogram",
     "repro.catalog.sampling",
@@ -66,6 +69,10 @@ MODULES = PACKAGES + [
     "repro.optimizer.optimizer",
     "repro.optimizer.plans",
     "repro.optimizer.random_search",
+    "repro.resilience.chaos",
+    "repro.resilience.checkpoint",
+    "repro.resilience.deadline",
+    "repro.resilience.retry",
     "repro.sql.lexer",
     "repro.sql.parser",
     "repro.sql.predicates",

@@ -1,0 +1,165 @@
+"""Deterministic fault injection and the chaos differential guarantee."""
+
+import random
+
+import pytest
+
+from repro.analysis.harness import evaluate_workloads
+from repro.analysis.truthcache import DEFAULT_TRUTH_CACHE
+from repro.errors import ResilienceError, WorkloadError
+from repro.resilience import (
+    FAULT_PLAN_ENV,
+    Fault,
+    FaultPlan,
+    InjectedWorkerCrash,
+    RetryPolicy,
+)
+from repro.workloads import chain_workload, star_workload
+
+#: Zero-delay retries keep chaos tests fast without changing semantics.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+
+
+def small_workloads(count=3):
+    workloads = []
+    for i in range(count):
+        rng = random.Random(100 + i)
+        if i % 2 == 0:
+            workloads.append(chain_workload(3, rng, max_rows=600))
+        else:
+            workloads.append(
+                star_workload(
+                    2, rng, fact_rows_range=(300, 800), dim_rows_range=(40, 150)
+                )
+            )
+    return workloads
+
+
+class TestFaultValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Fault(kind="meteor", index=0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Fault(kind="crash", index=-1)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Fault(kind="slow", index=0, delay_s=-0.5)
+
+    def test_round_trips_through_dict(self):
+        fault = Fault(kind="slow", index=4, attempts=(0, 2), delay_s=0.1)
+        assert Fault.from_dict(fault.to_dict()) == fault
+
+
+class TestFaultPlan:
+    def test_faults_for_matches_index_and_attempt(self):
+        plan = FaultPlan(
+            faults=(
+                Fault(kind="crash", index=1, attempts=(0,)),
+                Fault(kind="slow", index=1, attempts=(0, 1)),
+                Fault(kind="crash", index=2, attempts=(1,)),
+            )
+        )
+        assert [f.kind for f in plan.faults_for(1, 0)] == ["crash", "slow"]
+        assert [f.kind for f in plan.faults_for(1, 1)] == ["slow"]
+        assert plan.faults_for(2, 0) == ()
+        assert plan.faults_for(0, 0) == ()
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.sample(payload_count=5, seed=3)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_malformed_json_raises_resilience_error(self):
+        with pytest.raises(ResilienceError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ResilienceError):
+            FaultPlan.from_json('{"faults": [{"kind": "crash"}]}')
+
+    def test_from_env_reads_the_variable(self):
+        plan = FaultPlan.sample(payload_count=4, seed=9)
+        assert FaultPlan.from_env({FAULT_PLAN_ENV: plan.to_json()}) == plan
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({FAULT_PLAN_ENV: ""}) is None
+
+    def test_sample_is_seed_deterministic(self):
+        first = FaultPlan.sample(payload_count=8, seed=5)
+        second = FaultPlan.sample(payload_count=8, seed=5)
+        assert first == second
+        assert first != FaultPlan.sample(payload_count=8, seed=6)
+
+    def test_sample_covers_every_requested_kind(self):
+        plan = FaultPlan.sample(payload_count=3, seed=0)
+        kinds = {fault.kind for fault in plan.faults}
+        assert kinds == {"crash", "slow", "corrupt-cache"}
+
+    def test_sample_rejects_empty_payload_range(self):
+        with pytest.raises(ValueError):
+            FaultPlan.sample(payload_count=0)
+
+
+class TestChaosDifferential:
+    def test_faulted_parallel_run_matches_fault_free_serial_run(self):
+        """The ISSUE acceptance test: a seeded plan with at least one
+        crash, one slow execution, and one corrupted cache entry must not
+        change a single byte of the sweep's output under workers=4."""
+        workloads = small_workloads(3)
+        plan = FaultPlan.sample(payload_count=3, seed=7, slow_delay_s=0.01)
+        kinds = {fault.kind for fault in plan.faults}
+        assert kinds == {"crash", "slow", "corrupt-cache"}
+
+        baseline = evaluate_workloads(
+            workloads, seed=11, workers=1, retry=FAST_RETRY, fault_plan=FaultPlan()
+        )
+        chaotic = evaluate_workloads(
+            workloads, seed=11, workers=4, retry=FAST_RETRY, fault_plan=plan
+        )
+        assert repr(chaotic) == repr(baseline)
+
+    def test_faulted_serial_run_matches_too(self):
+        workloads = small_workloads(3)
+        plan = FaultPlan.sample(payload_count=3, seed=7, slow_delay_s=0.01)
+        baseline = evaluate_workloads(
+            workloads, seed=11, workers=1, retry=FAST_RETRY, fault_plan=FaultPlan()
+        )
+        chaotic = evaluate_workloads(
+            workloads, seed=11, workers=1, retry=FAST_RETRY, fault_plan=plan
+        )
+        assert repr(chaotic) == repr(baseline)
+
+    def test_corruption_fault_provably_hits_the_digest_path(self):
+        DEFAULT_TRUTH_CACHE.clear()
+        workloads = small_workloads(1)
+        plan = FaultPlan(faults=(Fault(kind="corrupt-cache", index=0),))
+        records = evaluate_workloads(
+            workloads, seed=11, workers=1, retry=FAST_RETRY, fault_plan=plan
+        )
+        assert all(not r.degraded for r in records[0])
+        assert DEFAULT_TRUTH_CACHE.stats.corruptions >= 1
+
+    def test_persistent_crash_exhausts_retries_with_context(self):
+        workloads = small_workloads(2)
+        plan = FaultPlan(
+            faults=(Fault(kind="crash", index=1, attempts=(0, 1, 2)),)
+        )
+        with pytest.raises(WorkloadError) as excinfo:
+            evaluate_workloads(
+                workloads, seed=11, workers=1, retry=FAST_RETRY, fault_plan=plan
+            )
+        error = excinfo.value
+        assert error.index == 1
+        assert "crash" in str(error)
+        assert "workload[1]" in str(error)
+
+    def test_env_var_plan_reaches_the_sweep(self, monkeypatch):
+        workloads = small_workloads(2)
+        plan = FaultPlan(
+            faults=(Fault(kind="crash", index=0, attempts=(0, 1, 2)),)
+        )
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        with pytest.raises(WorkloadError):
+            evaluate_workloads(workloads, seed=11, workers=1, retry=FAST_RETRY)
+
+    def test_injected_crash_is_a_resilience_error(self):
+        assert issubclass(InjectedWorkerCrash, ResilienceError)

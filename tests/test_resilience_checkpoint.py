@@ -1,0 +1,191 @@
+"""Checkpoint files: fingerprints, torn lines, and sweep resume."""
+
+import json
+import random
+
+import pytest
+
+from repro.analysis.harness import evaluate_workloads
+from repro.errors import CheckpointError
+from repro.resilience import (
+    RetryPolicy,
+    append_checkpoint,
+    fingerprint_of,
+    load_checkpoint,
+)
+from repro.workloads import chain_workload
+
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+
+
+def small_workloads(count=3):
+    return [
+        chain_workload(3, random.Random(200 + i), max_rows=600)
+        for i in range(count)
+    ]
+
+
+class TestFingerprint:
+    def test_is_deterministic(self):
+        assert fingerprint_of(["a", "b"]) == fingerprint_of(["a", "b"])
+
+    def test_length_prefixing_prevents_boundary_collisions(self):
+        assert fingerprint_of(["ab", "c"]) != fingerprint_of(["a", "bc"])
+
+    def test_order_matters(self):
+        assert fingerprint_of(["a", "b"]) != fingerprint_of(["b", "a"])
+
+
+class TestLoadAndAppend:
+    def test_missing_file_is_an_empty_checkpoint(self, tmp_path):
+        assert load_checkpoint(str(tmp_path / "absent.jsonl")) == {}
+
+    def test_round_trips_one_entry(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        records = [{"algorithm": "ELS", "estimate": 10.5, "actual": 12}]
+        append_checkpoint(path, "deadbeef", 0, records)
+        loaded = load_checkpoint(path)
+        assert loaded["deadbeef"]["index"] == 0
+        assert loaded["deadbeef"]["records"] == records
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        append_checkpoint(path, "aa", 0, [])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "bb", "index": 1, "rec')  # torn
+        loaded = load_checkpoint(path)
+        assert set(loaded) == {"aa"}
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        append_checkpoint(path, "aa", 0, [])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        assert set(load_checkpoint(path)) == {"aa"}
+
+    def test_valid_json_without_structure_raises(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"something": "else"}) + "\n")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_missing_records_list_raises(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"fingerprint": "aa", "index": 0}) + "\n")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_unreadable_path_raises(self, tmp_path):
+        directory = tmp_path / "is_a_dir"
+        directory.mkdir()
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(directory))
+        with pytest.raises(CheckpointError):
+            append_checkpoint(str(directory), "aa", 0, [])
+
+
+class TestSweepResume:
+    def test_checkpointed_sweep_writes_one_line_per_payload(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        workloads = small_workloads(3)
+        evaluate_workloads(
+            workloads, seed=5, retry=FAST_RETRY, checkpoint_path=path
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 3
+
+    def test_resume_skips_completed_payloads_and_matches(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        workloads = small_workloads(3)
+        first = evaluate_workloads(
+            workloads, seed=5, retry=FAST_RETRY, checkpoint_path=path
+        )
+        resumed = evaluate_workloads(
+            workloads, seed=5, retry=FAST_RETRY, checkpoint_path=path
+        )
+        assert repr(resumed) == repr(first)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 3  # nothing re-ran, nothing re-appended
+
+    def test_partial_checkpoint_runs_only_the_remainder(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "sweep.jsonl")
+        workloads = small_workloads(3)
+        full = evaluate_workloads(
+            workloads, seed=5, retry=FAST_RETRY, checkpoint_path=path
+        )
+        # Keep only the first two completed lines, as if the run died.
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:2])
+
+        import repro.analysis.harness as harness
+
+        real_evaluate_one = harness._evaluate_one
+        evaluated = []
+
+        def counting_evaluate_one(payload):
+            evaluated.append(payload.index)
+            return real_evaluate_one(payload)
+
+        monkeypatch.setattr(harness, "_evaluate_one", counting_evaluate_one)
+        resumed = evaluate_workloads(
+            workloads, seed=5, retry=FAST_RETRY, checkpoint_path=path
+        )
+        assert evaluated == [2]  # only the payload whose line was lost
+        assert repr(resumed) == repr(full)
+
+    def test_changed_seed_invalidates_the_fingerprint(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "sweep.jsonl")
+        workloads = small_workloads(2)
+        evaluate_workloads(
+            workloads, seed=5, retry=FAST_RETRY, checkpoint_path=path
+        )
+
+        import repro.analysis.harness as harness
+
+        real_evaluate_one = harness._evaluate_one
+        evaluated = []
+
+        def counting_evaluate_one(payload):
+            evaluated.append(payload.index)
+            return real_evaluate_one(payload)
+
+        monkeypatch.setattr(harness, "_evaluate_one", counting_evaluate_one)
+        evaluate_workloads(
+            workloads, seed=6, retry=FAST_RETRY, checkpoint_path=path
+        )
+        assert evaluated == [0, 1]  # different seed: nothing is skipped
+
+    def test_degraded_records_survive_the_round_trip(self, tmp_path):
+        from repro.analysis.truthcache import DEFAULT_TRUTH_CACHE
+
+        DEFAULT_TRUTH_CACHE.clear()
+        path = str(tmp_path / "sweep.jsonl")
+        workloads = small_workloads(1)
+        first = evaluate_workloads(
+            workloads,
+            seed=5,
+            retry=FAST_RETRY,
+            timeout_s=1e-9,
+            checkpoint_path=path,
+        )
+        assert all(r.degraded for r in first[0])
+        DEFAULT_TRUTH_CACHE.clear()
+        resumed = evaluate_workloads(
+            workloads,
+            seed=5,
+            retry=FAST_RETRY,
+            timeout_s=1e-9,
+            checkpoint_path=path,
+        )
+        assert repr(resumed) == repr(first)
+        record = resumed[0][0]
+        assert record.actual is None
+        assert record.failure is not None
+        assert record.failure.kind == "deadline"
+        assert record.failure.attempts == FAST_RETRY.max_attempts

@@ -1,0 +1,147 @@
+"""Retry policy: deterministic backoff, bounded attempts, failure reports."""
+
+import pytest
+
+from repro.errors import EstimationError, RetryExhaustedError
+from repro.resilience import DEFAULT_RETRY_POLICY, FailureReport, RetryPolicy, retry_call
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+
+    def test_rejects_submultiplicative_growth(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_rejects_out_of_range_jitter(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_default_policy_is_valid(self):
+        assert DEFAULT_RETRY_POLICY.max_attempts >= 2
+
+
+class TestBackoffDeterminism:
+    def test_same_seed_and_attempt_always_same_delay(self):
+        policy = RetryPolicy()
+        for attempt in range(4):
+            assert policy.delay_s(attempt, seed=7) == policy.delay_s(
+                attempt, seed=7
+            )
+
+    def test_different_seeds_decorrelate(self):
+        policy = RetryPolicy(jitter=0.5)
+        delays = {policy.delay_s(1, seed=s) for s in range(16)}
+        assert len(delays) > 1
+
+    def test_delay_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, max_delay_s=100.0, jitter=0.0
+        )
+        assert policy.delay_s(0) == pytest.approx(0.1)
+        assert policy.delay_s(1) == pytest.approx(0.2)
+        assert policy.delay_s(3) == pytest.approx(0.8)
+
+    def test_delay_respects_the_cap(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=10.0, max_delay_s=2.0, jitter=0.0
+        )
+        assert policy.delay_s(5) == pytest.approx(2.0)
+
+    def test_jitter_stays_within_the_band(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=1.0, max_delay_s=1.0, jitter=0.25
+        )
+        for seed in range(32):
+            delay = policy.delay_s(0, seed=seed)
+            assert 0.75 <= delay <= 1.25
+
+    def test_rejects_negative_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(-1)
+
+    def test_zero_base_delay_never_sleeps(self):
+        policy = RetryPolicy(base_delay_s=0.0)
+        assert policy.delay_s(0) == 0.0
+        assert policy.delay_s(3) == 0.0
+
+
+class TestRetryCall:
+    def test_returns_first_success(self):
+        calls = []
+
+        def action():
+            calls.append(1)
+            return "done"
+
+        result = retry_call(action, RetryPolicy(max_attempts=3), sleep=lambda s: None)
+        assert result == "done"
+        assert len(calls) == 1
+
+    def test_retries_until_success(self):
+        state = {"failures": 2}
+        slept = []
+
+        def action():
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                raise EstimationError("transient")
+            return 42
+
+        result = retry_call(
+            action,
+            RetryPolicy(max_attempts=3, base_delay_s=0.5, jitter=0.0),
+            sleep=slept.append,
+        )
+        assert result == 42
+        assert len(slept) == 2  # one backoff before each retry
+        assert slept[0] == pytest.approx(0.5)
+
+    def test_exhaustion_raises_with_attempts_and_cause(self):
+        def action():
+            raise EstimationError("always broken")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_call(
+                action,
+                RetryPolicy(max_attempts=2, base_delay_s=0.0),
+                sleep=lambda s: None,
+                label="truth",
+            )
+        error = excinfo.value
+        assert error.attempts == 2
+        assert isinstance(error.last_error, EstimationError)
+        assert "truth" in str(error)
+
+    def test_nonretryable_errors_propagate_immediately(self):
+        calls = []
+
+        def action():
+            calls.append(1)
+            raise KeyError("not a ReproError")
+
+        with pytest.raises(KeyError):
+            retry_call(action, RetryPolicy(max_attempts=5), sleep=lambda s: None)
+        assert len(calls) == 1
+
+
+class TestFailureReport:
+    def test_round_trips_through_dict(self):
+        report = FailureReport(
+            kind="deadline", attempts=3, elapsed_s=1.25, message="too slow"
+        )
+        assert FailureReport.from_dict(report.to_dict()) == report
+
+    def test_message_defaults_empty(self):
+        report = FailureReport.from_dict(
+            {"kind": "crash", "attempts": 1, "elapsed_s": 0.0}
+        )
+        assert report.message == ""

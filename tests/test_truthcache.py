@@ -124,6 +124,78 @@ class TestTruthCache:
             TruthCache(max_entries=0)
 
 
+class TestCorruptionDetection:
+    def test_tampered_entry_reads_as_a_miss(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        cache.put(database, query, 42)
+        assert cache.corrupt(database, query)
+        assert cache.get(database, query) is None
+        assert cache.stats.corruptions == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_tampered_entry_is_evicted_on_detection(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        cache.put(database, query, 42)
+        cache.corrupt(database, query)
+        cache.get(database, query)
+        assert len(cache) == 0  # the poisoned entry is gone
+        cache.put(database, query, 42)  # a clean re-fill works again
+        assert cache.get(database, query) == 42
+
+    def test_corrupt_on_absent_entry_reports_false(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        assert not cache.corrupt(database, query)
+        assert cache.stats.corruptions == 0
+
+    def test_corruption_does_not_count_an_eviction(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        cache.put(database, query, 42)
+        cache.corrupt(database, query)
+        cache.get(database, query)
+        assert cache.stats.evictions == 0  # capacity evictions only
+
+    def test_true_join_size_recomputes_through_corruption(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        honest = true_join_size(query, database, cache=cache)
+        cache.corrupt(database, query)
+        recomputed = true_join_size(query, database, cache=cache)
+        assert recomputed == honest
+        assert cache.stats.corruptions == 1
+        # The recomputation re-fills the cache with a verifiable entry.
+        assert cache.get(database, query) == honest
+
+    def test_stats_dict_round_trip(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        cache.put(database, query, 42)
+        cache.corrupt(database, query)
+        cache.get(database, query)
+        cache.get(database, query)  # second lookup: a clean miss
+        stats = cache.stats.to_dict()
+        assert stats == {
+            "hits": 0,
+            "misses": 2,
+            "evictions": 0,
+            "corruptions": 1,
+            "lookups": 2,
+        }
+
+    def test_clear_resets_corruption_count(self, chain):
+        query, database = chain
+        cache = TruthCache()
+        cache.put(database, query, 42)
+        cache.corrupt(database, query)
+        cache.get(database, query)
+        cache.clear()
+        assert cache.stats.corruptions == 0
+
+
 class TestTrueJoinSizeIntegration:
     def test_cache_round_trip_matches_execution(self, chain):
         query, database = chain
