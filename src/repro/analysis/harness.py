@@ -438,12 +438,18 @@ def _evaluate_pooled(
     while pending:
         outcomes: List[Tuple[int, str, object]] = []
         pool_error: Optional[BaseException] = None
+        pool = context.Pool(processes=min(workers, len(pending)))
         try:
-            with context.Pool(processes=min(workers, len(pending))) as pool:
-                for outcome in pool.imap_unordered(_evaluate_one, pending):
-                    outcomes.append(outcome)
+            for outcome in pool.imap_unordered(_evaluate_one, pending):
+                outcomes.append(outcome)
         except Exception as exc:  # the pool itself died; re-spawn below
             pool_error = exc
+        finally:
+            # terminate() alone (what ``with Pool(...)`` does) leaves the
+            # old workers unreaped; join() collects them before any
+            # re-spawn so a crash-retry loop cannot pile up zombies.
+            pool.terminate()
+            pool.join()
         retries: List[_Payload] = []
         by_index = {payload.index: payload for payload in pending}
         for index, status, data in outcomes:

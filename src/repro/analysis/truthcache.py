@@ -33,6 +33,7 @@ pass ``cache=None`` there to force re-execution.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -118,16 +119,23 @@ class TruthCache:
     entries are evicted least-recently-used once ``max_entries`` is
     reached.
 
-    Thread-unsafe by design (the harness parallelizes with processes, not
-    threads; each worker process holds its own cache).
+    Thread-safe: every access to the LRU map and the counters happens
+    under one internal lock, so the cache can back a threaded service (or
+    a thread pool inside one harness worker) without torn LRU state or
+    lost counter increments.  Fingerprinting and digest arithmetic stay
+    outside the critical section — only the map/stats mutation is
+    serialized.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self._max_entries = max_entries
-        self._entries: "OrderedDict[Tuple[str, str], Tuple[int, str]]" = OrderedDict()
-        self.stats = TruthCacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, str], Tuple[int, str]]" = (
+            OrderedDict()
+        )  # els: guarded_by=_lock
+        self.stats = TruthCacheStats()  # els: guarded_by=_lock
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -144,30 +152,33 @@ class TruthCache:
         miss (and counted in ``stats.corruptions``), so corruption can
         cost a re-execution but never a wrong ground truth.
         """
-        key = self.key(database, query)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        count, stored_digest = entry
-        if stored_digest != _entry_digest(key, count):
-            self._entries.pop(key, None)
-            self.stats.corruptions += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return count
+        key = self.key(database, query)  # fingerprint outside the lock
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            count, stored_digest = entry
+            if stored_digest != _entry_digest(key, count):
+                self._entries.pop(key, None)
+                self.stats.corruptions += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return count
 
     def put(self, database: Database, query: Query, count: int) -> None:
         """Store an executed count, evicting the LRU entry when full."""
-        key = self.key(database, query)
+        key = self.key(database, query)  # fingerprint outside the lock
         value = int(count)
-        self._entries[key] = (value, _entry_digest(key, value))
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        digest = _entry_digest(key, value)
+        with self._lock:
+            self._entries[key] = (value, digest)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def corrupt(self, database: Database, query: Query) -> bool:
         """Deliberately tamper with one entry (chaos/test hook).
@@ -179,17 +190,19 @@ class TruthCache:
         digest-verification path end to end.
         """
         key = self.key(database, query)
-        entry = self._entries.get(key)
-        if entry is None:
-            return False
-        count, stored_digest = entry
-        self._entries[key] = (count + 1, stored_digest)
-        return True
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            count, stored_digest = entry
+            self._entries[key] = (count + 1, stored_digest)
+            return True
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._entries.clear()
-        self.stats.reset()
+        with self._lock:
+            self._entries.clear()
+            self.stats.reset()
 
 
 #: The process-wide default cache used by :func:`repro.analysis.truth.true_join_size`.

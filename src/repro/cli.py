@@ -162,7 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint",
-        help="run the ELS static-analysis rules (ELS1xx/ELS3xx/ELS4xx) over sources",
+        help="run the ELS static-analysis rules (ELS1xx/ELS3xx/ELS4xx/ELS5xx) "
+        "over sources",
     )
     lint.add_argument("paths", nargs="+", help="files or directories to lint")
     lint.add_argument(
@@ -188,6 +189,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         dest="effects",
         help="disable the ELS4xx pass (the default)",
+    )
+    lint.add_argument(
+        "--concurrency",
+        action="store_true",
+        default=False,
+        help="also run the interprocedural ELS5xx concurrency-safety pass",
+    )
+    lint.add_argument(
+        "--no-concurrency",
+        action="store_false",
+        dest="concurrency",
+        help="disable the ELS5xx pass (the default)",
+    )
+    lint.add_argument(
+        "--statistics",
+        action="store_true",
+        default=False,
+        help="print per-rule hit counts to stderr after the findings",
     )
     lint.add_argument(
         "--jobs",
@@ -378,7 +397,9 @@ def _command_lint(args) -> int:
         args.format,
         dataflow=args.dataflow,
         effects=args.effects,
+        concurrency=args.concurrency,
         jobs=args.jobs,
+        statistics=args.statistics,
     )
 
 

@@ -1,6 +1,6 @@
 """Static analysis for the reproduction: code lint + query diagnostics.
 
-Three cooperating layers share one :class:`~repro.lint.diagnostics.Diagnostic`
+Five cooperating layers share one :class:`~repro.lint.diagnostics.Diagnostic`
 model and the text/JSON/SARIF renderers:
 
 * **Layer 1 — codebase lint** (:mod:`repro.lint.engine`,
@@ -29,6 +29,14 @@ model and the text/JSON/SARIF renderers:
   mutation, ambient RNG on evaluation paths, unpicklable pool payloads,
   stale digests, set-iteration order, missing copy-on-return, and
   mutable cache keys.  Exposed behind ``repro-els lint --effects``.
+* **Layer 5 — concurrency safety** (:mod:`repro.lint.concurrency`):
+  lock-discipline, async-blocking, and resource-lifecycle analysis
+  (``ELS500``-``ELS507``) over the same interprocedural index — unguarded
+  mutation of ``# els: guarded_by=`` state, inconsistent lock-acquisition
+  order, blocking calls inside ``async def``, locks held across blocking
+  calls or ``await``, shared-memory and pool lifecycle leaks, and
+  fork-unsafe import-state mutation in workers.  Exposed behind
+  ``repro-els lint --concurrency``.
 
 Inline ``# els: noqa`` / ``# els: noqa[ELS101]`` comments suppress
 findings on their line (unused suppressions warn as ``ELS199``).  See
@@ -36,6 +44,12 @@ findings on their line (unused suppressions warn as ``ELS199``).  See
 behind every rule.
 """
 
+from .concurrency import (
+    CONCURRENCY_CODES,
+    ConcurrencySummary,
+    analyze_modules as analyze_concurrency_modules,
+    analyze_source as analyze_concurrency_source,
+)
 from .dataflow import (
     DATAFLOW_CODES,
     AbstractValue,
@@ -71,10 +85,12 @@ from .render import render_json, render_sarif, render_text
 from .semantic import SEMANTIC_CODES, analyze_query, check_estimator_input
 
 __all__ = [
+    "CONCURRENCY_CODES",
     "DATAFLOW_CODES",
     "EFFECT_CODES",
     "SEMANTIC_CODES",
     "AbstractValue",
+    "ConcurrencySummary",
     "Diagnostic",
     "EffectSummary",
     "Quantity",
@@ -82,6 +98,8 @@ __all__ = [
     "LintRule",
     "ModuleUnderLint",
     "all_rules",
+    "analyze_concurrency_modules",
+    "analyze_concurrency_source",
     "analyze_effect_modules",
     "analyze_effect_source",
     "analyze_modules",

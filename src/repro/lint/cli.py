@@ -13,14 +13,20 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import IO, List, Optional, Sequence
+from typing import IO, Dict, List, Optional, Sequence
 
 from ..errors import LintError, ReproError
 from .diagnostics import Diagnostic, filter_diagnostics, has_errors
 from .engine import known_codes, lint_paths
 from .render import render_json, render_sarif, render_text
 
-__all__ = ["run_lint", "run_check", "render_diagnostics", "main"]
+__all__ = [
+    "run_lint",
+    "run_check",
+    "render_diagnostics",
+    "print_statistics",
+    "main",
+]
 
 
 def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
@@ -73,14 +79,19 @@ def run_lint(
     stream: Optional[IO[str]] = None,
     dataflow: bool = False,
     effects: bool = False,
+    concurrency: bool = False,
     jobs: int = 1,
+    statistics: bool = False,
 ) -> int:
     """Run the layer-1 rules over files/directories; print and exit-code.
 
     ``dataflow=True`` additionally runs the interprocedural ELS3xx
     quantity pass over the whole file set; ``effects=True`` the ELS4xx
-    effect-and-determinism pass.  ``jobs > 1`` fans per-file work out
+    effect-and-determinism pass; ``concurrency=True`` the ELS5xx
+    concurrency-safety pass.  ``jobs > 1`` fans per-file work out
     over a process pool (output is deterministic either way).
+    ``statistics=True`` prints per-rule hit counts to stderr after the
+    findings, so machine-readable stdout formats stay parseable.
 
     Raises:
         LintError: for unusable paths or filter lists (usage errors).
@@ -93,9 +104,33 @@ def run_lint(
         ignore=_split_codes(ignore),
         dataflow=dataflow,
         effects=effects,
+        concurrency=concurrency,
         jobs=jobs,
     )
-    return render_diagnostics(diagnostics, output_format, stream or sys.stdout)
+    exit_code = render_diagnostics(diagnostics, output_format, stream or sys.stdout)
+    if statistics:
+        print_statistics(diagnostics)
+    return exit_code
+
+
+def print_statistics(
+    diagnostics: Sequence[Diagnostic], stream: Optional[IO[str]] = None
+) -> None:
+    """Print per-rule hit counts (``--statistics``), sorted by code.
+
+    Goes to stderr by default: the findings on stdout stay parseable in
+    the json/sarif formats.
+    """
+    target = stream if stream is not None else sys.stderr
+    counts: Dict[str, int] = {}
+    for diagnostic in diagnostics:
+        counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+    print("per-rule statistics:", file=target)
+    if not counts:
+        print("  (no findings)", file=target)
+        return
+    for code in sorted(counts):
+        print(f"  {code}: {counts[code]}", file=target)
 
 
 def run_check(
@@ -179,6 +214,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="disable the ELS4xx pass (the default)",
     )
     parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        default=False,
+        help="also run the interprocedural ELS5xx concurrency-safety pass",
+    )
+    parser.add_argument(
+        "--no-concurrency",
+        action="store_false",
+        dest="concurrency",
+        help="disable the ELS5xx pass (the default)",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        default=False,
+        help="print per-rule hit counts to stderr after the findings",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -194,7 +247,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.format,
             dataflow=args.dataflow,
             effects=args.effects,
+            concurrency=args.concurrency,
             jobs=args.jobs,
+            statistics=args.statistics,
         )
     except LintError as exc:
         print(f"usage error: {exc}", file=sys.stderr)

@@ -1,0 +1,45 @@
+"""Layer 5 — the ELS5xx concurrency-safety lint.
+
+Static lock-discipline, async-blocking, and resource-lifecycle analysis
+over the same program index the ELS3xx/ELS4xx layers use.  Entry points:
+
+* :func:`analyze_modules` — the engine-facing driver over parsed modules.
+* :func:`analyze_source` — one in-memory module (tests, tools).
+* :data:`CONCURRENCY_CODES` — code -> (summary, severity) catalog.
+
+See :mod:`repro.lint.concurrency.analysis` for the rule catalog and
+:mod:`repro.lint.concurrency.summary` for the per-function scan and the
+interprocedural blocking/held-lock fixpoints.
+"""
+
+from .analysis import CONCURRENCY_CODES, analyze_modules, analyze_source
+from .summary import (
+    AcquisitionSite,
+    AwaitSite,
+    BlockingSite,
+    CallSite,
+    ConcurrencyScan,
+    ConcurrencySummary,
+    SharedMutation,
+    collect_concurrency_summaries,
+    collect_inherited_locks,
+    is_lock_name,
+    scan_function,
+)
+
+__all__ = [
+    "AcquisitionSite",
+    "AwaitSite",
+    "BlockingSite",
+    "CONCURRENCY_CODES",
+    "CallSite",
+    "ConcurrencyScan",
+    "ConcurrencySummary",
+    "SharedMutation",
+    "analyze_modules",
+    "analyze_source",
+    "collect_concurrency_summaries",
+    "collect_inherited_locks",
+    "is_lock_name",
+    "scan_function",
+]

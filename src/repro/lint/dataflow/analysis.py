@@ -751,8 +751,9 @@ def analyze_modules(modules: Iterable[object], max_passes: int = 8) -> List[Diag
             continue
         directives, malformed = parse_directives(module.source)
         for bad in malformed:
-            if bad.family == "effect":
-                # The effects layer owns the 'effect=' family (ELS400).
+            if bad.family in ("effect", "concurrency"):
+                # The effects layer owns the 'effect=' family (ELS400); the
+                # concurrency layer owns 'guarded_by='/'blocking=' (ELS500).
                 continue
             diagnostics.append(
                 Diagnostic(

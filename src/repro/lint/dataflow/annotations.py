@@ -24,12 +24,18 @@ Two cooperating conventions feed the dataflow analysis:
   line; a suppression that matches nothing is itself reported (ELS199).
   ``effect=...`` on a ``def`` line overrides the effect summary inferred
   by :mod:`repro.lint.effects` (``pure``, ``mutates``, ``nondet``).
+  ``guarded_by=<lock>`` on an attribute or module-global assignment
+  declares that the stored state must only be mutated while holding the
+  named lock (enforced as ELS501 by :mod:`repro.lint.concurrency`);
+  ``blocking=yes|no`` on a ``def`` line pins the blocking-ness summary
+  the same layer infers for ELS503/ELS504.
 
 Directives are extracted with :mod:`tokenize`, so the marker inside a
 string literal is never mistaken for a directive.  A comment that starts
 with the ``els:`` marker but does not parse yields an ELS300 diagnostic
-(or ELS400 for the ``effect=`` family) — a silently ignored annotation
-would be worse than none.
+(ELS400 for the ``effect=`` family, ELS500 for the ``guarded_by=`` /
+``blocking=`` family) — a silently ignored annotation would be worse
+than none.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ __all__ = [
     "MalformedDirective",
     "parse_directives",
     "quantity_from_name",
+    "BLOCKING_ALIASES",
     "EFFECT_ALIASES",
     "QUANTITY_ALIASES",
 ]
@@ -79,7 +86,18 @@ _DIRECTIVE_RE = re.compile(r"^#\s*els:\s*(?P<body>.*)$")
 _NOQA_RE = re.compile(r"^noqa(?:\[(?P<codes>[^\]]*)\])?$")
 _QUANTITY_RE = re.compile(r"^quantity\s*=\s*(?P<name>[A-Za-z_]+)$")
 _EFFECT_RE = re.compile(r"^effect\s*=\s*(?P<name>[A-Za-z_]+)$")
+_GUARDED_RE = re.compile(r"^guarded_by\s*=\s*(?P<name>\S+)$")
+_BLOCKING_RE = re.compile(r"^blocking\s*=\s*(?P<name>[A-Za-z_]+)$")
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 _CODE_RE = re.compile(r"^ELS\d{3}$")
+
+#: Accepted spellings on the right of ``blocking=`` -> pinned value.
+BLOCKING_ALIASES: Dict[str, bool] = {
+    "yes": True,
+    "true": True,
+    "no": False,
+    "false": False,
+}
 
 
 @dataclass(frozen=True)
@@ -88,12 +106,15 @@ class Directive:
 
     Attributes:
         line: 1-based source line the comment sits on.
-        kind: ``"noqa"``, ``"quantity"``, or ``"effect"``.
+        kind: ``"noqa"``, ``"quantity"``, ``"effect"``, ``"guarded_by"``,
+            or ``"blocking"``.
         codes: For ``noqa``: the exact codes suppressed (``None`` means a
             blanket suppression of every code on the line).
         quantity: For ``quantity``: the declared dimension.
         effect: For ``effect``: the canonical declared effect
             (``"pure"``, ``"mutates"``, or ``"nondet"``).
+        lock: For ``guarded_by``: the declared lock attribute/global name.
+        blocking: For ``blocking``: the pinned blocking-ness.
     """
 
     line: int
@@ -101,6 +122,8 @@ class Directive:
     codes: Optional[FrozenSet[str]] = None
     quantity: Optional[Quantity] = None
     effect: Optional[str] = None
+    lock: Optional[str] = None
+    blocking: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -109,7 +132,9 @@ class MalformedDirective:
 
     ``family`` routes the report to the owning layer: ``"effect"``
     directives are reported as ELS400 by :mod:`repro.lint.effects`,
-    everything else as ELS300 by :mod:`repro.lint.dataflow`.
+    ``"concurrency"`` directives as ELS500 by
+    :mod:`repro.lint.concurrency`, everything else as ELS300 by
+    :mod:`repro.lint.dataflow`.
     """
 
     line: int
@@ -190,10 +215,30 @@ def _parse_body(line: int, body: str):
                 f"unknown effect {name!r} (expected one of: {known})",
             )
         return Directive(line, "effect", effect=EFFECT_ALIASES[name])
+    guarded = _GUARDED_RE.match(body)
+    if guarded is not None:
+        name = guarded.group("name")
+        if not _IDENTIFIER_RE.match(name):
+            return (
+                "concurrency",
+                f"invalid lock name {name!r} in 'guarded_by=' "
+                "(expected a bare identifier such as '_lock')",
+            )
+        return Directive(line, "guarded_by", lock=name)
+    blocking = _BLOCKING_RE.match(body)
+    if blocking is not None:
+        name = blocking.group("name").lower()
+        if name not in BLOCKING_ALIASES:
+            known = ", ".join(sorted(BLOCKING_ALIASES))
+            return (
+                "concurrency",
+                f"unknown blocking value {name!r} (expected one of: {known})",
+            )
+        return Directive(line, "blocking", blocking=BLOCKING_ALIASES[name])
     return (
         "general",
         f"unrecognized directive {body!r} (expected 'noqa', 'noqa[...]', "
-        "'quantity=...', or 'effect=...')",
+        "'quantity=...', 'effect=...', 'guarded_by=...', or 'blocking=...')",
     )
 
 

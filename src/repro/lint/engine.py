@@ -147,6 +147,7 @@ def all_rules() -> Tuple[LintRule, ...]:
 
 def known_codes() -> Tuple[str, ...]:
     """Every diagnostic code any layer can emit (drives CLI validation)."""
+    from .concurrency import CONCURRENCY_CODES
     from .dataflow import DATAFLOW_CODES
     from .effects import EFFECT_CODES
     from .semantic import SEMANTIC_CODES
@@ -156,6 +157,7 @@ def known_codes() -> Tuple[str, ...]:
     codes.update(SEMANTIC_CODES)
     codes.update(DATAFLOW_CODES)
     codes.update(EFFECT_CODES)
+    codes.update(CONCURRENCY_CODES)
     return tuple(sorted(codes))
 
 
@@ -247,11 +249,13 @@ def lint_source(
     ignore: Optional[Sequence[str]] = None,
     dataflow: bool = False,
     effects: bool = False,
+    concurrency: bool = False,
 ) -> List[Diagnostic]:
     """Lint one source string and return its (filtered, sorted) findings.
 
     With ``dataflow=True`` the ELS3xx quantity-dimension pass also runs;
-    with ``effects=True`` the ELS4xx effect-and-determinism pass runs
+    with ``effects=True`` the ELS4xx effect-and-determinism pass runs;
+    with ``concurrency=True`` the ELS5xx concurrency-safety pass runs
     (function summaries stay within this one module).
     """
     try:
@@ -268,6 +272,10 @@ def lint_source(
         from .effects import analyze_modules as analyze_effect_modules
 
         findings.extend(analyze_effect_modules([module]))
+    if concurrency:
+        from .concurrency import analyze_modules as analyze_concurrency_modules
+
+        findings.extend(analyze_concurrency_modules([module]))
     findings = _apply_suppressions(_dedupe(findings), [module])
     return filter_diagnostics(findings, select, ignore)
 
@@ -334,13 +342,15 @@ def lint_paths(
     ignore: Optional[Sequence[str]] = None,
     dataflow: bool = False,
     effects: bool = False,
+    concurrency: bool = False,
     jobs: int = 1,
 ) -> List[Diagnostic]:
     """Lint files and directory trees; returns all findings, sorted.
 
     With ``dataflow=True`` the ELS3xx pass runs over the *whole* file set
     at once, so function summaries propagate across modules; the same
-    holds for the ELS4xx effect pass under ``effects=True``.  With
+    holds for the ELS4xx effect pass under ``effects=True`` and the
+    ELS5xx concurrency pass under ``concurrency=True``.  With
     ``jobs > 1`` per-file reading/parsing/rule-checking fans out over a
     process pool — the file list is sorted and ``pool.map`` preserves
     order, so output is byte-identical to a serial run.
@@ -363,7 +373,7 @@ def lint_paths(
     for path_str, source, file_findings, parsed_ok in results:
         findings.extend(file_findings)
         records.append((path_str, source, parsed_ok))
-    if dataflow or effects:
+    if dataflow or effects or concurrency:
         analysis_modules = [
             ModuleUnderLint(
                 path=path_str,
@@ -381,6 +391,12 @@ def lint_paths(
             from .effects import analyze_modules as analyze_effect_modules
 
             findings.extend(analyze_effect_modules(analysis_modules))
+        if concurrency:
+            from .concurrency import (
+                analyze_modules as analyze_concurrency_modules,
+            )
+
+            findings.extend(analyze_concurrency_modules(analysis_modules))
     sources = [_SourceRecord(path_str, source) for path_str, source, _ in records]
     findings = _apply_suppressions(_dedupe(findings), sources)
     return filter_diagnostics(findings, select, ignore)

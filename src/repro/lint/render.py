@@ -75,6 +75,7 @@ _SARIF_SCHEMA_URI = (
 
 def _rule_metadata(code: str) -> Dict[str, object]:
     """SARIF ``reportingDescriptor`` for one diagnostic code."""
+    from .concurrency import CONCURRENCY_CODES
     from .dataflow import DATAFLOW_CODES
     from .effects import EFFECT_CODES
     from .engine import SYNTAX_ERROR_CODE, UNUSED_SUPPRESSION_CODE, all_rules
@@ -86,6 +87,9 @@ def _rule_metadata(code: str) -> Dict[str, object]:
         level = _SARIF_LEVEL[severity]
     elif code in EFFECT_CODES:
         description, severity = EFFECT_CODES[code]
+        level = _SARIF_LEVEL[severity]
+    elif code in CONCURRENCY_CODES:
+        description, severity = CONCURRENCY_CODES[code]
         level = _SARIF_LEVEL[severity]
     elif code == SYNTAX_ERROR_CODE:
         description = "file does not parse"

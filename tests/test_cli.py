@@ -368,6 +368,56 @@ class TestLint:
         )
         assert main(["lint", str(path), "--effects", "--no-effects"]) == 0
 
+    def test_concurrency_flag_enables_els5xx(self, tmp_path, capsys):
+        path = tmp_path / "asyncmod.py"
+        path.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "async def serve():\n"
+            "    time.sleep(1)\n"
+        )
+        assert main(["lint", str(path)]) == 0
+        code = main(["lint", str(path), "--concurrency"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ELS503" in out
+
+    def test_no_concurrency_flag_wins_over_concurrency(self, tmp_path, capsys):
+        path = tmp_path / "asyncmod.py"
+        path.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "async def serve():\n"
+            "    time.sleep(1)\n"
+        )
+        assert (
+            main(["lint", str(path), "--concurrency", "--no-concurrency"]) == 0
+        )
+
+    def test_statistics_flag_prints_per_rule_counts_to_stderr(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "dirty.py"
+        path.write_text(
+            "def f(xs=[]):\n    return xs\n\nif __name__ == '__main__':\n    f()\n"
+        )
+        code = main(["lint", str(path), "--format", "json", "--statistics"])
+        captured = capsys.readouterr()
+        assert code == 1
+        json.loads(captured.out)  # stdout stays machine-parseable
+        assert "per-rule statistics:" in captured.err
+        assert "ELS104: 1" in captured.err
+
+    def test_statistics_on_clean_tree(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text('"""Docstring."""\n\nX = 1\n')
+        code = main(["lint", str(path), "--statistics"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "(no findings)" in captured.err
+
     def test_jobs_flag_output_matches_serial(self, tmp_path, capsys):
         for name, body in [
             ("dirty_a.py", "def f(xs=[]):\n    return xs\n"),
@@ -403,6 +453,12 @@ class TestLint:
 
         root = pathlib.Path(__file__).parent.parent
         assert main(["lint", str(root / "src"), "--dataflow"]) == 0
+
+    def test_repo_sources_are_concurrency_clean(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).parent.parent
+        assert main(["lint", str(root / "src"), "--concurrency"]) == 0
 
 
 class TestCheck:

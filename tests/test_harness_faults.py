@@ -134,3 +134,28 @@ class TestErrorWrapping:
         DEFAULT_TRUTH_CACHE.clear()
         healthy = evaluate_workloads(workloads, seed=3, retry=FAST_RETRY)
         assert repr(recovered) == repr(healthy)
+
+
+class TestPoolReaping:
+    def test_crash_fault_sweep_reaps_workers_and_matches_serial(self):
+        """A crash fault kills the pool mid-sweep; the re-spawn path must
+        terminate+join the dead pool (no lingering children) and the
+        retried sweep must still equal the serial run byte for byte."""
+        import multiprocessing
+
+        from repro.resilience import Fault, FaultPlan
+
+        workloads = small_workloads(3)
+        plan = FaultPlan(faults=(Fault(kind="crash", index=1),))
+        serial = evaluate_workloads(
+            workloads, seed=11, workers=1, retry=FAST_RETRY,
+            fault_plan=FaultPlan(),
+        )
+        DEFAULT_TRUTH_CACHE.clear()
+        pooled = evaluate_workloads(
+            workloads, seed=11, workers=2, retry=FAST_RETRY, fault_plan=plan
+        )
+        assert repr(pooled) == repr(serial)
+        # join() in the re-spawn path reaps every worker before return,
+        # so no child of the dead pool can still be running here.
+        assert multiprocessing.active_children() == []

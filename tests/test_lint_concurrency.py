@@ -1,0 +1,850 @@
+"""Tests for the ELS5xx concurrency-safety layer.
+
+Covers the ``guarded_by=``/``blocking=`` directive grammar (ELS500
+positive/negative), every diagnostic code ELS501-ELS507 with positive
+*and* negative snippets, the interprocedural blocking/held-lock
+fixpoints (blocking helper called transitively from ``async def``, a
+lock-order cycle spanning two modules), the dogfooded true positives
+(pre-fix ``TruthCache``/pool shapes), and the engine integration
+(``concurrency=`` flag, ``# els: noqa[ELS5xx]`` + ELS199).
+"""
+
+import ast
+import textwrap
+
+from repro.lint.concurrency import (
+    CONCURRENCY_CODES,
+    analyze_modules,
+    analyze_source,
+    is_lock_name,
+)
+from repro.lint.dataflow.annotations import parse_directives
+from repro.lint.engine import lint_source
+
+
+def codes(source):
+    return [d.code for d in analyze_source(textwrap.dedent(source))]
+
+
+def findings(source):
+    return analyze_source(textwrap.dedent(source))
+
+
+class _FakeModule:
+    def __init__(self, path, source):
+        self.path = path
+        self.source = textwrap.dedent(source)
+        self.tree = ast.parse(self.source)
+        self.is_test_file = False
+
+
+class TestDirectiveParsing:
+    def test_valid_guarded_by(self):
+        directives, malformed = parse_directives(
+            "self._entries = {}  # els: guarded_by=_lock\n"
+        )
+        assert malformed == []
+        assert directives[0].kind == "guarded_by"
+        assert directives[0].lock == "_lock"
+
+    def test_valid_blocking_aliases(self):
+        for spelling, value in (("yes", True), ("no", False), ("true", True)):
+            directives, malformed = parse_directives(
+                f"def f():  # els: blocking={spelling}\n    pass\n"
+            )
+            assert malformed == []
+            assert directives[0].kind == "blocking"
+            assert directives[0].blocking is value
+
+    def test_invalid_lock_name_is_concurrency_family(self):
+        _, malformed = parse_directives("x = {}  # els: guarded_by=a.b\n")
+        assert len(malformed) == 1
+        assert malformed[0].family == "concurrency"
+
+    def test_unknown_blocking_value_is_concurrency_family(self):
+        _, malformed = parse_directives(
+            "def f():  # els: blocking=maybe\n    pass\n"
+        )
+        assert malformed[0].family == "concurrency"
+
+    def test_is_lock_name(self):
+        assert is_lock_name("_lock")
+        assert is_lock_name("cache_mutex")
+        assert not is_lock_name("entries")
+
+
+class TestELS500:
+    def test_malformed_directive_fires(self):
+        assert "ELS500" in codes("x = {}  # els: guarded_by=a.b\n")
+
+    def test_misplaced_blocking_fires(self):
+        assert "ELS500" in codes(
+            """
+            def f():
+                x = 1  # els: blocking=yes
+                return x
+            """
+        )
+
+    def test_guard_without_matching_assignment_fires(self):
+        assert "ELS500" in codes(
+            """
+            def f():
+                return 1  # els: guarded_by=_lock
+            """
+        )
+
+    def test_guard_naming_unknown_lock_fires(self):
+        assert "ELS500" in codes(
+            """
+            class C:
+                def __init__(self):
+                    self._entries = {}  # els: guarded_by=_lock
+            """
+        )
+
+    def test_wellformed_guard_is_clean(self):
+        assert codes(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}  # els: guarded_by=_lock
+            """
+        ) == []
+
+    def test_module_level_guard_is_clean(self):
+        assert codes(
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            _STATE = {}  # els: guarded_by=_LOCK
+            """
+        ) == []
+
+
+class TestELS501:
+    GUARDED_CLASS = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}  # els: guarded_by=_lock
+    """
+
+    def test_unguarded_mutation_fires(self):
+        assert "ELS501" in codes(
+            self.GUARDED_CLASS
+            + """
+            def put(self, k, v):
+                self._entries[k] = v
+            """
+        )
+
+    def test_unguarded_mutator_method_fires(self):
+        assert "ELS501" in codes(
+            self.GUARDED_CLASS
+            + """
+            def drop(self, k):
+                self._entries.pop(k, None)
+            """
+        )
+
+    def test_mutation_under_with_lock_is_clean(self):
+        assert codes(
+            self.GUARDED_CLASS
+            + """
+            def put(self, k, v):
+                with self._lock:
+                    self._entries[k] = v
+            """
+        ) == []
+
+    def test_mutation_under_acquire_release_is_clean(self):
+        assert codes(
+            self.GUARDED_CLASS
+            + """
+            def put(self, k, v):
+                self._lock.acquire()
+                self._entries[k] = v
+                self._lock.release()
+            """
+        ) == []
+
+    def test_helper_called_only_under_lock_is_clean(self):
+        """Top-down inherited-locks fixpoint: a private helper invoked
+        exclusively under the lock inherits the guarantee."""
+        assert codes(
+            self.GUARDED_CLASS
+            + """
+            def put(self, k, v):
+                with self._lock:
+                    self._store(k, v)
+
+            def _store(self, k, v):
+                self._entries[k] = v
+            """
+        ) == []
+
+    def test_helper_with_one_unlocked_caller_fires(self):
+        assert "ELS501" in codes(
+            self.GUARDED_CLASS
+            + """
+            def put(self, k, v):
+                with self._lock:
+                    self._store(k, v)
+
+            def put_fast(self, k, v):
+                self._store(k, v)
+
+            def _store(self, k, v):
+                self._entries[k] = v
+            """
+        )
+
+    def test_module_global_guard_fires(self):
+        assert "ELS501" in codes(
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            _STATE = {}  # els: guarded_by=_LOCK
+
+            def record(k, v):
+                _STATE[k] = v
+            """
+        )
+
+    def test_augassign_through_attribute_fires(self):
+        assert "ELS501" in codes(
+            self.GUARDED_CLASS.replace("_entries = {}", "stats = Stats()")
+            + """
+            def touch(self):
+                self.stats.hits += 1
+            """
+        )
+
+    def test_read_access_is_not_a_mutation(self):
+        assert codes(
+            self.GUARDED_CLASS
+            + """
+            def peek(self, k):
+                return self._entries.get(k)
+            """
+        ) == []
+
+    def test_pre_fix_truthcache_shape_fires(self):
+        """The dogfooded true positive: the pre-PR TruthCache mutated its
+        LRU map and stats with no lock at all."""
+        diagnostics = findings(
+            """
+            import threading
+
+            class TruthCache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}  # els: guarded_by=_lock
+
+                def get(self, key):
+                    entry = self._entries.get(key)
+                    if entry is None:
+                        return None
+                    self._entries.pop(key, None)
+                    return entry
+            """
+        )
+        assert [d.code for d in diagnostics] == ["ELS501"]
+        assert "_entries" in diagnostics[0].message
+
+
+class TestELS502:
+    def test_opposite_orders_fire(self):
+        found = codes(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def one():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            def two():
+                with lock_b:
+                    with lock_a:
+                        pass
+            """
+        )
+        assert found.count("ELS502") == 2
+
+    def test_consistent_order_is_clean(self):
+        assert codes(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def one():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            def two():
+                with lock_a:
+                    with lock_b:
+                        pass
+            """
+        ) == []
+
+    def test_cross_module_cycle_fires(self):
+        """Interprocedural: module one takes A then calls into module two,
+        which takes B then calls a helper taking A — via the bottom-up
+        acquires summary."""
+        module_one = _FakeModule(
+            "one.py",
+            """
+            import threading
+
+            lock_a = threading.Lock()
+
+            def outer():
+                with lock_a:
+                    middle()
+            """,
+        )
+        module_two = _FakeModule(
+            "two.py",
+            """
+            import threading
+
+            lock_b = threading.Lock()
+
+            def middle():
+                with lock_b:
+                    inner()
+
+            def inner():
+                from one import lock_a
+                with lock_a:
+                    pass
+            """,
+        )
+        found = [d.code for d in analyze_modules([module_one, module_two])]
+        assert "ELS502" in found
+
+    def test_reentrant_same_lock_is_not_an_edge(self):
+        assert codes(
+            """
+            import threading
+
+            lock_a = threading.RLock()
+
+            def f():
+                with lock_a:
+                    with lock_a:
+                        pass
+            """
+        ) == []
+
+
+class TestELS503:
+    def test_time_sleep_in_async_fires(self):
+        assert "ELS503" in codes(
+            """
+            import time
+
+            async def f():
+                time.sleep(1)
+            """
+        )
+
+    def test_subprocess_in_async_fires(self):
+        assert "ELS503" in codes(
+            """
+            import subprocess
+
+            async def f():
+                subprocess.run(["ls"])
+            """
+        )
+
+    def test_path_io_in_async_fires(self):
+        assert "ELS503" in codes(
+            """
+            async def f(path):
+                return path.read_text()
+            """
+        )
+
+    def test_blocking_helper_called_transitively_fires(self):
+        """Interprocedural: async -> sync wrapper -> sync sleeper."""
+        assert "ELS503" in codes(
+            """
+            import time
+
+            def sleeper():
+                time.sleep(1)
+
+            def wrapper():
+                sleeper()
+
+            async def f():
+                wrapper()
+            """
+        )
+
+    def test_blocking_no_pin_silences_transitive_report(self):
+        assert codes(
+            """
+            import time
+
+            def wrapper():  # els: blocking=no
+                pass
+
+            async def f():
+                wrapper()
+            """
+        ) == []
+
+    def test_deadline_busy_wait_fires(self):
+        assert "ELS503" in codes(
+            """
+            async def spin(deadline):
+                while True:
+                    if deadline.check():
+                        break
+            """
+        )
+
+    def test_loop_with_await_is_clean(self):
+        assert codes(
+            """
+            import asyncio
+
+            async def poll(deadline):
+                while not deadline.expired():
+                    await asyncio.sleep(0.01)
+            """
+        ) == []
+
+    def test_sync_function_may_block(self):
+        assert codes(
+            """
+            import time
+
+            def f():
+                time.sleep(1)
+            """
+        ) == []
+
+
+class TestELS504:
+    def test_sleep_under_lock_fires(self):
+        assert "ELS504" in codes(
+            """
+            import threading
+            import time
+
+            _LOCK = threading.Lock()
+
+            def f():
+                with _LOCK:
+                    time.sleep(0.5)
+            """
+        )
+
+    def test_await_under_sync_lock_fires(self):
+        assert "ELS504" in codes(
+            """
+            import asyncio
+            import threading
+
+            _LOCK = threading.Lock()
+
+            async def f():
+                with _LOCK:
+                    await asyncio.sleep(0)
+            """
+        )
+
+    def test_async_lock_across_await_is_clean(self):
+        assert codes(
+            """
+            import asyncio
+
+            async def f(lock):
+                async with lock:
+                    await asyncio.sleep(0)
+            """
+        ) == []
+
+    def test_blocking_callee_under_lock_fires(self):
+        assert "ELS504" in codes(
+            """
+            import threading
+            import time
+
+            _LOCK = threading.Lock()
+
+            def slow():
+                time.sleep(1)
+
+            def f():
+                with _LOCK:
+                    slow()
+            """
+        )
+
+    def test_sleep_after_release_is_clean(self):
+        assert codes(
+            """
+            import threading
+            import time
+
+            _LOCK = threading.Lock()
+
+            def f():
+                with _LOCK:
+                    pass
+                time.sleep(0.5)
+            """
+        ) == []
+
+
+class TestELS505:
+    def test_missing_unlink_on_creator_fires(self):
+        found = findings(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def f(name):
+                shm = SharedMemory(name=name, create=True, size=64)
+                shm.buf[0] = 1
+                shm.close()
+            """
+        )
+        assert [d.code for d in found] == ["ELS505"]
+        assert "unlink" in found[0].message
+
+    def test_missing_close_on_early_return_fires(self):
+        assert "ELS505" in codes(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def f(name, fast):
+                shm = SharedMemory(name=name)
+                if fast:
+                    return None
+                value = shm.buf[0]
+                shm.close()
+                return value
+            """
+        )
+
+    def test_finally_close_covers_every_path(self):
+        assert codes(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def f(name, fast):
+                shm = SharedMemory(name=name, create=True, size=64)
+                try:
+                    if fast:
+                        return None
+                    return shm.buf[0]
+                finally:
+                    shm.close()
+                    shm.unlink()
+            """
+        ) == []
+
+    def test_attachment_needs_no_unlink(self):
+        assert codes(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def f(name):
+                shm = SharedMemory(name=name)
+                value = shm.buf[0]
+                shm.close()
+                return value
+            """
+        ) == []
+
+    def test_returned_handle_is_exempt(self):
+        assert codes(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def f(name):
+                shm = SharedMemory(name=name, create=True, size=64)
+                return shm
+            """
+        ) == []
+
+
+class TestELS506:
+    def test_pre_fix_harness_shape_fires(self):
+        """The dogfooded true positive: a bare pool whose exception path
+        skips join() leaks the dead workers before the re-spawn."""
+        found = findings(
+            """
+            from multiprocessing import Pool
+
+            def sweep(payloads):
+                outcomes = []
+                pool = Pool(4)
+                try:
+                    for outcome in pool.imap_unordered(str, payloads):
+                        outcomes.append(outcome)
+                except Exception:
+                    pass
+                return outcomes
+            """
+        )
+        assert [d.code for d in found] == ["ELS506"]
+        assert "join" in found[0].message
+
+    def test_terminate_join_in_finally_is_clean(self):
+        assert codes(
+            """
+            from multiprocessing import Pool
+
+            def sweep(payloads):
+                outcomes = []
+                pool = Pool(4)
+                try:
+                    for outcome in pool.imap_unordered(str, payloads):
+                        outcomes.append(outcome)
+                except Exception:
+                    pass
+                finally:
+                    pool.terminate()
+                    pool.join()
+                return outcomes
+            """
+        ) == []
+
+    def test_context_manager_pool_is_clean(self):
+        assert codes(
+            """
+            from multiprocessing import Pool
+
+            def sweep(payloads):
+                with Pool(4) as pool:
+                    return pool.map(str, payloads)
+            """
+        ) == []
+
+    def test_executor_without_shutdown_fires(self):
+        assert "ELS506" in codes(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def f(items):
+                executor = ThreadPoolExecutor(4)
+                return [executor.submit(str, item) for item in items]
+            """
+        )
+
+    def test_executor_with_shutdown_is_clean(self):
+        assert codes(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def f(items):
+                executor = ThreadPoolExecutor(4)
+                try:
+                    return [executor.submit(str, item) for item in items]
+                finally:
+                    executor.shutdown()
+            """
+        ) == []
+
+
+class TestELS507:
+    def test_worker_mutating_module_global_warns(self):
+        found = findings(
+            """
+            from multiprocessing import Pool
+
+            _RESULTS = {}
+
+            def worker(item):
+                _RESULTS[item] = item * 2
+                return item
+
+            def drive(items):
+                with Pool(2) as pool:
+                    return pool.map(worker, items)
+            """
+        )
+        assert [d.code for d in found] == ["ELS507"]
+        assert found[0].severity.value == "warning"
+
+    def test_transitively_reached_mutation_warns(self):
+        assert "ELS507" in codes(
+            """
+            from multiprocessing import Pool
+
+            _RESULTS = {}
+
+            def record(item):
+                _RESULTS[item] = item
+
+            def worker(item):
+                record(item)
+                return item
+
+            def drive(items):
+                with Pool(2) as pool:
+                    return pool.map(worker, items)
+            """
+        )
+
+    def test_pure_worker_is_clean(self):
+        assert codes(
+            """
+            from multiprocessing import Pool
+
+            def worker(item):
+                return item * 2
+
+            def drive(items):
+                with Pool(2) as pool:
+                    return pool.map(worker, items)
+            """
+        ) == []
+
+    def test_unshipped_mutator_is_clean(self):
+        assert codes(
+            """
+            _RESULTS = {}
+
+            def record(item):
+                _RESULTS[item] = item
+            """
+        ) == []
+
+
+class TestSummaries:
+    def test_blocking_propagates_bottom_up(self):
+        assert "ELS503" in codes(
+            """
+            import time
+
+            def a():
+                time.sleep(1)
+
+            def b():
+                a()
+
+            def c():
+                b()
+
+            async def f():
+                c()
+            """
+        )
+
+    def test_acquires_union_propagates(self):
+        """Lock order via a callee's transitive acquisition."""
+        found = codes(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def take_b():
+                with lock_b:
+                    pass
+
+            def ab():
+                with lock_a:
+                    take_b()
+
+            def ba():
+                with lock_b:
+                    with lock_a:
+                        pass
+            """
+        )
+        assert "ELS502" in found
+
+
+class TestEngineIntegration:
+    def test_concurrency_flag_off_by_default(self):
+        source = textwrap.dedent(
+            """
+            import time
+
+            async def f():
+                time.sleep(1)
+            """
+        )
+        assert all(
+            d.code != "ELS503" for d in lint_source(source, path="mod.py")
+        )
+
+    def test_concurrency_flag_on(self):
+        source = textwrap.dedent(
+            """
+            import time
+
+            async def f():
+                time.sleep(1)
+            """
+        )
+        found = lint_source(source, path="mod.py", concurrency=True)
+        assert any(d.code == "ELS503" for d in found)
+
+    def test_noqa_suppresses_els5xx(self):
+        source = textwrap.dedent(
+            """
+            import time
+
+            async def f():
+                time.sleep(1)  # els: noqa[ELS503]
+            """
+        )
+        found = lint_source(source, path="mod.py", concurrency=True)
+        assert all(d.code != "ELS503" for d in found)
+
+    def test_unused_els5_suppression_reports_els199(self):
+        source = textwrap.dedent(
+            """
+            async def f():
+                return 1  # els: noqa[ELS503]
+            """
+        )
+        found = lint_source(source, path="mod.py", concurrency=True)
+        assert any(d.code == "ELS199" for d in found)
+
+    def test_test_files_are_skipped(self):
+        module = _FakeModule(
+            "test_example.py",
+            """
+            import time
+
+            async def f():
+                time.sleep(1)
+            """,
+        )
+        module.is_test_file = True
+        assert analyze_modules([module]) == []
+
+    def test_every_code_has_metadata(self):
+        assert set(CONCURRENCY_CODES) == {
+            f"ELS50{i}" for i in range(8)
+        }
+        for summary, severity in CONCURRENCY_CODES.values():
+            assert summary
+            assert severity.value in ("error", "warning")

@@ -63,6 +63,18 @@ def sample_diagnostics():
             line=44,
             col=11,
         ),
+        Diagnostic(
+            code="ELS504",
+            message=(
+                "blocking call time.sleep() while holding lock "
+                "'TruthCache._lock' serializes every waiter"
+            ),
+            severity=Severity.ERROR,
+            file="src/repro/core/foo.py",
+            line=58,
+            col=8,
+            hint="move the blocking work outside the critical section",
+        ),
     ]
 
 
@@ -87,7 +99,7 @@ class TestSarifShape:
     def test_levels_map_per_spec(self):
         log = json.loads(render_sarif(sample_diagnostics()))
         levels = [r["level"] for r in log["runs"][0]["results"]]
-        assert levels == ["error", "warning", "error", "error"]
+        assert levels == ["error", "warning", "error", "error", "error"]
 
     def test_rule_index_points_into_rules_array(self):
         log = json.loads(render_sarif(sample_diagnostics()))

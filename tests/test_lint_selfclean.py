@@ -43,3 +43,13 @@ def test_tree_is_effects_clean(tree):
         pytest.skip(f"no {tree}/ directory")
     diagnostics = lint_paths([str(path)], select=["ELS4"], effects=True)
     assert diagnostics == [], "\n" + render_text(diagnostics)
+
+
+@pytest.mark.parametrize("tree", ["src", "tests", "benchmarks", "examples"])
+def test_tree_is_concurrency_clean(tree):
+    """The ELS5xx concurrency pass must also report nothing on the tree."""
+    path = ROOT / tree
+    if not path.is_dir():
+        pytest.skip(f"no {tree}/ directory")
+    diagnostics = lint_paths([str(path)], select=["ELS5"], concurrency=True)
+    assert diagnostics == [], "\n" + render_text(diagnostics)

@@ -229,3 +229,58 @@ class TestTrueJoinSizeIntegration:
         assert after == 2 * before
         assert cache.stats.misses == 2
         assert len(cache) == 2
+
+
+class TestThreadSafety:
+    def test_two_thread_hammer_keeps_stats_and_lru_consistent(self, chain):
+        """Concurrent get/put from two threads must not tear the LRU map
+        or lose counter increments: hits + misses == lookups exactly, and
+        the entry count never exceeds the capacity."""
+        import threading
+
+        query, database = chain
+        cache = TruthCache(max_entries=8)
+        rounds = 300
+        errors = []
+
+        def hammer(worker_seed):
+            try:
+                for i in range(rounds):
+                    if (worker_seed + i) % 3 == 0:
+                        cache.put(database, query, 42)
+                    else:
+                        value = cache.get(database, query)
+                        assert value in (None, 42)
+            except Exception as exc:  # pragma: no cover - only on a race
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert cache.stats.hits + cache.stats.misses == cache.stats.lookups
+        gets = sum(1 for s in (0, 1) for i in range(rounds) if (s + i) % 3 != 0)
+        assert cache.stats.lookups == gets
+        assert len(cache) <= 8
+
+    def test_concurrent_puts_respect_capacity(self, chain):
+        import threading
+
+        query, database = chain
+        cache = TruthCache(max_entries=4)
+
+        def fill():
+            for count in range(100):
+                cache.put(database, query, count)
+
+        threads = [threading.Thread(target=fill) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 4
+        assert cache.get(database, query) is not None
