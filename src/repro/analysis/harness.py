@@ -491,7 +491,7 @@ def _evaluate_pooled(
     return results
 
 
-def evaluate_workloads(
+def evaluate_workloads(  # els: hot=yes
     workloads: Sequence[GeneratedWorkload],
     algorithms: Iterable[AlgorithmSpec] = PAPER_ALGORITHMS,
     seed: int = 0,
@@ -556,10 +556,16 @@ def evaluate_workloads(
     results: Dict[int, List[AccuracyRecord]] = {}
     pending: List[_Payload] = payloads
     if checkpoint_path is not None:
+        # Each payload fingerprint digests the full workload spec; compute
+        # them once up front rather than once per resume lookup plus once
+        # per checkpoint append.
+        fingerprints = {
+            payload.index: payload.fingerprint() for payload in payloads
+        }
         completed = load_checkpoint(checkpoint_path)
         pending = []
         for payload in payloads:
-            entry = completed.get(payload.fingerprint())
+            entry = completed.get(fingerprints[payload.index])
             if entry is None:
                 pending.append(payload)
             else:
@@ -577,7 +583,7 @@ def evaluate_workloads(
             records = fresh[payload.index]
             append_checkpoint(
                 checkpoint_path,
-                payload.fingerprint(),
+                fingerprints[payload.index],
                 payload.index,
                 [_record_to_dict(r) for r in records],
             )

@@ -124,7 +124,8 @@ def _greedy_order(query: Query, database: Database) -> List[str]:
         relation: database.table(query.base_table(relation)).row_count
         for relation in query.tables
     }
-    remaining = sorted(query.tables, key=lambda r: (sizes[r], r))
+    rank = lambda r: (sizes[r], r)
+    remaining = sorted(query.tables, key=rank)
     order = [remaining.pop(0)]
     joined = frozenset(order)
     while remaining:
@@ -132,7 +133,7 @@ def _greedy_order(query: Query, database: Database) -> List[str]:
             r for r in remaining if _eligible(query.predicates, joined, r)
         ]
         pool = connected or remaining
-        chosen = min(pool, key=lambda r: (sizes[r], r))
+        chosen = min(pool, key=rank)
         remaining.remove(chosen)
         order.append(chosen)
         joined = joined | {chosen}

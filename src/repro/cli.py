@@ -162,8 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint",
-        help="run the ELS static-analysis rules (ELS1xx/ELS3xx/ELS4xx/ELS5xx) "
-        "over sources",
+        help="run the ELS static-analysis rules "
+        "(ELS1xx/ELS3xx/ELS4xx/ELS5xx/ELS6xx) over sources",
     )
     lint.add_argument("paths", nargs="+", help="files or directories to lint")
     lint.add_argument(
@@ -203,17 +203,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the ELS5xx pass (the default)",
     )
     lint.add_argument(
+        "--perf",
+        action="store_true",
+        default=False,
+        help="also run the interprocedural ELS6xx hot-path performance pass",
+    )
+    lint.add_argument(
+        "--no-perf",
+        action="store_false",
+        dest="perf",
+        help="disable the ELS6xx pass (the default)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_false",
+        dest="cache",
+        default=True,
+        help="bypass the incremental lint cache and re-analyze everything",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the incremental lint cache (default .repro-lint-cache)",
+    )
+    lint.add_argument(
         "--statistics",
         action="store_true",
         default=False,
-        help="print per-rule hit counts to stderr after the findings",
+        help="print per-rule hit counts and cache counters to stderr",
     )
     lint.add_argument(
         "--jobs",
         type=int,
         default=1,
         metavar="N",
-        help="lint files with N parallel worker processes (default 1)",
+        help="lint files with N parallel worker processes (0 = one per CPU)",
     )
     _add_diagnostic_args(lint)
 
@@ -400,6 +425,9 @@ def _command_lint(args) -> int:
         concurrency=args.concurrency,
         jobs=args.jobs,
         statistics=args.statistics,
+        perf=args.perf,
+        use_cache=args.cache,
+        cache_dir=args.cache_dir,
     )
 
 

@@ -84,6 +84,12 @@ class PreparedJoinPredicate:
         return self.predicate.tables
 
 
+def _by_selectivity(prepared: PreparedJoinPredicate) -> float:
+    """Sort key for Rules SS/LS (module-level: the per-class min/max in
+    ``_combine`` runs on the estimation hot path)."""
+    return prepared.selectivity
+
+
 @dataclass(frozen=True)
 class EstimateState:
     """An intermediate result during incremental estimation."""
@@ -499,9 +505,9 @@ class JoinSizeEstimator:
             if self._config.rule is SelectivityRule.MULTIPLICATIVE:
                 used.extend(members)
             elif self._config.rule is SelectivityRule.SMALLEST:
-                used.append(min(members, key=lambda m: m.selectivity))
+                used.append(min(members, key=_by_selectivity))
             elif self._config.rule is SelectivityRule.LARGEST:
-                used.append(max(members, key=lambda m: m.selectivity))
+                used.append(max(members, key=_by_selectivity))
             else:
                 used.extend(members)
         return total, tuple(used)

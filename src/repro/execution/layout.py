@@ -182,12 +182,16 @@ def compile_join_condition(
     return condition.keys, condition.residual
 
 
-def split_join_condition(
+def split_join_condition(  # els: hot=no
     predicates: Sequence[ComparisonPredicate],
     left: Layout,
     right: Layout,
 ) -> JoinCondition:
     """Like :func:`compile_join_condition`, exposing residual presence.
+
+    Pinned cold (``hot=no``): this runs once per operator construction to
+    *build* the per-predicate row closures; only the closures themselves
+    run per row, so the lambda allocations here are intentional.
 
     Raises:
         ExecutionError: if a predicate references columns outside the two

@@ -230,15 +230,21 @@ class NestedLoopJoinOp(_JoinOp):
             deadline.check(self._stats.label)
         result: List[Row] = []
         comparisons = 0
+        # Extract the outer key once per outer row instead of re-extracting
+        # it per inner row; tuple equality compares elementwise, so the
+        # match semantics are those of the old per-pair key comparison, and
+        # a key-less join (pure residual/cross) matches every pair.
+        left_key, right_key = self._key_functions() if keys else (None, None)
         for left_row in outer:
             if deadline is not None:
                 # One unit per inner-row comparison this outer row costs.
                 deadline.tick(max(1, len(inner)), self._stats.label)
+            outer_key = left_key(left_row) if left_key is not None else None
             for right_row in inner:
                 comparisons += 1
-                if all(left_row[a] == right_row[b] for a, b in keys) and residual(
-                    left_row, right_row
-                ):
+                if (
+                    right_key is None or right_key(right_row) == outer_key
+                ) and residual(left_row, right_row):
                     result.append(left_row + right_row)
         self._stats.comparisons += comparisons
         self._stats.rows_out += len(result)

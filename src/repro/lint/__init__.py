@@ -1,6 +1,6 @@
 """Static analysis for the reproduction: code lint + query diagnostics.
 
-Five cooperating layers share one :class:`~repro.lint.diagnostics.Diagnostic`
+Six cooperating layers share one :class:`~repro.lint.diagnostics.Diagnostic`
 model and the text/JSON/SARIF renderers:
 
 * **Layer 1 — codebase lint** (:mod:`repro.lint.engine`,
@@ -37,6 +37,21 @@ model and the text/JSON/SARIF renderers:
   calls or ``await``, shared-memory and pool lifecycle leaks, and
   fork-unsafe import-state mutation in workers.  Exposed behind
   ``repro-els lint --concurrency``.
+* **Layer 6 — hot-path performance** (:mod:`repro.lint.perf`): a
+  bottom-up *hotness* fixpoint over the interprocedural call graph
+  (roots: estimation/execution entry points, plus ``# els: hot=yes``
+  pins; ``hot=no`` blocks propagation) gates hazard rules
+  (``ELS600``-``ELS607``) that flag row-at-a-time iteration, quadratic
+  membership tests and accumulation, repeated digest work, and
+  allocation-heavy constructs inside loops — but only where the code is
+  actually hot.  Exposed behind ``repro-els lint --perf``.
+
+Lint runs are **incremental** by default: a content-addressed cache
+(:mod:`repro.lint.cache`, ``.repro-lint-cache/``) keyed by file bytes
+and the rule-set fingerprint replays per-file findings and per-component
+interprocedural results byte-identically, so warm runs re-analyze
+nothing and a one-file edit re-analyzes only that file's dependency
+component (``--no-cache`` bypasses it).
 
 Inline ``# els: noqa`` / ``# els: noqa[ELS101]`` comments suppress
 findings on their line (unused suppressions warn as ``ELS199``).  See
@@ -44,6 +59,7 @@ findings on their line (unused suppressions warn as ``ELS199``).  See
 behind every rule.
 """
 
+from .cache import LintCache, content_digest, ruleset_fingerprint
 from .concurrency import (
     CONCURRENCY_CODES,
     ConcurrencySummary,
@@ -81,6 +97,12 @@ from .engine import (
     lint_source,
     register,
 )
+from .perf import (
+    PERF_CODES,
+    HotIndex,
+    analyze_modules as analyze_perf_modules,
+    analyze_source as analyze_perf_source,
+)
 from .render import render_json, render_sarif, render_text
 from .semantic import SEMANTIC_CODES, analyze_query, check_estimator_input
 
@@ -88,11 +110,14 @@ __all__ = [
     "CONCURRENCY_CODES",
     "DATAFLOW_CODES",
     "EFFECT_CODES",
+    "PERF_CODES",
     "SEMANTIC_CODES",
     "AbstractValue",
     "ConcurrencySummary",
     "Diagnostic",
     "EffectSummary",
+    "HotIndex",
+    "LintCache",
     "Quantity",
     "Severity",
     "LintRule",
@@ -103,10 +128,13 @@ __all__ = [
     "analyze_effect_modules",
     "analyze_effect_source",
     "analyze_modules",
+    "analyze_perf_modules",
+    "analyze_perf_source",
     "analyze_query",
     "analyze_source",
     "check_estimator_input",
     "code_matches",
+    "content_digest",
     "count_by_severity",
     "filter_diagnostics",
     "has_errors",
@@ -118,4 +146,5 @@ __all__ = [
     "render_json",
     "render_sarif",
     "render_text",
+    "ruleset_fingerprint",
 ]

@@ -1,0 +1,473 @@
+"""The incremental, content-addressed lint cache.
+
+Re-running five analysis layers over an unchanged tree is wasted work —
+the lint stack had become the slowest step in CI and pre-commit.  This
+module makes warm runs cheap while keeping one invariant absolute:
+**cached output is byte-identical to a cold run**.  The cache may only
+ever save time, never change a verdict.
+
+Two entry kinds live under the cache root (``.repro-lint-cache/`` by
+default):
+
+* **File entries** (``files/<key>.json``) — the layer-1 rule findings of
+  one file, its ``noqa`` suppressions, and a name *interface* (terminal
+  names defined / referenced).  Keyed by the blake2b digest of the raw
+  file bytes + the path + the rule-set fingerprint, so an edit, a rename,
+  or a linter upgrade each miss.
+* **Component entries** (``components/<key>.json``) — the findings and
+  per-module summaries of the interprocedural passes (ELS3xx–ELS6xx)
+  over one *dependency component*.  Keyed by the digests of every member
+  file + the fingerprint + the enabled passes.
+
+Why components and not the import graph: the analyses resolve calls with
+:meth:`repro.lint.dataflow.summaries.Program.resolve_call`, whose last
+step matches a *globally unique terminal name* across the whole file set
+— no import required.  A sound invalidation unit must therefore close
+over shared names, not just imports.  Files are grouped by the
+undirected relation "A references a terminal name B defines" (imports,
+calls, attribute calls, and base classes all count as references); its
+connected components are exactly the sets within which the analyses can
+see each other, so analyzing a component alone equals the whole-program
+run restricted to it — including the uniqueness test, because *every*
+definer of a referenced name lands in the referencer's component.
+
+The rule-set fingerprint is the blake2b digest of the lint package's own
+source files, so any change to any rule, summary, or driver invalidates
+everything — "did my linter change" is answered by hashing the linter.
+
+Every entry embeds a digest binding its key to its payload (the
+:class:`repro.analysis.truthcache.TruthCache` idiom): a torn write, a
+flipped bit, or a hand-edited file fails verification on read and counts
+as a cold miss.  The cache never trusts, it re-derives.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "CacheStats",
+    "FileEntry",
+    "LintCache",
+    "DEFAULT_CACHE_DIR",
+    "content_digest",
+    "dependency_components",
+    "module_interface",
+    "ruleset_fingerprint",
+]
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+#: Bump to orphan every existing entry when the payload schema changes.
+_SCHEMA_VERSION = "1"
+
+_DIGEST_SIZE = 16
+
+
+def content_digest(data: bytes) -> str:
+    """Hex blake2b digest of raw file bytes (the content address)."""
+    return hashlib.blake2b(data, digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def _combine(parts: Sequence[str]) -> str:
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+_RULESET_FINGERPRINT: Optional[str] = None
+
+
+def ruleset_fingerprint() -> str:
+    """Digest of the lint package's own sources (+ schema version).
+
+    Computed once per process.  Hashing the linter itself means a rule
+    tweak, a new diagnostic, or a changed fixpoint invalidates every
+    cached entry without anyone remembering to bump a version.
+    """
+    global _RULESET_FINGERPRINT
+    if _RULESET_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent
+        parts: List[str] = [_SCHEMA_VERSION]
+        for source in sorted(package_root.rglob("*.py")):
+            parts.append(source.relative_to(package_root).as_posix())
+            parts.append(content_digest(source.read_bytes()))
+        _RULESET_FINGERPRINT = _combine(parts)
+    return _RULESET_FINGERPRINT
+
+
+def _reset_fingerprint_for_tests() -> None:
+    """Drop the memoized fingerprint (test hook only)."""
+    global _RULESET_FINGERPRINT
+    _RULESET_FINGERPRINT = None
+
+
+# ---------------------------------------------------------------------------
+# Name interfaces and dependency components
+# ---------------------------------------------------------------------------
+
+
+def module_interface(tree: ast.Module) -> Tuple[List[str], List[str]]:
+    """``(defined, referenced)`` terminal names of one parsed module.
+
+    ``defined`` holds the names the interprocedural layers index: top
+    level functions, one level of class methods, and class names (base
+    class resolution).  ``referenced`` over-approximates every channel
+    through which the analyses can look *into another module*: called
+    names, called attribute names, imported terminal names, and base
+    class names.  Two files end up in one dependency component exactly
+    when one references a name the other defines.
+
+    Lock-ish identifiers (:func:`repro.lint.concurrency.summary.
+    is_lock_name`) are additionally emitted as ``lock::<name>`` pseudo
+    names on *both* sides: the ELS502 acquisition-order graph is keyed
+    by lock name across the whole program, so two files touching the
+    same lock name must share a component even when no call or import
+    connects them.
+    """
+    from .concurrency.summary import is_lock_name
+
+    defined: Set[str] = set()
+    referenced: Set[str] = set()
+    lock_tokens: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defined.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            defined.add(node.name)
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    defined.add(child.name)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                referenced.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                referenced.add(func.attr)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                referenced.add(alias.name.rsplit(".", 1)[-1])
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                referenced.add(alias.name.rsplit(".", 1)[-1])
+        elif isinstance(node, ast.ClassDef):
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    referenced.add(base.id)
+                elif isinstance(base, ast.Attribute):
+                    referenced.add(base.attr)
+        if isinstance(node, ast.Name) and is_lock_name(node.id):
+            lock_tokens.add(f"lock::{node.id}")
+        elif isinstance(node, ast.Attribute) and is_lock_name(node.attr):
+            lock_tokens.add(f"lock::{node.attr}")
+    defined.update(lock_tokens)
+    referenced.update(lock_tokens)
+    return sorted(defined), sorted(referenced)
+
+
+def dependency_components(
+    interfaces: Dict[str, Tuple[Sequence[str], Sequence[str]]],
+) -> List[List[str]]:
+    """Group file paths into analysis-closed components.
+
+    ``interfaces`` maps path -> ``(defined, referenced)``.  Paths are
+    unioned whenever one references a name another defines; the returned
+    components are sorted (and internally sorted) for determinism.  A
+    file sharing no names with anyone forms a singleton component.
+    """
+    paths = sorted(interfaces)
+    parent: Dict[str, str] = {path: path for path in paths}
+
+    def find(path: str) -> str:
+        root = path
+        while parent[root] != root:
+            root = parent[root]
+        while parent[path] != root:
+            parent[path], path = root, parent[path]
+        return root
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    definers: Dict[str, List[str]] = {}
+    for path in paths:
+        for name in interfaces[path][0]:
+            definers.setdefault(name, []).append(path)
+    for path in paths:
+        for name in interfaces[path][1]:
+            for definer in definers.get(name, ()):
+                if definer != path:
+                    union(path, definer)
+    grouped: Dict[str, List[str]] = {}
+    for path in paths:
+        grouped.setdefault(find(path), []).append(path)
+    return sorted(sorted(members) for members in grouped.values())
+
+
+# ---------------------------------------------------------------------------
+# Entries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """Everything the engine needs from one file on a warm hit.
+
+    Attributes:
+        path: The path the file was linted as (part of the key — the
+            same bytes at another path produce different diagnostics).
+        digest: Content digest of the file bytes.
+        parsed_ok: False when the file failed to parse (the findings
+            then hold the ELS100 diagnostic).
+        findings: Raw layer-1 rule findings (pre-dedupe, pre-noqa).
+        noqa: ``(line, codes-or-None)`` suppression directives, so warm
+            runs skip re-tokenizing the source.
+        defined: Interface half 1 — terminal names this file defines.
+        referenced: Interface half 2 — terminal names it references.
+    """
+
+    path: str
+    digest: str
+    parsed_ok: bool
+    findings: Tuple[Diagnostic, ...]
+    noqa: Tuple[Tuple[int, Optional[Tuple[str, ...]]], ...]
+    defined: Tuple[str, ...]
+    referenced: Tuple[str, ...]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (reported by ``--statistics``).
+
+    ``corruptions`` counts entries whose digest verification failed on
+    read — each is also counted as a miss, mirroring ``TruthCache``.
+    """
+
+    file_hits: int = 0
+    file_misses: int = 0
+    component_hits: int = 0
+    component_misses: int = 0
+    corruptions: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "file_hits": self.file_hits,
+            "file_misses": self.file_misses,
+            "component_hits": self.component_hits,
+            "component_misses": self.component_misses,
+            "corruptions": self.corruptions,
+        }
+
+
+class LintCache:
+    """Content-addressed persistence for lint results.
+
+    All reads verify an embedded digest binding key to payload; any
+    mismatch, unreadable file, or malformed JSON is a counted cold miss.
+    Writes go through a temp file + ``os.replace`` so a crashed run can
+    tear a write without poisoning later runs.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = Path(root or DEFAULT_CACHE_DIR)
+        self.stats = CacheStats()
+        self._fingerprint = ruleset_fingerprint()
+
+    # -- keys ----------------------------------------------------------------
+
+    def file_key(self, path: str, digest: str) -> str:
+        return _combine(["file", path, digest, self._fingerprint])
+
+    def component_key(
+        self,
+        members: Sequence[Tuple[str, str]],
+        passes: Sequence[str],
+    ) -> str:
+        parts = ["component", self._fingerprint]
+        parts.extend(sorted(passes))
+        for path, digest in sorted(members):
+            parts.append(path)
+            parts.append(digest)
+        return _combine(parts)
+
+    # -- low-level entry IO --------------------------------------------------
+
+    def _entry_path(self, kind: str, key: str) -> Path:
+        return self.root / kind / f"{key}.json"
+
+    @staticmethod
+    def _payload_digest(key: str, payload: Dict[str, object]) -> str:
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        digest.update(key.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(canonical.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _read(self, kind: str, key: str) -> Optional[Dict[str, object]]:
+        """Load and digest-verify one entry; ``None`` on any defect."""
+        entry_path = self._entry_path(kind, key)
+        try:
+            raw = entry_path.read_bytes()
+        except OSError:
+            return None
+        try:
+            wrapper = json.loads(raw)
+            stored = wrapper["sig"]
+            payload = wrapper["payload"]
+        except (ValueError, KeyError, TypeError):
+            self.stats.corruptions += 1
+            return None
+        if not isinstance(payload, dict) or not isinstance(stored, str):
+            self.stats.corruptions += 1
+            return None
+        if stored != self._payload_digest(key, payload):
+            self.stats.corruptions += 1
+            return None
+        return payload
+
+    def _write(self, kind: str, key: str, payload: Dict[str, object]) -> None:
+        """Atomically persist one entry; IO failure degrades to no-op."""
+        entry_path = self._entry_path(kind, key)
+        wrapper = {"sig": self._payload_digest(key, payload), "payload": payload}
+        data = json.dumps(wrapper, sort_keys=True).encode("utf-8")
+        try:
+            entry_path.parent.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(
+                dir=str(entry_path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    stream.write(data)
+                os.replace(temp_name, entry_path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # a cache that cannot write is just a slower cache
+
+    # -- file entries --------------------------------------------------------
+
+    def load_file(self, path: str, digest: str) -> Optional[FileEntry]:
+        payload = self._read("files", self.file_key(path, digest))
+        if payload is None:
+            self.stats.file_misses += 1
+            return None
+        try:
+            entry = FileEntry(
+                path=path,
+                digest=digest,
+                parsed_ok=bool(payload["parsed_ok"]),
+                findings=tuple(
+                    Diagnostic.from_dict(row) for row in payload["findings"]
+                ),
+                noqa=tuple(
+                    (int(line), None if codes is None else tuple(codes))
+                    for line, codes in payload["noqa"]
+                ),
+                defined=tuple(str(n) for n in payload["defined"]),
+                referenced=tuple(str(n) for n in payload["referenced"]),
+            )
+        except (KeyError, ValueError, TypeError):
+            self.stats.corruptions += 1
+            self.stats.file_misses += 1
+            return None
+        self.stats.file_hits += 1
+        return entry
+
+    def store_file(self, entry: FileEntry) -> None:
+        payload: Dict[str, object] = {
+            "parsed_ok": entry.parsed_ok,
+            "findings": [d.to_dict() for d in entry.findings],
+            "noqa": [
+                [line, None if codes is None else sorted(codes)]
+                for line, codes in entry.noqa
+            ],
+            "defined": list(entry.defined),
+            "referenced": list(entry.referenced),
+        }
+        self._write("files", self.file_key(entry.path, entry.digest), payload)
+
+    # -- component entries ---------------------------------------------------
+
+    def load_component(
+        self,
+        members: Sequence[Tuple[str, str]],
+        passes: Sequence[str],
+    ) -> Optional[List[Diagnostic]]:
+        payload = self._read(
+            "components", self.component_key(members, passes)
+        )
+        if payload is None:
+            self.stats.component_misses += 1
+            return None
+        try:
+            findings = [
+                Diagnostic.from_dict(row)
+                for row in payload["findings"]  # type: ignore[union-attr]
+            ]
+        except (KeyError, ValueError, TypeError):
+            self.stats.corruptions += 1
+            self.stats.component_misses += 1
+            return None
+        self.stats.component_hits += 1
+        return findings
+
+    def store_component(
+        self,
+        members: Sequence[Tuple[str, str]],
+        passes: Sequence[str],
+        findings: Sequence[Diagnostic],
+        summaries: Dict[str, Dict[str, Dict[str, object]]],
+    ) -> None:
+        """Persist one component's findings and per-module summaries.
+
+        ``summaries`` is the ``summary_sink`` the analysis drivers filled
+        (``path -> qualname -> layer -> dict``); it rides along for tools
+        and tests, while ``findings`` is what warm runs replay.
+        """
+        payload: Dict[str, object] = {
+            "findings": [d.to_dict() for d in findings],
+            "summaries": summaries,
+        }
+        self._write(
+            "components", self.component_key(members, passes), payload
+        )
+
+    def load_component_summaries(
+        self,
+        members: Sequence[Tuple[str, str]],
+        passes: Sequence[str],
+    ) -> Optional[Dict[str, Dict[str, Dict[str, object]]]]:
+        """The persisted ``summary_sink`` of one component, if cached.
+
+        Reads do not touch hit/miss counters — this is a tooling
+        accessor, not part of the warm path.
+        """
+        payload = self._read(
+            "components", self.component_key(members, passes)
+        )
+        if payload is None:
+            return None
+        summaries = payload.get("summaries")
+        if not isinstance(summaries, dict):
+            return None
+        return summaries

@@ -25,6 +25,7 @@ __all__ = [
     "run_check",
     "render_diagnostics",
     "print_statistics",
+    "print_cache_statistics",
     "main",
 ]
 
@@ -82,22 +83,37 @@ def run_lint(
     concurrency: bool = False,
     jobs: int = 1,
     statistics: bool = False,
+    perf: bool = False,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> int:
     """Run the layer-1 rules over files/directories; print and exit-code.
 
     ``dataflow=True`` additionally runs the interprocedural ELS3xx
     quantity pass over the whole file set; ``effects=True`` the ELS4xx
     effect-and-determinism pass; ``concurrency=True`` the ELS5xx
-    concurrency-safety pass.  ``jobs > 1`` fans per-file work out
-    over a process pool (output is deterministic either way).
-    ``statistics=True`` prints per-rule hit counts to stderr after the
-    findings, so machine-readable stdout formats stay parseable.
+    concurrency-safety pass; ``perf=True`` the ELS6xx hot-path
+    performance pass.  ``jobs > 1`` fans per-file work out over a
+    process pool and ``jobs=0`` means one worker per CPU (output is
+    deterministic either way).  ``statistics=True`` prints per-rule hit
+    counts (and cache hit/miss counters) to stderr after the findings,
+    so machine-readable stdout formats stay parseable.
+
+    Results are served from the incremental content-addressed cache
+    (``.repro-lint-cache/``, or ``cache_dir``) when file bytes and the
+    rule set are unchanged — byte-identical output, just faster.
+    ``use_cache=False`` (the ``--no-cache`` flag) re-analyzes everything.
 
     Raises:
         LintError: for unusable paths or filter lists (usage errors).
     """
-    if jobs < 1:
-        raise LintError(f"--jobs must be >= 1, got {jobs}")
+    if jobs < 0:
+        raise LintError(f"--jobs must be >= 0, got {jobs}")
+    cache = None
+    if use_cache:
+        from .cache import LintCache
+
+        cache = LintCache(cache_dir)
     diagnostics = lint_paths(
         paths,
         select=_split_codes(select),
@@ -106,10 +122,14 @@ def run_lint(
         effects=effects,
         concurrency=concurrency,
         jobs=jobs,
+        perf=perf,
+        cache=cache,
     )
     exit_code = render_diagnostics(diagnostics, output_format, stream or sys.stdout)
     if statistics:
         print_statistics(diagnostics)
+        if cache is not None:
+            print_cache_statistics(cache)
     return exit_code
 
 
@@ -131,6 +151,18 @@ def print_statistics(
         return
     for code in sorted(counts):
         print(f"  {code}: {counts[code]}", file=target)
+
+
+def print_cache_statistics(cache, stream: Optional[IO[str]] = None) -> None:
+    """Print the incremental cache's hit/miss counters (``--statistics``).
+
+    Goes to stderr by default for the same reason as
+    :func:`print_statistics`: stdout stays parseable.
+    """
+    target = stream if stream is not None else sys.stderr
+    print("cache statistics:", file=target)
+    for name, value in cache.stats.to_dict().items():
+        print(f"  {name}: {value}", file=target)
 
 
 def run_check(
@@ -226,17 +258,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="disable the ELS5xx pass (the default)",
     )
     parser.add_argument(
+        "--perf",
+        action="store_true",
+        default=False,
+        help="also run the interprocedural ELS6xx hot-path performance pass",
+    )
+    parser.add_argument(
+        "--no-perf",
+        action="store_false",
+        dest="perf",
+        help="disable the ELS6xx pass (the default)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_false",
+        dest="cache",
+        default=True,
+        help="bypass the incremental lint cache and re-analyze everything",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the incremental lint cache (default .repro-lint-cache)",
+    )
+    parser.add_argument(
         "--statistics",
         action="store_true",
         default=False,
-        help="print per-rule hit counts to stderr after the findings",
+        help="print per-rule hit counts and cache counters to stderr",
     )
     parser.add_argument(
         "--jobs",
         type=int,
         default=1,
         metavar="N",
-        help="lint files with N parallel worker processes (default 1)",
+        help="lint files with N parallel worker processes (0 = one per CPU)",
     )
     args = parser.parse_args(argv)
     try:
@@ -250,6 +307,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             concurrency=args.concurrency,
             jobs=args.jobs,
             statistics=args.statistics,
+            perf=args.perf,
+            use_cache=args.cache,
+            cache_dir=args.cache_dir,
         )
     except LintError as exc:
         print(f"usage error: {exc}", file=sys.stderr)

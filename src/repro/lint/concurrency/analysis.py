@@ -85,13 +85,24 @@ CONCURRENCY_CODES: Dict[str, Tuple[str, Severity]] = {
 }
 
 
-def analyze_modules(modules: Sequence, max_passes: int = 8) -> List[Diagnostic]:
+def analyze_modules(
+    modules: Sequence,
+    max_passes: int = 8,
+    summary_sink: Optional[Dict[str, Dict[str, Dict[str, object]]]] = None,
+) -> List[Diagnostic]:
     """Run the concurrency analysis over parsed modules.
 
     ``modules`` is duck-typed (``path`` / ``source`` / ``tree`` /
     ``is_test_file`` — the engine's ``ModuleUnderLint`` fits).  Test
     files are skipped: they legitimately spin up throwaway pools and
     sleep in fixtures.
+
+    When ``summary_sink`` is given, the fixpoint blocking/acquires
+    summaries are recorded into it as
+    ``sink[path][qualname]["concurrency"]`` (the
+    :meth:`~repro.lint.concurrency.summary.ConcurrencySummary.to_dict`
+    shape) — this is how the incremental lint cache persists per-module
+    interprocedural summaries.
     """
     findings: List[Diagnostic] = []
     parsed = []
@@ -117,6 +128,12 @@ def analyze_modules(modules: Sequence, max_passes: int = 8) -> List[Diagnostic]:
                 function, minfo, global_names[minfo.path]
             )
     summaries = collect_concurrency_summaries(program, scans, max_passes=max_passes)
+    if summary_sink is not None:
+        for minfo in program.modules:
+            for function in minfo.functions:
+                summary_sink.setdefault(minfo.path, {}).setdefault(
+                    function.qualname, {}
+                )["concurrency"] = summaries[id(function)].to_dict()
     inherited = collect_inherited_locks(program, scans, max_passes=max_passes)
     guards = _collect_guards(program, directive_index, scans, findings)
     for minfo in program.modules:

@@ -257,6 +257,31 @@ class ConcurrencySummary:
     acquires: FrozenSet[str] = frozenset()
     declared: Optional[bool] = None
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable mapping (for the incremental lint cache)."""
+        return {
+            "blocking": self.blocking,
+            "acquires": sorted(self.acquires),
+            "declared": self.declared,
+        }
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "ConcurrencySummary":
+        """Rebuild a summary from :meth:`to_dict` (inverse round-trip).
+
+        Raises:
+            KeyError, ValueError, TypeError: on a malformed mapping (the
+                cache treats these as a corrupt entry = cold miss).
+        """
+        declared = row.get("declared")
+        return cls(
+            blocking=bool(row["blocking"]),
+            acquires=frozenset(
+                str(name) for name in row["acquires"]  # type: ignore[union-attr]
+            ),
+            declared=None if declared is None else bool(declared),
+        )
+
 
 class _Scanner:
     """Textual-order walker threading the held-lock set through a body."""

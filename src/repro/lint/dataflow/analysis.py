@@ -735,7 +735,11 @@ def _refined_summary(function: FunctionInfo, computed: AbstractValue) -> Abstrac
 # ---------------------------------------------------------------------------
 
 
-def analyze_modules(modules: Iterable[object], max_passes: int = 8) -> List[Diagnostic]:
+def analyze_modules(
+    modules: Iterable[object],
+    max_passes: int = 8,
+    summary_sink: Optional[Dict[str, Dict[str, Dict[str, object]]]] = None,
+) -> List[Diagnostic]:
     """Run the interprocedural ELS3xx pass over a set of modules.
 
     ``modules`` are duck-typed: each needs ``path``, ``source``, ``tree``,
@@ -743,6 +747,12 @@ def analyze_modules(modules: Iterable[object], max_passes: int = 8) -> List[Diag
     intentionally construct invalid quantities).  Summaries are iterated
     across the whole set before the single reporting pass, so a quantity
     bug only visible through a call chain is still found.
+
+    When ``summary_sink`` is given, the fixpoint return summaries are
+    recorded into it as ``sink[path][qualname]["quantity"]`` (the
+    :meth:`~repro.lint.dataflow.lattice.AbstractValue.to_dict` shape) —
+    this is how the incremental lint cache persists per-module
+    interprocedural summaries.
     """
     diagnostics: List[Diagnostic] = []
     parsed = []
@@ -751,9 +761,10 @@ def analyze_modules(modules: Iterable[object], max_passes: int = 8) -> List[Diag
             continue
         directives, malformed = parse_directives(module.source)
         for bad in malformed:
-            if bad.family in ("effect", "concurrency"):
+            if bad.family in ("effect", "concurrency", "perf"):
                 # The effects layer owns the 'effect=' family (ELS400); the
-                # concurrency layer owns 'guarded_by='/'blocking=' (ELS500).
+                # concurrency layer owns 'guarded_by='/'blocking=' (ELS500);
+                # the perf layer owns 'hot=' (ELS600).
                 continue
             diagnostics.append(
                 Diagnostic(
@@ -789,6 +800,10 @@ def analyze_modules(modules: Iterable[object], max_passes: int = 8) -> List[Diag
             analyzer = _FunctionAnalyzer(program, module_info, function, emit=True)
             analyzer.run()
             diagnostics.extend(analyzer.diagnostics)
+            if summary_sink is not None:
+                summary_sink.setdefault(module_info.path, {}).setdefault(
+                    function.qualname, {}
+                )["quantity"] = function.summary.to_dict()
     return diagnostics
 
 

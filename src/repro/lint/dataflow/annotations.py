@@ -29,13 +29,17 @@ Two cooperating conventions feed the dataflow analysis:
   named lock (enforced as ELS501 by :mod:`repro.lint.concurrency`);
   ``blocking=yes|no`` on a ``def`` line pins the blocking-ness summary
   the same layer infers for ELS503/ELS504.
+  ``hot=yes|no`` on a ``def`` line pins the hotness the ELS6xx
+  performance layer (:mod:`repro.lint.perf`) infers: ``hot=yes`` makes
+  the function a hot root, ``hot=no`` pins it cold and stops hotness
+  propagating through it.
 
 Directives are extracted with :mod:`tokenize`, so the marker inside a
 string literal is never mistaken for a directive.  A comment that starts
 with the ``els:`` marker but does not parse yields an ELS300 diagnostic
 (ELS400 for the ``effect=`` family, ELS500 for the ``guarded_by=`` /
-``blocking=`` family) — a silently ignored annotation would be worse
-than none.
+``blocking=`` family, ELS600 for the ``hot=`` family) — a silently
+ignored annotation would be worse than none.
 """
 
 from __future__ import annotations
@@ -55,6 +59,7 @@ __all__ = [
     "quantity_from_name",
     "BLOCKING_ALIASES",
     "EFFECT_ALIASES",
+    "HOT_ALIASES",
     "QUANTITY_ALIASES",
 ]
 
@@ -88,6 +93,7 @@ _QUANTITY_RE = re.compile(r"^quantity\s*=\s*(?P<name>[A-Za-z_]+)$")
 _EFFECT_RE = re.compile(r"^effect\s*=\s*(?P<name>[A-Za-z_]+)$")
 _GUARDED_RE = re.compile(r"^guarded_by\s*=\s*(?P<name>\S+)$")
 _BLOCKING_RE = re.compile(r"^blocking\s*=\s*(?P<name>[A-Za-z_]+)$")
+_HOT_RE = re.compile(r"^hot\s*=\s*(?P<name>[A-Za-z_]+)$")
 _IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 _CODE_RE = re.compile(r"^ELS\d{3}$")
 
@@ -99,6 +105,9 @@ BLOCKING_ALIASES: Dict[str, bool] = {
     "false": False,
 }
 
+#: Accepted spellings on the right of ``hot=`` -> pinned value.
+HOT_ALIASES: Dict[str, bool] = dict(BLOCKING_ALIASES)
+
 
 @dataclass(frozen=True)
 class Directive:
@@ -107,7 +116,7 @@ class Directive:
     Attributes:
         line: 1-based source line the comment sits on.
         kind: ``"noqa"``, ``"quantity"``, ``"effect"``, ``"guarded_by"``,
-            or ``"blocking"``.
+            ``"blocking"``, or ``"hot"``.
         codes: For ``noqa``: the exact codes suppressed (``None`` means a
             blanket suppression of every code on the line).
         quantity: For ``quantity``: the declared dimension.
@@ -115,6 +124,7 @@ class Directive:
             (``"pure"``, ``"mutates"``, or ``"nondet"``).
         lock: For ``guarded_by``: the declared lock attribute/global name.
         blocking: For ``blocking``: the pinned blocking-ness.
+        hot: For ``hot``: the pinned hotness.
     """
 
     line: int
@@ -124,6 +134,7 @@ class Directive:
     effect: Optional[str] = None
     lock: Optional[str] = None
     blocking: Optional[bool] = None
+    hot: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -133,7 +144,8 @@ class MalformedDirective:
     ``family`` routes the report to the owning layer: ``"effect"``
     directives are reported as ELS400 by :mod:`repro.lint.effects`,
     ``"concurrency"`` directives as ELS500 by
-    :mod:`repro.lint.concurrency`, everything else as ELS300 by
+    :mod:`repro.lint.concurrency`, ``"perf"`` directives as ELS600 by
+    :mod:`repro.lint.perf`, everything else as ELS300 by
     :mod:`repro.lint.dataflow`.
     """
 
@@ -235,10 +247,21 @@ def _parse_body(line: int, body: str):
                 f"unknown blocking value {name!r} (expected one of: {known})",
             )
         return Directive(line, "blocking", blocking=BLOCKING_ALIASES[name])
+    hot = _HOT_RE.match(body)
+    if hot is not None:
+        name = hot.group("name").lower()
+        if name not in HOT_ALIASES:
+            known = ", ".join(sorted(HOT_ALIASES))
+            return (
+                "perf",
+                f"unknown hot value {name!r} (expected one of: {known})",
+            )
+        return Directive(line, "hot", hot=HOT_ALIASES[name])
     return (
         "general",
         f"unrecognized directive {body!r} (expected 'noqa', 'noqa[...]', "
-        "'quantity=...', 'effect=...', 'guarded_by=...', or 'blocking=...')",
+        "'quantity=...', 'effect=...', 'guarded_by=...', 'blocking=...', "
+        "or 'hot=...')",
     )
 
 

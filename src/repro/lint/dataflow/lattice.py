@@ -98,6 +98,35 @@ class AbstractValue:
         """Proven inside ``[0, 1]`` — the selectivity invariant."""
         return self.nonneg and self.le_one
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable mapping (for the incremental lint cache)."""
+        return {
+            "quantity": self.quantity.value,
+            "nonneg": self.nonneg,
+            "le_one": self.le_one,
+            "coerced": self.coerced,
+            "clamp_result": self.clamp_result,
+            "const": self.const,
+        }
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "AbstractValue":
+        """Rebuild a value from :meth:`to_dict` (inverse round-trip).
+
+        Raises:
+            KeyError, ValueError, TypeError: on a malformed mapping (the
+                cache treats these as a corrupt entry = cold miss).
+        """
+        const = row.get("const")
+        return cls(
+            quantity=Quantity(row["quantity"]),
+            nonneg=bool(row.get("nonneg", False)),
+            le_one=bool(row.get("le_one", False)),
+            coerced=bool(row.get("coerced", False)),
+            clamp_result=bool(row.get("clamp_result", False)),
+            const=None if const is None else float(const),  # type: ignore[arg-type]
+        )
+
 
 TOP = AbstractValue(Quantity.TOP)
 BOTTOM = AbstractValue(Quantity.BOTTOM)

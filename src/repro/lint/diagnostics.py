@@ -88,6 +88,29 @@ class Diagnostic:
             "hint": self.hint,
         }
 
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "Diagnostic":
+        """Rebuild a diagnostic from its :meth:`to_dict` mapping.
+
+        The inverse the incremental lint cache relies on: a finding must
+        survive a JSON round-trip bit-for-bit, so cached warm output is
+        byte-identical to a cold run.
+
+        Raises:
+            KeyError, ValueError, TypeError: on a malformed mapping (the
+                cache treats any of these as a corrupt entry = cold miss).
+        """
+        return cls(
+            code=str(row["code"]),
+            message=str(row["message"]),
+            severity=Severity(row["severity"]),
+            file=None if row.get("file") is None else str(row["file"]),
+            line=int(row.get("line", 0)),  # type: ignore[arg-type]
+            col=int(row.get("col", 0)),  # type: ignore[arg-type]
+            context=None if row.get("context") is None else str(row["context"]),
+            hint=None if row.get("hint") is None else str(row["hint"]),
+        )
+
     def sort_key(self) -> Tuple:
         """Order by file, position, then code — the render order."""
         return (self.file or "", self.line, self.col, self.code, self.message)

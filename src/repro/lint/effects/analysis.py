@@ -85,13 +85,23 @@ _GROWTH_OPS = frozenset({"append", "extend"})
 _ORDERED_CONSUMERS = frozenset({"list", "tuple", "enumerate"})
 
 
-def analyze_modules(modules: Sequence, max_passes: int = 8) -> List[Diagnostic]:
+def analyze_modules(
+    modules: Sequence,
+    max_passes: int = 8,
+    summary_sink: Optional[Dict[str, Dict[str, Dict[str, object]]]] = None,
+) -> List[Diagnostic]:
     """Run the effect analysis over parsed modules.
 
     ``modules`` is duck-typed (``path`` / ``source`` / ``tree`` /
     ``is_test_file`` — the engine's ``ModuleUnderLint`` fits).  Test
     files are skipped: they routinely mutate fixtures and call ambient
     RNG on purpose.
+
+    When ``summary_sink`` is given, the fixpoint effect summaries are
+    recorded into it as ``sink[path][qualname]["effect"]`` (the
+    :meth:`~repro.lint.effects.summary.EffectSummary.to_dict` shape) —
+    this is how the incremental lint cache persists per-module
+    interprocedural summaries.
     """
     findings: List[Diagnostic] = []
     parsed = []
@@ -110,6 +120,12 @@ def analyze_modules(modules: Sequence, max_passes: int = 8) -> List[Diagnostic]:
         for function in minfo.functions:
             scans[id(function)] = scan_function(function, minfo)
     summaries = collect_effect_summaries(program, scans, max_passes=max_passes)
+    if summary_sink is not None:
+        for minfo in program.modules:
+            for function in minfo.functions:
+                summary_sink.setdefault(minfo.path, {}).setdefault(
+                    function.qualname, {}
+                )["effect"] = summaries[id(function)].to_dict()
     for minfo in program.modules:
         directives, malformed = directive_index[minfo.path]
         _report_directives(minfo, directives, malformed, findings)

@@ -167,6 +167,31 @@ class EffectSummary:
     reads_nondeterminism: bool = False
     declared: Optional[str] = None
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable mapping (for the incremental lint cache)."""
+        return {
+            "mutates_params": sorted(self.mutates_params),
+            "reads_nondeterminism": self.reads_nondeterminism,
+            "declared": self.declared,
+        }
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "EffectSummary":
+        """Rebuild a summary from :meth:`to_dict` (inverse round-trip).
+
+        Raises:
+            KeyError, ValueError, TypeError: on a malformed mapping (the
+                cache treats these as a corrupt entry = cold miss).
+        """
+        declared = row.get("declared")
+        return cls(
+            mutates_params=frozenset(
+                str(name) for name in row["mutates_params"]  # type: ignore[union-attr]
+            ),
+            reads_nondeterminism=bool(row["reads_nondeterminism"]),
+            declared=None if declared is None else str(declared),
+        )
+
 
 @dataclass(frozen=True)
 class MutationSite:

@@ -31,6 +31,8 @@ __all__ = [
     "LintRule",
     "register",
     "all_rules",
+    "extract_noqa",
+    "is_test_path",
     "known_codes",
     "lint_source",
     "lint_paths",
@@ -47,6 +49,12 @@ UNUSED_SUPPRESSION_CODE = "ELS199"
 #: ``library_only`` rules).
 _TEST_PREFIXES = ("test_", "bench_")
 _TEST_NAMES = ("conftest",)
+
+
+def is_test_path(path: str) -> bool:
+    """True for ``test_*``, ``bench_*``, and ``conftest`` file paths."""
+    stem = Path(path).stem
+    return stem.startswith(_TEST_PREFIXES) or stem in _TEST_NAMES
 
 
 @dataclass(frozen=True)
@@ -71,8 +79,7 @@ class ModuleUnderLint:
     @property
     def is_test_file(self) -> bool:
         """True for ``test_*``, ``bench_*``, and ``conftest`` files."""
-        stem = self.stem
-        return stem.startswith(_TEST_PREFIXES) or stem in _TEST_NAMES
+        return is_test_path(self.path)
 
 
 class LintRule:
@@ -150,6 +157,7 @@ def known_codes() -> Tuple[str, ...]:
     from .concurrency import CONCURRENCY_CODES
     from .dataflow import DATAFLOW_CODES
     from .effects import EFFECT_CODES
+    from .perf import PERF_CODES
     from .semantic import SEMANTIC_CODES
 
     codes = {SYNTAX_ERROR_CODE, UNUSED_SUPPRESSION_CODE}
@@ -158,6 +166,7 @@ def known_codes() -> Tuple[str, ...]:
     codes.update(DATAFLOW_CODES)
     codes.update(EFFECT_CODES)
     codes.update(CONCURRENCY_CODES)
+    codes.update(PERF_CODES)
     return tuple(sorted(codes))
 
 
@@ -182,40 +191,53 @@ def _rule_findings(module: ModuleUnderLint) -> List[Diagnostic]:
     return findings
 
 
+def extract_noqa(source: str) -> List[Tuple[int, Optional[Tuple[str, ...]]]]:
+    """The ``(line, codes-or-None)`` noqa directives of one source file.
+
+    The shape the incremental cache persists, so warm runs apply
+    suppressions without re-tokenizing the source.
+    """
+    from .dataflow.annotations import parse_directives
+
+    directives, _ = parse_directives(source)
+    return [
+        (d.line, None if d.codes is None else tuple(sorted(d.codes)))
+        for d in directives
+        if d.kind == "noqa"
+    ]
+
+
 def _apply_suppressions(
-    findings: List[Diagnostic], modules: Sequence[ModuleUnderLint]
+    findings: List[Diagnostic],
+    noqa_by_file: Dict[str, Sequence[Tuple[int, Optional[Tuple[str, ...]]]]],
 ) -> List[Diagnostic]:
     """Drop findings matched by line-scoped ``# els: noqa`` directives.
 
-    A suppression that matches no finding is itself reported (ELS199) —
+    ``noqa_by_file`` maps path -> :func:`extract_noqa` rows.  A
+    suppression that matches no finding is itself reported (ELS199) —
     stale suppressions hide future regressions.  The ELS199 findings are
     not themselves suppressible, otherwise a blanket ``noqa`` could never
     be reported as unused.
     """
-    from .dataflow.annotations import parse_directives
-
     kept: List[Diagnostic] = []
-    suppressions = {}  # (path, line) -> [Directive, used?]
-    for module in modules:
-        directives, _ = parse_directives(module.source)
-        for directive in directives:
-            if directive.kind == "noqa":
-                suppressions[(module.path, directive.line)] = [directive, False]
+    suppressions = {}  # (path, line) -> [codes-or-None, used?]
+    for path, rows in noqa_by_file.items():
+        for line, codes in rows:
+            suppressions[(path, line)] = [codes, False]
     if not suppressions:
         return findings
     for diagnostic in findings:
         entry = suppressions.get((diagnostic.file, diagnostic.line))
         if entry is not None:
-            directive = entry[0]
-            if directive.codes is None or diagnostic.code in directive.codes:
+            codes = entry[0]
+            if codes is None or diagnostic.code in codes:
                 entry[1] = True
                 continue
         kept.append(diagnostic)
-    for (path, line), (directive, used) in suppressions.items():
+    for (path, line), (codes, used) in suppressions.items():
         if used:
             continue
-        scope = "all codes" if directive.codes is None \
-            else ", ".join(sorted(directive.codes))
+        scope = "all codes" if codes is None else ", ".join(sorted(codes))
         kept.append(
             Diagnostic(
                 code=UNUSED_SUPPRESSION_CODE,
@@ -250,12 +272,14 @@ def lint_source(
     dataflow: bool = False,
     effects: bool = False,
     concurrency: bool = False,
+    perf: bool = False,
 ) -> List[Diagnostic]:
     """Lint one source string and return its (filtered, sorted) findings.
 
     With ``dataflow=True`` the ELS3xx quantity-dimension pass also runs;
     with ``effects=True`` the ELS4xx effect-and-determinism pass runs;
-    with ``concurrency=True`` the ELS5xx concurrency-safety pass runs
+    with ``concurrency=True`` the ELS5xx concurrency-safety pass runs;
+    with ``perf=True`` the ELS6xx hot-path performance pass runs
     (function summaries stay within this one module).
     """
     try:
@@ -264,20 +288,53 @@ def lint_source(
         return filter_diagnostics([_parse_failure(path, exc)], select, ignore)
     module = ModuleUnderLint(path=path, source=source, tree=tree)
     findings = _rule_findings(module)
-    if dataflow:
-        from .dataflow import analyze_modules
-
-        findings.extend(analyze_modules([module]))
-    if effects:
-        from .effects import analyze_modules as analyze_effect_modules
-
-        findings.extend(analyze_effect_modules([module]))
-    if concurrency:
-        from .concurrency import analyze_modules as analyze_concurrency_modules
-
-        findings.extend(analyze_concurrency_modules([module]))
-    findings = _apply_suppressions(_dedupe(findings), [module])
+    for enabled, passname in (
+        (dataflow, "dataflow"),
+        (effects, "effects"),
+        (concurrency, "concurrency"),
+        (perf, "perf"),
+    ):
+        if enabled:
+            findings.extend(_ANALYSIS_PASSES[passname]()([module]))
+    findings = _apply_suppressions(
+        _dedupe(findings), {path: extract_noqa(source)}
+    )
     return filter_diagnostics(findings, select, ignore)
+
+
+def _dataflow_pass():
+    from .dataflow import analyze_modules
+
+    return analyze_modules
+
+
+def _effects_pass():
+    from .effects import analyze_modules
+
+    return analyze_modules
+
+
+def _concurrency_pass():
+    from .concurrency import analyze_modules
+
+    return analyze_modules
+
+
+def _perf_pass():
+    from .perf import analyze_modules
+
+    return analyze_modules
+
+
+#: Pass name -> lazy importer of the layer's ``analyze_modules`` driver.
+#: Names double as the cache's pass-key components, so their spelling is
+#: part of the cache contract.
+_ANALYSIS_PASSES = {
+    "dataflow": _dataflow_pass,
+    "effects": _effects_pass,
+    "concurrency": _concurrency_pass,
+    "perf": _perf_pass,
+}
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -299,30 +356,97 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
             raise LintError(f"no such file or directory: {path}")
 
 
-@dataclass(frozen=True)
-class _SourceRecord:
-    """Path + source of a linted file (what suppressions need)."""
+@dataclass
+class _FileRecord:
+    """Everything stage 1 (per-file) learned about one file.
+
+    ``tree`` is kept only on the serial fresh-parse path — the whole
+    point of the record is that warm cache hits carry everything the
+    engine needs *without* a tree, and later stages parse lazily.
+    """
 
     path: str
     source: str
+    digest: str
+    parsed_ok: bool
+    findings: List[Diagnostic]
+    noqa: List[Tuple[int, Optional[Tuple[str, ...]]]]
+    defined: Tuple[str, ...]
+    referenced: Tuple[str, ...]
+    tree: Optional[ast.Module] = None
+    from_cache: bool = False
+
+    def analysis_module(self) -> ModuleUnderLint:
+        """A :class:`ModuleUnderLint`, parsing now if stage 1 did not."""
+        if self.tree is None:
+            self.tree = ast.parse(self.source, filename=self.path)
+        return ModuleUnderLint(
+            path=self.path, source=self.source, tree=self.tree
+        )
 
 
-def _lint_worker(path_str: str) -> Tuple[str, str, List[Diagnostic], bool]:
-    """Read, parse, and rule-check one file (picklable for ``--jobs``).
+def _read_file(path_str: str) -> Tuple[str, str]:
+    """Read one file; returns ``(source, content-digest)``.
 
-    Returns ``(path, source, findings, parsed_ok)``.  Diagnostics are
-    frozen dataclasses, so the result round-trips through a process pool.
+    Raises:
+        LintError: when the file cannot be read.
     """
+    from .cache import content_digest
+
     try:
-        source = Path(path_str).read_text(encoding="utf-8")
+        data = Path(path_str).read_bytes()
     except OSError as exc:
         raise LintError(f"cannot read {path_str}: {exc}") from exc
+    return data.decode("utf-8"), content_digest(data)
+
+
+def _examine_file(path_str: str, source: str, digest: str) -> _FileRecord:
+    """Parse, rule-check, and interface-index one file (stage 1 miss)."""
+    from .cache import module_interface
+
     try:
         tree = ast.parse(source, filename=path_str)
     except SyntaxError as exc:
-        return (path_str, source, [_parse_failure(path_str, exc)], False)
+        return _FileRecord(
+            path=path_str,
+            source=source,
+            digest=digest,
+            parsed_ok=False,
+            findings=[_parse_failure(path_str, exc)],
+            noqa=extract_noqa(source),
+            defined=(),
+            referenced=(),
+        )
     module = ModuleUnderLint(path=path_str, source=source, tree=tree)
-    return (path_str, source, _rule_findings(module), True)
+    defined, referenced = module_interface(tree)
+    return _FileRecord(
+        path=path_str,
+        source=source,
+        digest=digest,
+        parsed_ok=True,
+        findings=_rule_findings(module),
+        noqa=extract_noqa(source),
+        defined=tuple(defined),
+        referenced=tuple(referenced),
+        tree=tree,
+    )
+
+
+def _file_worker(
+    item: Tuple[str, str, str]
+) -> Tuple[str, bool, List[Diagnostic], List, Tuple[str, ...], Tuple[str, ...]]:
+    """Pool wrapper around :func:`_examine_file` (tree dropped: ASTs are
+    large to pickle; dirty-component analysis re-parses on demand)."""
+    path_str, source, digest = item
+    record = _examine_file(path_str, source, digest)
+    return (
+        record.path,
+        record.parsed_ok,
+        record.findings,
+        record.noqa,
+        record.defined,
+        record.referenced,
+    )
 
 
 def _pool_context():
@@ -336,6 +460,44 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _resolve_jobs(jobs: int) -> int:
+    """``0`` means one job per CPU; negatives are usage errors."""
+    if jobs == 0:
+        import os
+
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise LintError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _enabled_passes(
+    dataflow: bool, effects: bool, concurrency: bool, perf: bool
+) -> List[str]:
+    names = []
+    if dataflow:
+        names.append("dataflow")
+    if effects:
+        names.append("effects")
+    if concurrency:
+        names.append("concurrency")
+    if perf:
+        names.append("perf")
+    return names
+
+
+def _run_passes(
+    passes: Sequence[str],
+    modules: Sequence[ModuleUnderLint],
+    summary_sink=None,
+) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    for passname in passes:
+        driver = _ANALYSIS_PASSES[passname]()
+        findings.extend(driver(modules, summary_sink=summary_sink))
+    return findings
+
+
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
@@ -344,59 +506,145 @@ def lint_paths(
     effects: bool = False,
     concurrency: bool = False,
     jobs: int = 1,
+    perf: bool = False,
+    cache=None,
 ) -> List[Diagnostic]:
     """Lint files and directory trees; returns all findings, sorted.
 
     With ``dataflow=True`` the ELS3xx pass runs over the *whole* file set
     at once, so function summaries propagate across modules; the same
-    holds for the ELS4xx effect pass under ``effects=True`` and the
-    ELS5xx concurrency pass under ``concurrency=True``.  With
-    ``jobs > 1`` per-file reading/parsing/rule-checking fans out over a
-    process pool — the file list is sorted and ``pool.map`` preserves
-    order, so output is byte-identical to a serial run.
+    holds for the ELS4xx effect pass under ``effects=True``, the ELS5xx
+    concurrency pass under ``concurrency=True``, and the ELS6xx
+    performance pass under ``perf=True``.  With ``jobs > 1`` per-file
+    reading/parsing/rule-checking fans out over a process pool — the
+    file list is sorted and ``pool.map`` preserves order, so output is
+    byte-identical to a serial run; ``jobs=0`` means one job per CPU.
+
+    ``cache`` is an optional :class:`repro.lint.cache.LintCache`.  With a
+    cache, per-file results are reused when file bytes and the rule set
+    are unchanged, and the interprocedural passes run per dependency
+    component with unchanged components replayed from cache — the output
+    is byte-identical to an uncached run, only faster.
 
     Raises:
-        LintError: for unusable paths (see :func:`iter_python_files`) or
-            unreadable files.
+        LintError: for unusable paths (see :func:`iter_python_files`),
+            unreadable files, or negative ``jobs``.
     """
-    if jobs < 1:
-        raise LintError(f"jobs must be >= 1, got {jobs}")
+    jobs = _resolve_jobs(jobs)
     file_paths = [str(p) for p in iter_python_files(paths)]
-    findings: List[Diagnostic] = []
-    records: List[Tuple[str, str, bool]] = []
-    if jobs > 1 and len(file_paths) > 1:
-        context = _pool_context()
-        with context.Pool(processes=min(jobs, len(file_paths))) as pool:
-            results = pool.map(_lint_worker, file_paths)
-    else:
-        results = [_lint_worker(path_str) for path_str in file_paths]
-    for path_str, source, file_findings, parsed_ok in results:
-        findings.extend(file_findings)
-        records.append((path_str, source, parsed_ok))
-    if dataflow or effects or concurrency:
-        analysis_modules = [
-            ModuleUnderLint(
+    records: Dict[str, _FileRecord] = {}
+    pending: List[Tuple[str, str, str]] = []
+    for path_str in file_paths:
+        source, digest = _read_file(path_str)
+        entry = cache.load_file(path_str, digest) if cache is not None else None
+        if entry is not None:
+            records[path_str] = _FileRecord(
                 path=path_str,
                 source=source,
-                tree=ast.parse(source, filename=path_str),
+                digest=digest,
+                parsed_ok=entry.parsed_ok,
+                findings=list(entry.findings),
+                noqa=list(entry.noqa),
+                defined=entry.defined,
+                referenced=entry.referenced,
+                from_cache=True,
             )
-            for path_str, source, parsed_ok in records
-            if parsed_ok
-        ]
-        if dataflow:
-            from .dataflow import analyze_modules
+        else:
+            pending.append((path_str, source, digest))
+    if jobs > 1 and len(pending) > 1:
+        by_path = {p: (s, d) for p, s, d in pending}
+        context = _pool_context()
+        with context.Pool(processes=min(jobs, len(pending))) as pool:
+            for path_str, parsed_ok, file_findings, noqa, defined, referenced \
+                    in pool.map(_file_worker, pending):
+                source, digest = by_path[path_str]
+                records[path_str] = _FileRecord(
+                    path=path_str,
+                    source=source,
+                    digest=digest,
+                    parsed_ok=parsed_ok,
+                    findings=file_findings,
+                    noqa=noqa,
+                    defined=defined,
+                    referenced=referenced,
+                )
+    else:
+        for path_str, source, digest in pending:
+            records[path_str] = _examine_file(path_str, source, digest)
+    if cache is not None:
+        from .cache import FileEntry
 
-            findings.extend(analyze_modules(analysis_modules))
-        if effects:
-            from .effects import analyze_modules as analyze_effect_modules
-
-            findings.extend(analyze_effect_modules(analysis_modules))
-        if concurrency:
-            from .concurrency import (
-                analyze_modules as analyze_concurrency_modules,
+        for path_str, _, _ in pending:
+            record = records[path_str]
+            cache.store_file(
+                FileEntry(
+                    path=record.path,
+                    digest=record.digest,
+                    parsed_ok=record.parsed_ok,
+                    findings=tuple(record.findings),
+                    noqa=tuple(record.noqa),
+                    defined=record.defined,
+                    referenced=record.referenced,
+                )
             )
-
-            findings.extend(analyze_concurrency_modules(analysis_modules))
-    sources = [_SourceRecord(path_str, source) for path_str, source, _ in records]
-    findings = _apply_suppressions(_dedupe(findings), sources)
+    findings: List[Diagnostic] = []
+    for path_str in file_paths:
+        findings.extend(records[path_str].findings)
+    passes = _enabled_passes(dataflow, effects, concurrency, perf)
+    if passes:
+        if cache is not None:
+            findings.extend(
+                _cached_analysis(cache, passes, file_paths, records)
+            )
+        else:
+            analysis_modules = [
+                records[path_str].analysis_module()
+                for path_str in file_paths
+                if records[path_str].parsed_ok
+            ]
+            findings.extend(_run_passes(passes, analysis_modules))
+    noqa_by_file = {
+        path_str: records[path_str].noqa for path_str in file_paths
+    }
+    findings = _apply_suppressions(_dedupe(findings), noqa_by_file)
     return filter_diagnostics(findings, select, ignore)
+
+
+def _cached_analysis(
+    cache,
+    passes: Sequence[str],
+    file_paths: Sequence[str],
+    records: Dict[str, _FileRecord],
+) -> List[Diagnostic]:
+    """Run the interprocedural passes per dependency component.
+
+    Unchanged components replay their cached findings; dirty components
+    are analyzed in isolation — sound because a component closes over
+    every shared-name channel the analyses can see through (see
+    :mod:`repro.lint.cache`), so analyzing it alone equals the
+    whole-program run restricted to its members.
+    """
+    from .cache import dependency_components
+
+    eligible = [
+        path_str
+        for path_str in file_paths
+        if records[path_str].parsed_ok and not is_test_path(path_str)
+    ]
+    interfaces = {
+        path_str: (records[path_str].defined, records[path_str].referenced)
+        for path_str in eligible
+    }
+    findings: List[Diagnostic] = []
+    for component in dependency_components(interfaces):
+        members = [(p, records[p].digest) for p in component]
+        cached = cache.load_component(members, passes)
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        modules = [records[p].analysis_module() for p in component]
+        sink: Dict[str, Dict[str, Dict[str, object]]] = {}
+        component_findings = _run_passes(passes, modules, summary_sink=sink)
+        cache.store_component(members, passes, component_findings, sink)
+        findings.extend(component_findings)
+    return findings

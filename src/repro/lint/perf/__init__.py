@@ -1,0 +1,38 @@
+"""Layer 6 — the ELS6xx hot-path performance lint.
+
+Detects the constructs that erase the columnar engine's speedup when
+they land on a hot path: row-at-a-time iteration over block data,
+quadratic membership tests and ``+=`` accumulation in loops, digest
+recomputation per iteration, and allocation-heavy constructs rebuilt
+every pass.  "Hot" is decided first by a bottom-up fixpoint over the
+resolved call graph (:mod:`repro.lint.perf.hotness`), seeded from the
+execution engine, estimator entry points, and explicit
+``# els: hot=yes|no`` pins; every other rule is gated on it, so the same
+loop in a CLI parser is left alone.
+
+Entry points:
+
+* :func:`analyze_modules` — the engine-facing driver over parsed modules.
+* :func:`analyze_source` — one in-memory module (tests, tools).
+* :data:`PERF_CODES` — code -> (summary, severity) catalog.
+"""
+
+from .analysis import PERF_CODES, analyze_modules, analyze_source
+from .hotness import (
+    HOT_ENTRY_NAMES,
+    HotIndex,
+    compute_hotness,
+    heuristic_root_reason,
+    hot_pin,
+)
+
+__all__ = [
+    "HOT_ENTRY_NAMES",
+    "HotIndex",
+    "PERF_CODES",
+    "analyze_modules",
+    "analyze_source",
+    "compute_hotness",
+    "heuristic_root_reason",
+    "hot_pin",
+]

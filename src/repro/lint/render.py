@@ -79,6 +79,7 @@ def _rule_metadata(code: str) -> Dict[str, object]:
     from .dataflow import DATAFLOW_CODES
     from .effects import EFFECT_CODES
     from .engine import SYNTAX_ERROR_CODE, UNUSED_SUPPRESSION_CODE, all_rules
+    from .perf import PERF_CODES
 
     description: Optional[str] = None
     level = "error"
@@ -90,6 +91,9 @@ def _rule_metadata(code: str) -> Dict[str, object]:
         level = _SARIF_LEVEL[severity]
     elif code in CONCURRENCY_CODES:
         description, severity = CONCURRENCY_CODES[code]
+        level = _SARIF_LEVEL[severity]
+    elif code in PERF_CODES:
+        description, severity = PERF_CODES[code]
         level = _SARIF_LEVEL[severity]
     elif code == SYNTAX_ERROR_CODE:
         description = "file does not parse"

@@ -432,10 +432,17 @@ class TestLint:
         assert serial_code == parallel_code == 1
         assert serial_out == parallel_out
 
-    def test_jobs_zero_is_usage_error(self, tmp_path, capsys):
+    def test_jobs_zero_means_one_worker_per_cpu(self, tmp_path, capsys):
         path = tmp_path / "clean.py"
         path.write_text("X = 1\n")
         code = main(["lint", str(path), "--jobs", "0"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_negative_jobs_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("X = 1\n")
+        code = main(["lint", str(path), "--jobs", "-1"])
         assert code == 2
         assert "usage error" in capsys.readouterr().err
 

@@ -693,12 +693,18 @@ class TestEngineIntegration:
         assert serial == parallel
         assert {d.code for d in serial} >= {"ELS401", "ELS402"}
 
-    def test_jobs_must_be_positive(self, tmp_path):
+    def test_jobs_must_be_nonnegative(self, tmp_path):
         from repro.errors import LintError
 
         (tmp_path / "a.py").write_text("x = 1\n")
         with pytest.raises(LintError):
-            lint_paths([str(tmp_path)], jobs=0)
+            lint_paths([str(tmp_path)], jobs=-1)
+
+    def test_jobs_zero_means_cpu_count(self, tmp_path):
+        (tmp_path / "a.py").write_text(self.SNIPPET)
+        auto = lint_paths([str(tmp_path)], effects=True, jobs=0)
+        serial = lint_paths([str(tmp_path)], effects=True, jobs=1)
+        assert auto == serial
 
     def test_every_code_has_metadata(self):
         from repro.lint.render import _rule_metadata

@@ -1,0 +1,594 @@
+"""Tests for the ELS6xx hot-path performance layer.
+
+Covers the ``hot=`` directive grammar (ELS600 positive/negative), the
+hotness fixpoint (heuristic roots, pins, interprocedural propagation,
+``hot=no`` blocking), every diagnostic code ELS601-ELS607 with positive
+*and* negative snippets, the dogfooded pre-fix shapes (per-pair key
+extraction, per-resume fingerprinting), and the engine integration
+(``perf=`` flag, ``# els: noqa[ELS6xx]`` + ELS199).
+"""
+
+import ast
+import textwrap
+
+from repro.lint.dataflow.annotations import parse_directives
+from repro.lint.dataflow.summaries import collect_program
+from repro.lint.engine import known_codes, lint_source
+from repro.lint.perf import (
+    HOT_ENTRY_NAMES,
+    PERF_CODES,
+    analyze_modules,
+    analyze_source,
+    compute_hotness,
+)
+
+
+def codes(source):
+    return [d.code for d in analyze_source(textwrap.dedent(source))]
+
+
+def findings(source):
+    return analyze_source(textwrap.dedent(source))
+
+
+class _FakeModule:
+    def __init__(self, path, source):
+        self.path = path
+        self.source = textwrap.dedent(source)
+        self.tree = ast.parse(self.source)
+        self.is_test_file = False
+
+
+def _hot_index(path, source):
+    source = textwrap.dedent(source)
+    directives, _ = parse_directives(source)
+    program = collect_program([(path, ast.parse(source), directives)])
+    return program, compute_hotness(program)
+
+
+def _is_hot(program, index, qualname):
+    for minfo in program.modules:
+        for function in minfo.functions:
+            if function.qualname == qualname:
+                return index.is_hot(function)
+    raise AssertionError(f"no function {qualname!r} in program")
+
+
+class TestDirectiveParsing:
+    def test_valid_hot_aliases(self):
+        for spelling, value in (("yes", True), ("no", False), ("true", True)):
+            directives, malformed = parse_directives(
+                f"def f():  # els: hot={spelling}\n    pass\n"
+            )
+            assert malformed == []
+            assert directives[0].kind == "hot"
+            assert directives[0].hot is value
+
+    def test_unknown_hot_value_is_perf_family(self):
+        _, malformed = parse_directives("def f():  # els: hot=maybe\n    pass\n")
+        assert len(malformed) == 1
+        assert malformed[0].family == "perf"
+
+
+class TestELS600Directives:
+    def test_malformed_hot_value_fires(self):
+        assert "ELS600" in codes(
+            """
+            def f():  # els: hot=sometimes
+                pass
+            """
+        )
+
+    def test_misplaced_hot_directive_fires(self):
+        assert "ELS600" in codes(
+            """
+            def f():
+                x = 1  # els: hot=yes
+                return x
+            """
+        )
+
+    def test_def_line_pin_is_clean(self):
+        assert codes(
+            """
+            def helper():  # els: hot=yes
+                pass
+            """
+        ) == []
+
+
+class TestHotness:
+    def test_estimate_prefix_is_a_root(self):
+        program, index = _hot_index(
+            "src/x.py", "def estimate_size():\n    pass\n"
+        )
+        assert _is_hot(program, index, "estimate_size")
+
+    def test_entry_names_are_roots(self):
+        for name in sorted(HOT_ENTRY_NAMES):
+            program, index = _hot_index(
+                "src/x.py", f"def {name}():\n    pass\n"
+            )
+            assert _is_hot(program, index, name)
+
+    def test_estimator_class_methods_are_roots(self):
+        program, index = _hot_index(
+            "src/x.py",
+            """
+            class JoinSizeEstimator:
+                def combine(self):
+                    pass
+            """,
+        )
+        assert _is_hot(program, index, "JoinSizeEstimator.combine")
+
+    def test_execution_module_path_is_a_root(self):
+        program, index = _hot_index(
+            "src/repro/execution/ops.py", "def helper():\n    pass\n"
+        )
+        assert _is_hot(program, index, "helper")
+
+    def test_plain_function_is_cold(self):
+        program, index = _hot_index("src/x.py", "def helper():\n    pass\n")
+        assert not _is_hot(program, index, "helper")
+
+    def test_hotness_propagates_to_callees(self):
+        program, index = _hot_index(
+            "src/x.py",
+            """
+            def helper():
+                pass
+
+            def estimate_size():
+                helper()
+            """,
+        )
+        assert _is_hot(program, index, "helper")
+
+    def test_hot_no_pin_blocks_propagation(self):
+        program, index = _hot_index(
+            "src/x.py",
+            """
+            def setup():  # els: hot=no
+                pass
+
+            def estimate_size():
+                setup()
+            """,
+        )
+        assert not _is_hot(program, index, "setup")
+
+
+class TestELS601RowIteration:
+    def test_tuples_iteration_fires(self):
+        assert "ELS601" in codes(
+            """
+            def estimate_count(block):
+                total = 0
+                for row in block.tuples():
+                    total = total + 1
+                return total
+            """
+        )
+
+    def test_range_num_rows_fires(self):
+        assert "ELS601" in codes(
+            """
+            def estimate_count(block):
+                total = 0
+                for i in range(block.num_rows):
+                    total = total + 1
+                return total
+            """
+        )
+
+    def test_range_len_gathered_column_fires(self):
+        assert "ELS601" in codes(
+            """
+            def estimate_count(block):
+                values = block.column(0)
+                total = 0
+                for i in range(len(values)):
+                    total = total + 1
+                return total
+            """
+        )
+
+    def test_row_converter_contract_is_exempt(self):
+        assert codes(
+            """
+            class ScanOp:
+                def rows(self):
+                    for row in self._block.tuples():
+                        yield row
+            """
+        ) == []
+
+    def test_cold_function_is_exempt(self):
+        assert codes(
+            """
+            def report(block):
+                for row in block.tuples():
+                    print(row)
+            """
+        ) == []
+
+
+class TestELS602Membership:
+    def test_list_literal_membership_fires(self):
+        assert "ELS602" in codes(
+            """
+            def estimate_ops(predicates):
+                for p in predicates:
+                    if p.op in ["eq", "lt", "gt"]:
+                        yield p
+            """
+        )
+
+    def test_invariant_list_membership_fires(self):
+        assert "ELS602" in codes(
+            """
+            def estimate_ops(predicates):
+                keep = ["eq", "lt", "gt"]
+                for p in predicates:
+                    if p.op in keep:
+                        yield p
+            """
+        )
+
+    def test_tuple_membership_is_clean(self):
+        assert codes(
+            """
+            def estimate_ops(predicates):
+                keep = ("eq", "lt", "gt")
+                for p in predicates:
+                    if p.op in keep:
+                        yield p
+            """
+        ) == []
+
+    def test_list_rebuilt_in_loop_is_clean(self):
+        assert codes(
+            """
+            def estimate_ops(groups):
+                for group in groups:
+                    members = list(group)
+                    if group.head in members:
+                        yield group
+            """
+        ) == []
+
+
+class TestELS603Accumulation:
+    def test_str_augassign_fires(self):
+        assert "ELS603" in codes(
+            """
+            def estimate_key(parts):
+                key = ""
+                for part in parts:
+                    key += part
+                return key
+            """
+        )
+
+    def test_list_rebind_fires(self):
+        assert "ELS603" in codes(
+            """
+            def estimate_all(groups):
+                out = []
+                for group in groups:
+                    out = out + [group]
+                return out
+            """
+        )
+
+    def test_append_in_loop_is_clean(self):
+        assert codes(
+            """
+            def estimate_all(groups):
+                out = []
+                for group in groups:
+                    out.append(group)
+                return out
+            """
+        ) == []
+
+    def test_numeric_augassign_is_clean(self):
+        assert codes(
+            """
+            def estimate_total(sizes):
+                total = 0
+                for size in sizes:
+                    total += size
+                return total
+            """
+        ) == []
+
+
+class TestELS604DigestInLoop:
+    def test_digest_call_in_loop_fires(self):
+        assert "ELS604" in codes(
+            """
+            def estimate_lookup(payloads, completed):
+                for payload in payloads:
+                    if payload.fingerprint() in completed:
+                        continue
+            """
+        )
+
+    def test_hashlib_in_loop_fires_once(self):
+        found = [
+            d.code
+            for d in findings(
+                """
+                import hashlib
+
+                def estimate_keys(items):
+                    for item in items:
+                        key = hashlib.blake2b(item).hexdigest()
+                        yield key
+                """
+            )
+        ]
+        assert found == ["ELS604"]
+
+    def test_digest_in_comprehension_is_clean(self):
+        assert codes(
+            """
+            def estimate_lookup(payloads, completed):
+                keys = {p.index: p.fingerprint() for p in payloads}
+                for payload in payloads:
+                    if keys[payload.index] in completed:
+                        continue
+            """
+        ) == []
+
+    def test_digest_named_function_is_exempt(self):
+        assert codes(
+            """
+            def estimate_fingerprint(parts):
+                for part in parts:
+                    part.digest()
+            """
+        ) == []
+
+
+class TestELS605AllocInLoop:
+    def test_lambda_in_loop_fires(self):
+        assert "ELS605" in codes(
+            """
+            def estimate_ranks(rows, sizes):
+                for row in rows:
+                    row.sort(key=lambda r: sizes[r])
+            """
+        )
+
+    def test_nested_def_in_loop_fires(self):
+        assert "ELS605" in codes(
+            """
+            def estimate_ranks(rows):
+                for row in rows:
+                    def rank(r):
+                        return r.size
+                    row.sort(key=rank)
+            """
+        )
+
+    def test_re_compile_in_loop_fires(self):
+        assert "ELS605" in codes(
+            """
+            import re
+
+            def estimate_matches(lines):
+                for line in lines:
+                    if re.compile(r"x+").match(line):
+                        yield line
+            """
+        )
+
+    def test_deepcopy_in_loop_fires(self):
+        assert "ELS605" in codes(
+            """
+            import copy
+
+            def estimate_variants(plans):
+                for plan in plans:
+                    yield copy.deepcopy(plan)
+            """
+        )
+
+    def test_hoisted_lambda_is_clean(self):
+        assert codes(
+            """
+            def estimate_ranks(rows, sizes):
+                rank = lambda r: sizes[r]
+                for row in rows:
+                    row.sort(key=rank)
+            """
+        ) == []
+
+
+class TestELS606Materialization:
+    def test_sum_listcomp_fires_as_warning(self):
+        result = findings(
+            """
+            def estimate_total(sizes):
+                return sum([s * 2 for s in sizes])
+            """
+        )
+        assert [d.code for d in result] == ["ELS606"]
+        assert result[0].severity.value == "warning"
+
+    def test_sum_generator_is_clean(self):
+        assert codes(
+            """
+            def estimate_total(sizes):
+                return sum(s * 2 for s in sizes)
+            """
+        ) == []
+
+
+class TestELS607Pins:
+    def test_redundant_hot_yes_pin_fires(self):
+        assert "ELS607" in codes(
+            """
+            def estimate_size():  # els: hot=yes
+                pass
+            """
+        )
+
+    def test_useful_hot_yes_pin_is_clean(self):
+        assert codes(
+            """
+            def evaluate_workloads():  # els: hot=yes
+                pass
+            """
+        ) == []
+
+    def test_stale_hot_no_pin_fires(self):
+        assert "ELS607" in codes(
+            """
+            def setup():  # els: hot=no
+                pass
+            """
+        )
+
+    def test_blocking_hot_no_pin_is_clean(self):
+        assert codes(
+            """
+            def setup():  # els: hot=no
+                pass
+
+            def estimate_size():
+                setup()
+            """
+        ) == []
+
+
+class TestInterprocedural:
+    def test_hazard_in_hot_callee_names_origin(self):
+        result = findings(
+            """
+            def helper(items):
+                out = ""
+                for item in items:
+                    out += item
+                return out
+
+            def execute(items):
+                return helper(items)
+            """
+        )
+        assert [d.code for d in result] == ["ELS603"]
+        assert "hot via 'execute'" in result[0].message
+
+    def test_cross_module_propagation(self):
+        helper = _FakeModule(
+            "src/helpers.py",
+            """
+            def join_key(parts):
+                key = ""
+                for part in parts:
+                    key += part
+                return key
+            """,
+        )
+        driver = _FakeModule(
+            "src/driver.py",
+            """
+            from helpers import join_key
+
+            def estimate_size(parts):
+                return join_key(parts)
+            """,
+        )
+        found = [d.code for d in analyze_modules([helper, driver])]
+        assert found == ["ELS603"]
+
+    def test_test_files_are_skipped(self):
+        module = _FakeModule(
+            "tests/test_x.py",
+            """
+            def estimate_size(parts):
+                key = ""
+                for part in parts:
+                    key += part
+                return key
+            """,
+        )
+        module.is_test_file = True
+        assert analyze_modules([module]) == []
+
+
+class TestDogfoodShapes:
+    def test_pre_fix_harness_fingerprint_loop_fires(self):
+        result = findings(
+            """
+            def evaluate_workloads(payloads, completed):  # els: hot=yes
+                for payload in payloads:
+                    row = completed.get(payload.fingerprint())
+                    if row is not None:
+                        yield row
+            """
+        )
+        assert "ELS604" in [d.code for d in result]
+
+    def test_pre_fix_greedy_order_lambda_fires(self):
+        result = findings(
+            """
+            def estimate_order(remaining, sizes):
+                order = []
+                while remaining:
+                    chosen = min(remaining, key=lambda r: (sizes[r], r))
+                    remaining.remove(chosen)
+                    order.append(chosen)
+                return order
+            """
+        )
+        assert "ELS605" in [d.code for d in result]
+
+
+class TestEngineIntegration:
+    HAZARD = textwrap.dedent(
+        """
+        __all__ = ["estimate_key"]
+
+
+        def estimate_key(parts):
+            key = ""
+            for part in parts:
+                key += part
+            return key
+        """
+    )
+
+    def test_perf_flag_off_by_default(self):
+        assert [d.code for d in lint_source(self.HAZARD)] == []
+
+    def test_perf_flag_on(self):
+        found = [d.code for d in lint_source(self.HAZARD, perf=True)]
+        assert found == ["ELS603"]
+
+    def test_noqa_suppresses_els6xx(self):
+        source = self.HAZARD.replace(
+            "key += part", "key += part  # els: noqa[ELS603]"
+        )
+        assert [d.code for d in lint_source(source, perf=True)] == []
+
+    def test_unused_els6_suppression_reports_els199(self):
+        source = self.HAZARD.replace(
+            "return key", "return key  # els: noqa[ELS603]"
+        )
+        found = [d.code for d in lint_source(source, perf=True)]
+        assert "ELS199" in found
+
+    def test_every_code_is_known(self):
+        valid = known_codes()
+        for code in PERF_CODES:
+            assert code in valid
+
+    def test_every_code_has_metadata(self):
+        for code, (summary, severity) in PERF_CODES.items():
+            assert code.startswith("ELS6")
+            assert summary
+            assert severity.value in ("error", "warning")

@@ -75,6 +75,19 @@ def sample_diagnostics():
             col=8,
             hint="move the blocking work outside the critical section",
         ),
+        Diagnostic(
+            code="ELS603",
+            message=(
+                "string accumulation 'key += ...' inside a hot loop copies "
+                "the whole prefix every iteration (quadratic) "
+                "(hot via 'execute')"
+            ),
+            severity=Severity.ERROR,
+            file="src/repro/core/foo.py",
+            line=71,
+            col=8,
+            hint="collect parts in a list and ''.join() once after the loop",
+        ),
     ]
 
 
@@ -99,7 +112,7 @@ class TestSarifShape:
     def test_levels_map_per_spec(self):
         log = json.loads(render_sarif(sample_diagnostics()))
         levels = [r["level"] for r in log["runs"][0]["results"]]
-        assert levels == ["error", "warning", "error", "error", "error"]
+        assert levels == ["error", "warning", "error", "error", "error", "error"]
 
     def test_rule_index_points_into_rules_array(self):
         log = json.loads(render_sarif(sample_diagnostics()))

@@ -53,3 +53,25 @@ def test_tree_is_concurrency_clean(tree):
         pytest.skip(f"no {tree}/ directory")
     diagnostics = lint_paths([str(path)], select=["ELS5"], concurrency=True)
     assert diagnostics == [], "\n" + render_text(diagnostics)
+
+
+@pytest.mark.parametrize("tree", ["src", "tests", "benchmarks", "examples"])
+def test_tree_is_perf_clean(tree):
+    """The ELS6xx hot-path performance pass must also report nothing."""
+    path = ROOT / tree
+    if not path.is_dir():
+        pytest.skip(f"no {tree}/ directory")
+    diagnostics = lint_paths([str(path)], select=["ELS6"], perf=True)
+    assert diagnostics == [], "\n" + render_text(diagnostics)
+
+
+def test_full_stack_is_clean_over_src():
+    """The acceptance gate: all five passes together over ``src/``."""
+    diagnostics = lint_paths(
+        [str(ROOT / "src")],
+        dataflow=True,
+        effects=True,
+        concurrency=True,
+        perf=True,
+    )
+    assert diagnostics == [], "\n" + render_text(diagnostics)
