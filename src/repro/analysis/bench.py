@@ -9,13 +9,21 @@ over configurable repeats:
 * **estimate** — one incremental walk of the join order,
 * **row truth** — executed COUNT(*) on the row-at-a-time engine,
 * **columnar truth** — the same plan on the vectorized columnar engine,
+* **parallel truth** — with ``engine="parallel"``, the same plan on the
+  morsel-parallel tier at the configured worker count *and* at one
+  worker (the one-worker column proves the parallel engine never
+  regresses the serial baseline),
 * **cached truth** — a :func:`~repro.analysis.truth.true_join_size` call
   answered by the ground-truth cache.
 
 The report lands in ``BENCH_execution.json`` together with machine
-metadata, establishing the perf trajectory later PRs are measured
-against.  ``min_speedup`` turns the report into a CI gate: the run fails
-when the overall columnar-over-row speedup drops below the floor.
+metadata — including the full per-engine worker configuration
+(``meta["engine_config"]``: morsel workers, morsel rows, radix
+partitions), not just ``cpu_count`` — establishing the perf trajectory
+later PRs are measured against.  ``min_speedup`` turns the report into a
+CI gate: the run fails when the gated speedup (columnar over row, or
+parallel over columnar when the parallel engine is benched) drops below
+the floor.
 """
 
 from __future__ import annotations
@@ -30,7 +38,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..core.config import ELS
 from ..core.estimator import JoinSizeEstimator
 from ..errors import BenchmarkError
-from ..execution.executor import Executor
+from ..execution.executor import Executor, validate_engine
+from ..execution.parallel import (
+    DEFAULT_MORSEL_ROWS,
+    DEFAULT_RADIX_BITS,
+    FANOUT_MIN_PROBE_ROWS,
+)
 from ..sql.query import Query
 from ..storage.database import Database
 from ..workloads.paper import load_smbg_database, smbg_query, smbg_specs
@@ -73,8 +86,14 @@ def _bench_prefix(
     query: Query,
     tables: Sequence[str],
     repeats: int,
+    parallel_workers: Optional[int] = None,
 ) -> Dict[str, object]:
-    """Benchmark one join prefix on both engines (plus estimator timings)."""
+    """Benchmark one join prefix on the engines (plus estimator timings).
+
+    With ``parallel_workers`` set, the morsel-parallel engine is also
+    timed — at that worker count and at one worker — and included in the
+    count-disagreement guard.
+    """
     sub_query = prefix_query(query, tables)
     order = list(tables)
     plan = build_reference_plan(sub_query, database)
@@ -88,6 +107,18 @@ def _bench_prefix(
             f"engine disagreement on {'><'.join(tables)}: "
             f"row={row_check} columnar={true_count}"
         )
+    if parallel_workers is not None:
+        # Warms the value-index caches and extends the guard three ways.
+        parallel_check = (
+            Executor(database, engine="parallel", morsel_workers=parallel_workers)
+            .count(plan)
+            .count
+        )
+        if parallel_check != true_count:
+            raise BenchmarkError(
+                f"engine disagreement on {'><'.join(tables)}: "
+                f"columnar={true_count} parallel={parallel_check}"
+            )
 
     estimator = JoinSizeEstimator(sub_query, database.catalog, ELS, True)
     estimate = estimator.estimate(order)
@@ -106,7 +137,7 @@ def _bench_prefix(
     cached_truth_s = _median_seconds(
         lambda: true_join_size(sub_query, database, cache=cache), repeats
     )
-    return {
+    result: Dict[str, object] = {
         "label": " >< ".join(tables),
         "tables": list(tables),
         "true_count": true_count,
@@ -119,6 +150,28 @@ def _bench_prefix(
         "speedup": row_truth_s / columnar_truth_s if columnar_truth_s > 0 else 0.0,
         "truth_cache": cache.stats.to_dict(),
     }
+    if parallel_workers is not None:
+        parallel_truth_s = _median_seconds(
+            lambda: Executor(
+                database, engine="parallel", morsel_workers=parallel_workers
+            ).count(plan),
+            repeats,
+        )
+        parallel_w1_truth_s = _median_seconds(
+            lambda: Executor(
+                database, engine="parallel", morsel_workers=1
+            ).count(plan),
+            repeats,
+        )
+        result["parallel_truth_s"] = parallel_truth_s
+        result["parallel_w1_truth_s"] = parallel_w1_truth_s
+        result["parallel_speedup"] = (
+            columnar_truth_s / parallel_truth_s if parallel_truth_s > 0 else 0.0
+        )
+        result["parallel_w1_speedup"] = (
+            columnar_truth_s / parallel_w1_truth_s if parallel_w1_truth_s > 0 else 0.0
+        )
+    return result
 
 
 def run_execution_bench(
@@ -130,6 +183,8 @@ def run_execution_bench(
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
+    engine: str = "columnar",
+    morsel_workers: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the full execution benchmark and return the report dict.
 
@@ -150,18 +205,53 @@ def run_execution_bench(
             default policy).
         checkpoint_path: Sweep checkpoint file; completed payloads are
             skipped on restart.
+        engine: The newest engine to bench: ``"columnar"`` times row and
+            columnar (the historical report shape); ``"parallel"``
+            additionally times the morsel-parallel engine at
+            ``morsel_workers`` and at one worker.
+        morsel_workers: Worker count for the parallel engine timings
+            (``None`` means one per CPU).
     """
     if repeats < 1:
         raise BenchmarkError(f"repeats must be positive, got {repeats}")
+    validate_engine(engine)
+    if engine == "row":
+        raise BenchmarkError(
+            "bench engine must be 'columnar' or 'parallel'; the row engine "
+            "is always timed as the baseline"
+        )
+    parallel_workers: Optional[int] = None
+    if engine == "parallel":
+        parallel_workers = (
+            morsel_workers if morsel_workers is not None else (os.cpu_count() or 1)
+        )
+        if parallel_workers < 1:
+            raise BenchmarkError(
+                f"morsel_workers must be positive, got {parallel_workers}"
+            )
     database = load_smbg_database(scale=scale, seed=seed)
     query = smbg_query(threshold=max(2, int(100 * scale)))
     tables = list(query.tables)
     prefixes = [
-        _bench_prefix(database, query, tables[: k + 2], repeats)
+        _bench_prefix(
+            database, query, tables[: k + 2], repeats, parallel_workers
+        )
         for k in range(len(tables) - 1)
     ]
     overall_row = sum(p["row_truth_s"] for p in prefixes)
     overall_columnar = sum(p["columnar_truth_s"] for p in prefixes)
+    engines = ["row", "columnar"] + (["parallel"] if parallel_workers else [])
+    engine_config: Dict[str, object] = {
+        "sweep_workers": workers,
+    }
+    if parallel_workers is not None:
+        engine_config["parallel"] = {
+            "morsel_workers": parallel_workers,
+            "morsel_rows": DEFAULT_MORSEL_ROWS,
+            "radix_bits": DEFAULT_RADIX_BITS,
+            "partitions": 1 << DEFAULT_RADIX_BITS,
+            "fanout_min_probe_rows": FANOUT_MIN_PROBE_ROWS,
+        }
     report: Dict[str, object] = {
         "meta": {
             "tool": "repro-els bench",
@@ -169,7 +259,10 @@ def run_execution_bench(
             "repeats": repeats,
             "seed": seed,
             "workers": workers,
-            "engines": ["row", "columnar"],
+            "engine": engine,
+            "morsel_workers": parallel_workers,
+            "engines": engines,
+            "engine_config": engine_config,
             "machine": machine_metadata(),
         },
         "prefixes": prefixes,
@@ -179,6 +272,20 @@ def run_execution_bench(
             "speedup": overall_row / overall_columnar if overall_columnar > 0 else 0.0,
         },
     }
+    if parallel_workers is not None:
+        overall_parallel = sum(p["parallel_truth_s"] for p in prefixes)
+        overall_parallel_w1 = sum(p["parallel_w1_truth_s"] for p in prefixes)
+        overall = report["overall"]
+        overall["parallel_truth_s"] = overall_parallel
+        overall["parallel_w1_truth_s"] = overall_parallel_w1
+        overall["parallel_speedup"] = (
+            overall_columnar / overall_parallel if overall_parallel > 0 else 0.0
+        )
+        overall["parallel_w1_speedup"] = (
+            overall_columnar / overall_parallel_w1
+            if overall_parallel_w1 > 0
+            else 0.0
+        )
     if sweep:
         workloads = [
             GeneratedWorkload(
@@ -197,6 +304,8 @@ def run_execution_bench(
             timeout_s=timeout_s,
             retry=policy,
             checkpoint_path=checkpoint_path,
+            engine=engine,
+            morsel_workers=parallel_workers,
         )
         degraded_count = sum(
             1 for workload_records in records if any(r.degraded for r in workload_records)
@@ -222,12 +331,16 @@ def render_bench_report(report: Dict[str, object]) -> str:
     from .report import AsciiTable
 
     meta = report["meta"]
+    has_parallel = any("parallel_truth_s" in p for p in report["prefixes"])
+    headers = ["Prefix", "True", "Build (s)", "Estimate (s)", "Row (s)", "Columnar (s)", "Speedup"]
+    if has_parallel:
+        headers += ["Parallel (s)", "P-Speedup"]
     table = AsciiTable(
-        ["Prefix", "True", "Build (s)", "Estimate (s)", "Row (s)", "Columnar (s)", "Speedup"],
+        headers,
         title=f"Execution benchmark at scale {meta['scale']} ({meta['repeats']} repeats)",
     )
     for prefix in report["prefixes"]:
-        table.add_row(
+        row = [
             prefix["label"],
             prefix["true_count"],
             f"{prefix['estimator_build_s']:.6f}",
@@ -235,7 +348,13 @@ def render_bench_report(report: Dict[str, object]) -> str:
             f"{prefix['row_truth_s']:.6f}",
             f"{prefix['columnar_truth_s']:.6f}",
             f"{prefix['speedup']:.2f}x",
-        )
+        ]
+        if has_parallel:
+            row += [
+                f"{prefix['parallel_truth_s']:.6f}",
+                f"{prefix['parallel_speedup']:.2f}x",
+            ]
+        table.add_row(*row)
     overall = report["overall"]
     lines = [table.render()]
     lines.append(
@@ -243,6 +362,15 @@ def render_bench_report(report: Dict[str, object]) -> str:
         f"columnar {overall['columnar_truth_s']:.6f}s "
         f"({overall['speedup']:.2f}x speedup)"
     )
+    if has_parallel:
+        workers = meta.get("morsel_workers")
+        lines.append(
+            f"parallel engine ({workers} morsel worker(s)): "
+            f"{overall['parallel_truth_s']:.6f}s "
+            f"({overall['parallel_speedup']:.2f}x over columnar; "
+            f"1-worker {overall['parallel_w1_truth_s']:.6f}s, "
+            f"{overall['parallel_w1_speedup']:.2f}x)"
+        )
     sweep = report.get("parallel_sweep")
     if sweep:
         line = (

@@ -39,6 +39,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.config import ELS, SM, SSS, EstimatorConfig
 from ..core.estimator import JoinSizeEstimator
 from ..errors import DeadlineExceededError, ReproError, WorkloadError
+from ..execution.executor import validate_engine
 from ..resilience.chaos import FaultPlan, InjectedWorkerCrash
 from ..resilience.checkpoint import (
     append_checkpoint,
@@ -172,6 +173,7 @@ def evaluate_workload(
     engine: str = "columnar",
     timeout_s: Optional[float] = None,
     deadline: Optional[Deadline] = None,
+    morsel_workers: Optional[int] = None,
 ) -> List[AccuracyRecord]:
     """Estimate-vs-truth comparison for one workload.
 
@@ -196,10 +198,17 @@ def evaluate_workload(
             record instead).
         deadline: An already-running deadline to honor instead (wins over
             ``timeout_s``).
+        morsel_workers: Fan-out width for the ``"parallel"`` engine
+            (``None`` means one per CPU); ignored by the other engines.
     """
     db = database if database is not None else build_database(workload.specs, seed)
     actual = true_join_size(
-        workload.query, db, engine=engine, timeout_s=timeout_s, deadline=deadline
+        workload.query,
+        db,
+        engine=engine,
+        timeout_s=timeout_s,
+        deadline=deadline,
+        morsel_workers=morsel_workers,
     )
     return _estimate_records(
         workload, algorithms, db, order, check_invariants, actual
@@ -219,9 +228,12 @@ class _Payload:
     timeout_s: Optional[float] = None
     attempt: int = 0
     fault_plan: Optional[FaultPlan] = None
+    morsel_workers: Optional[int] = None
 
     def fingerprint(self) -> str:
-        """Content fingerprint for checkpoint keying (attempt-independent)."""
+        """Content fingerprint for checkpoint keying (attempt-independent;
+        ``morsel_workers`` is also excluded — worker count never changes a
+        result, so a resumed sweep may reuse checkpoints across widths)."""
         parts = [
             str(self.index),
             str(self.seed),
@@ -296,6 +308,7 @@ def _evaluate_one(payload: _Payload) -> Tuple[int, str, object]:
             check_invariants=payload.check_invariants,
             engine=payload.engine,
             deadline=deadline,
+            morsel_workers=payload.morsel_workers,
         )
         return (payload.index, "ok", records)
     except InjectedWorkerCrash as exc:
@@ -502,6 +515,7 @@ def evaluate_workloads(  # els: hot=yes
     retry: Optional[RetryPolicy] = None,
     checkpoint_path: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    morsel_workers: Optional[int] = None,
 ) -> List[List[AccuracyRecord]]:
     """Evaluate many workloads, optionally across a process pool.
 
@@ -535,7 +549,11 @@ def evaluate_workloads(  # els: hot=yes
         fault_plan: Injected fault schedule for chaos testing; when
             ``None``, the ``REPRO_FAULT_PLAN`` environment variable is
             consulted.
+        morsel_workers: Fan-out width for the ``"parallel"`` ground-truth
+            engine (``None`` means one per CPU); ignored by the other
+            engines and excluded from checkpoint fingerprints.
     """
+    validate_engine(engine)
     specs = tuple(algorithms)
     policy = retry if retry is not None else DEFAULT_RETRY_POLICY
     plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
@@ -549,6 +567,7 @@ def evaluate_workloads(  # els: hot=yes
             engine=engine,
             timeout_s=timeout_s,
             fault_plan=plan,
+            morsel_workers=morsel_workers,
         )
         for index, workload in enumerate(workloads)
     ]

@@ -147,6 +147,7 @@ def execute_query(
     engine: str = "columnar",
     timeout_s: Optional[float] = None,
     deadline: Optional[Deadline] = None,
+    morsel_workers: Optional[int] = None,
 ) -> ExecutionResult:
     """Execute a query via the reference plan, honoring its projection.
 
@@ -154,17 +155,23 @@ def execute_query(
         query: The query to execute.
         database: Stored tables.
         order: Explicit join order for the reference plan.
-        engine: Execution engine (``"row"`` or ``"columnar"``).
+        engine: Execution engine (``"row"``, ``"columnar"``, or
+            ``"parallel"``).
         timeout_s: Optional wall-clock budget; the executors check it
             cooperatively and raise
             :class:`~repro.errors.DeadlineExceededError` when spent.
         deadline: An already-running :class:`Deadline` to honor instead
             (wins over ``timeout_s``; lets callers share one budget across
             several executions).
+        morsel_workers: Fan-out width for the ``"parallel"`` engine
+            (``None`` means one per CPU); ignored by the other engines.
     """
     plan = build_reference_plan(query, database, order)
     executor = Executor(
-        database, engine=engine, deadline=_resolve_deadline(timeout_s, deadline)
+        database,
+        engine=engine,
+        deadline=_resolve_deadline(timeout_s, deadline),
+        morsel_workers=morsel_workers,
     )
     return executor.execute(plan, query.projection)
 
@@ -177,6 +184,7 @@ def true_join_size(
     cache: Optional[TruthCache] = DEFAULT_TRUTH_CACHE,
     timeout_s: Optional[float] = None,
     deadline: Optional[Deadline] = None,
+    morsel_workers: Optional[int] = None,
 ) -> int:
     """The exact result cardinality of the query's join.
 
@@ -186,7 +194,8 @@ def true_join_size(
         order: Explicit join order for the reference plan (does not affect
             the count, only execution time).
         engine: Execution engine; the vectorized ``"columnar"`` default is
-            several times faster than ``"row"`` on COUNT ground truths.
+            several times faster than ``"row"`` on COUNT ground truths,
+            and ``"parallel"`` adds the morsel-driven tier on top.
         cache: Ground-truth cache to consult and fill; defaults to the
             process-wide :data:`~repro.analysis.truthcache.DEFAULT_TRUTH_CACHE`.
             Pass ``None`` to force execution.
@@ -195,6 +204,10 @@ def true_join_size(
             :class:`~repro.errors.DeadlineExceededError`.
         deadline: An already-running :class:`Deadline` to honor instead
             (wins over ``timeout_s``).
+        morsel_workers: Fan-out width for the ``"parallel"`` engine
+            (``None`` means one per CPU); ignored by the other engines
+            and deliberately absent from the cache key — worker count
+            never changes the count, only how fast it is computed.
     """
     if cache is not None:
         cached = cache.get(database, query)
@@ -202,7 +215,10 @@ def true_join_size(
             return cached
     plan = build_reference_plan(query, database, order)
     executor = Executor(
-        database, engine=engine, deadline=_resolve_deadline(timeout_s, deadline)
+        database,
+        engine=engine,
+        deadline=_resolve_deadline(timeout_s, deadline),
+        morsel_workers=morsel_workers,
     )
     count = executor.count(plan).count
     if cache is not None:

@@ -10,7 +10,8 @@ The CLI exposes the library's core loop without writing Python:
   with each implied predicate and the rule that derived it;
 * ``repro-els demo`` — the paper's Section 8 experiment end to end;
 * ``repro-els bench`` — estimator and ground-truth timings (row vs
-  columnar engine) written to ``BENCH_execution.json``;
+  columnar, plus the morsel-parallel engine with ``--engine parallel
+  --morsel-workers N``) written to ``BENCH_execution.json``;
 * ``repro-els lint`` — the repo's own static-analysis rules (``ELS1xx``)
   over Python sources;
 * ``repro-els check`` — semantic invariant diagnostics (``ELS2xx``) for a
@@ -100,14 +101,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument(
         "--engine",
-        choices=("row", "columnar"),
+        choices=("row", "columnar", "parallel"),
         default="columnar",
         help="execution engine for the ground-truth runs (default columnar)",
     )
 
     bench = commands.add_parser(
         "bench",
-        help="time estimator build/estimate and row vs columnar ground truth",
+        help="time estimator build/estimate and row vs columnar "
+        "(vs morsel-parallel) ground truth",
     )
     bench.add_argument(
         "--scale", type=float, default=1.0, help="table-size scale (1.0 = paper)"
@@ -133,10 +135,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the evaluate_workloads parallel-sweep section",
     )
     bench.add_argument(
+        "--engine",
+        choices=("columnar", "parallel"),
+        default="columnar",
+        help="newest engine to bench; 'parallel' also times the "
+        "morsel-parallel engine against columnar (default columnar)",
+    )
+    bench.add_argument(
+        "--morsel-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="morsel worker count for --engine parallel "
+        "(default: one per CPU)",
+    )
+    bench.add_argument(
         "--min-speedup",
         type=float,
         default=0.0,
-        help="fail (exit 1) when the overall columnar speedup is below this",
+        help="fail (exit 1) when the gated speedup — columnar over row, or "
+        "parallel over columnar with --engine parallel — is below this",
     )
     bench.add_argument(
         "--timeout",
@@ -390,15 +408,24 @@ def _command_bench(args) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         checkpoint_path=args.checkpoint,
+        engine=args.engine,
+        morsel_workers=args.morsel_workers,
     )
     write_bench_json(report, args.output)
     print(render_bench_report(report))
     print(f"report written to {args.output}")
-    speedup = report["overall"]["speedup"]
+    # With --engine parallel the gate moves to the newest engine pair:
+    # parallel over columnar, instead of columnar over row.
+    if args.engine == "parallel":
+        speedup = report["overall"]["parallel_speedup"]
+        gate_label = "parallel-over-columnar"
+    else:
+        speedup = report["overall"]["speedup"]
+        gate_label = "columnar"
     if args.min_speedup > 0 and speedup < args.min_speedup:
         print(
-            f"FAIL: columnar speedup {speedup:.2f}x is below the required "
-            f"{args.min_speedup:.2f}x",
+            f"FAIL: {gate_label} speedup {speedup:.2f}x is below the "
+            f"required {args.min_speedup:.2f}x",
             file=sys.stderr,
         )
         return 1

@@ -19,6 +19,7 @@ __all__ = [
     "EstimationError",
     "OptimizationError",
     "ExecutionError",
+    "InvalidEngineError",
     "WorkloadError",
     "BenchmarkError",
     "LintError",
@@ -81,6 +82,28 @@ class OptimizationError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised by the execution engine when an operator fails at run time."""
+
+
+class InvalidEngineError(ExecutionError):
+    """Raised when an unknown execution engine name is requested.
+
+    Carried structurally so callers (CLI, benchmark harness, evaluation
+    sweeps) can report the valid choices without string-parsing, and so
+    the failure happens at configuration time rather than deep inside
+    operator construction.
+
+    Attributes:
+        engine: The rejected engine name.
+        valid_engines: The accepted engine names, in documentation order.
+    """
+
+    def __init__(self, engine: str, valid_engines: tuple) -> None:
+        self.engine = engine
+        self.valid_engines = tuple(valid_engines)
+        choices = ", ".join(repr(name) for name in self.valid_engines)
+        super().__init__(
+            f"unknown execution engine {engine!r}; valid engines are: {choices}"
+        )
 
 
 class WorkloadError(ReproError):

@@ -1,8 +1,10 @@
 """Execution engine: operators, plan executor, and run-time metrics.
 
-Two engines share one executor surface: the classic row-at-a-time
-operators (:mod:`.operators`) and the columnar vectorized path
-(:mod:`.columnar`), selected via ``Executor(engine="row"|"columnar")``.
+Three engines share one executor surface: the classic row-at-a-time
+operators (:mod:`.operators`), the columnar vectorized path
+(:mod:`.columnar`), and the morsel-driven parallel tier
+(:mod:`.parallel` over :mod:`.shm`), selected via
+``Executor(engine="row"|"columnar"|"parallel")``.
 """
 
 from .aggregate import AggregateFunction, AggregateSpec, HashAggregateOp
@@ -21,7 +23,7 @@ from .columnar import (
     RowBridgeOp,
     compile_block_predicate,
 )
-from .executor import ENGINES, ExecutionResult, Executor
+from .executor import ENGINES, ExecutionResult, Executor, validate_engine
 from .layout import (
     JoinCondition,
     Layout,
@@ -41,22 +43,34 @@ from .operators import (
     SortMergeJoinOp,
     TableScanOp,
 )
+from .parallel import (
+    DEFAULT_MORSEL_ROWS,
+    DEFAULT_RADIX_BITS,
+    FusedScanFilterOp,
+    ParallelHashJoinOp,
+    radix_partition,
+)
+from .shm import ColumnShipment, encode_int64, read_shipment
 
 __all__ = [
     "AggregateFunction",
     "AggregateSpec",
     "BlockBridgeOp",
     "ColumnBlock",
+    "ColumnShipment",
     "ColumnarFilterOp",
     "ColumnarHashJoinOp",
     "ColumnarOperator",
     "ColumnarProjectOp",
     "ColumnarTableScanOp",
+    "DEFAULT_MORSEL_ROWS",
+    "DEFAULT_RADIX_BITS",
     "ENGINES",
     "ExecutionMetrics",
     "ExecutionResult",
     "Executor",
     "FilterOp",
+    "FusedScanFilterOp",
     "GatherBlock",
     "HashAggregateOp",
     "HashJoinOp",
@@ -67,6 +81,7 @@ __all__ = [
     "NestedLoopJoinOp",
     "Operator",
     "OperatorStats",
+    "ParallelHashJoinOp",
     "ProjectBlock",
     "ProjectOp",
     "RowBridgeOp",
@@ -76,6 +91,10 @@ __all__ = [
     "compile_conjunction",
     "compile_join_condition",
     "compile_predicate",
+    "encode_int64",
     "operator_function",
+    "radix_partition",
+    "read_shipment",
     "split_join_condition",
+    "validate_engine",
 ]

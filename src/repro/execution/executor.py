@@ -10,11 +10,12 @@ benchmark tables print "estimated vs actual" columns.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, InvalidEngineError
 from ..optimizer.plans import JoinMethod, JoinPlan, PlanNode, ScanPlan
 from ..resilience.deadline import Deadline
 from ..sql.predicates import ColumnRef
@@ -40,13 +41,28 @@ from .operators import (
     SortMergeJoinOp,
     TableScanOp,
 )
+from .parallel import DEFAULT_MORSEL_ROWS, FusedScanFilterOp, ParallelHashJoinOp
 
-__all__ = ["ENGINES", "ExecutionResult", "Executor"]
+__all__ = ["ENGINES", "ExecutionResult", "Executor", "validate_engine"]
 
 Row = Tuple
 
-#: The two execution engines: classic row-at-a-time and columnar vectorized.
-ENGINES = ("row", "columnar")
+#: The execution engines: classic row-at-a-time, columnar vectorized, and
+#: morsel-parallel columnar (:mod:`repro.execution.parallel`).
+ENGINES = ("row", "columnar", "parallel")
+
+
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` if it names a known execution engine.
+
+    Raises:
+        InvalidEngineError: structured rejection carrying the valid
+            choices, raised at configuration time — not deep inside
+            operator construction.
+    """
+    if engine not in ENGINES:
+        raise InvalidEngineError(engine, ENGINES)
+    return engine
 
 
 @dataclass
@@ -74,13 +90,21 @@ class Executor:
         buffer_pages: Buffer pool size for the nested-loops I/O simulation.
         engine: ``"row"`` for the classic tuple-at-a-time operators,
             ``"columnar"`` for the vectorized engine
-            (:mod:`repro.execution.columnar`).  Both produce identical row
-            multisets, counts, and operator statistics; the columnar
-            engine is several times faster on COUNT(*) ground truths.
+            (:mod:`repro.execution.columnar`), ``"parallel"`` for the
+            morsel-driven tier (:mod:`repro.execution.parallel`).  All
+            three produce identical row multisets, counts, and operator
+            statistics; the columnar engine is several times faster than
+            row on COUNT(*) ground truths, and the parallel engine adds
+            index/fused/fan-out probe strategies on top of columnar.
         deadline: Optional cooperative cancellation budget
             (:class:`~repro.resilience.deadline.Deadline`).  Operators
             check it as rows flow; an expired budget aborts the run with
             :class:`~repro.errors.DeadlineExceededError`.
+        morsel_workers: Process fan-out width for the parallel engine
+            (``None`` means one worker per CPU).  Ignored by the row and
+            columnar engines.
+        morsel_rows: Rows per morsel for the parallel engine's scheduling,
+            deadline ticks, and fan-out tasks.
     """
 
     def __init__(
@@ -90,20 +114,30 @@ class Executor:
         buffer_pages: int = 64,
         engine: str = "row",
         deadline: Optional[Deadline] = None,
+        morsel_workers: Optional[int] = None,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
     ) -> None:
-        if engine not in ENGINES:
+        self._engine = validate_engine(engine)
+        if morsel_workers is None:
+            morsel_workers = os.cpu_count() or 1
+        if morsel_workers < 1:
             raise ExecutionError(
-                f"unknown engine {engine!r}; expected one of {ENGINES}"
+                f"morsel_workers must be at least 1, got {morsel_workers}"
             )
         self._database = database
         self._page_size = page_size
         self._buffer_pages = buffer_pages
-        self._engine = engine
         self._deadline = deadline
+        self._morsel_workers = morsel_workers
+        self._morsel_rows = morsel_rows
 
     @property
     def engine(self) -> str:
         return self._engine
+
+    @property
+    def morsel_workers(self) -> int:
+        return self._morsel_workers
 
     def execute(
         self, plan: PlanNode, projection: Optional[Projection] = None
@@ -120,6 +154,8 @@ class Executor:
         started = time.perf_counter()
         if self._engine == "columnar":
             return self._execute_columnar(plan, projection, metrics, started)
+        if self._engine == "parallel":
+            return self._execute_parallel(plan, projection, metrics, started)
         root = self._build(plan, metrics)
         if projection is not None and projection.aggregates:
             root = self._build_aggregate(root, projection, metrics)
@@ -165,8 +201,11 @@ class Executor:
         projection: Optional[Projection],
         metrics: ExecutionMetrics,
         started: float,
+        build: Optional[Callable[[PlanNode, ExecutionMetrics], ColumnarOperator]] = None,
     ) -> ExecutionResult:
-        root = self._build_columnar(plan, metrics)
+        if build is None:
+            build = self._build_columnar
+        root = build(plan, metrics)
         if projection is not None and projection.aggregates:
             # Aggregation runs on the row operator (one implementation of
             # aggregate semantics); the bridge is invisible in metrics.
@@ -238,6 +277,92 @@ class Executor:
                 return ColumnarHashJoinOp(left, right, plan.predicates, metrics)
         # Fallback: nested loops, sort-merge, and hash joins with non-equi
         # residuals run on the row operators between invisible bridges.
+        row_join = self._join_operator(
+            plan, RowBridgeOp(left), RowBridgeOp(right), metrics
+        )
+        return BlockBridgeOp(row_join)
+
+    # -- parallel engine -------------------------------------------------
+
+    def _execute_parallel(
+        self,
+        plan: PlanNode,
+        projection: Optional[Projection],
+        metrics: ExecutionMetrics,
+        started: float,
+    ) -> ExecutionResult:
+        if (
+            isinstance(plan, ScanPlan)
+            and projection is not None
+            and projection.columns
+            and not projection.aggregates
+        ):
+            # Single-table plans fuse the whole scan -> filter -> project
+            # chain into one morsel-streaming operator.
+            root = self._build_parallel_scan(
+                plan, metrics, project_columns=projection.columns
+            )
+            rows = list(root.block().tuples())
+            metrics.wall_seconds = time.perf_counter() - started
+            return ExecutionResult(
+                rows=rows,
+                columns=root.layout.columns,
+                count=len(rows),
+                metrics=metrics,
+            )
+        return self._execute_columnar(
+            plan, projection, metrics, started, build=self._build_parallel
+        )
+
+    def _build_parallel(
+        self, plan: PlanNode, metrics: ExecutionMetrics
+    ) -> ColumnarOperator:
+        if isinstance(plan, ScanPlan):
+            return self._build_parallel_scan(plan, metrics)
+        if isinstance(plan, JoinPlan):
+            return self._build_parallel_join(plan, metrics)
+        raise ExecutionError(f"unknown plan node {plan!r}")
+
+    def _build_parallel_scan(
+        self,
+        plan: ScanPlan,
+        metrics: ExecutionMetrics,
+        project_columns: Optional[Sequence[ColumnRef]] = None,
+    ) -> ColumnarOperator:
+        table = self._database.table(plan.base_table)
+        pages = _page_count(
+            table.row_count, table.schema.row_width_bytes, self._page_size
+        )
+        return FusedScanFilterOp(
+            relation=plan.relation,
+            table=table,
+            metrics=metrics,
+            pages=pages,
+            predicates=plan.local_predicates,
+            project_columns=project_columns,
+            morsel_rows=self._morsel_rows,
+        )
+
+    def _build_parallel_join(
+        self, plan: JoinPlan, metrics: ExecutionMetrics
+    ) -> ColumnarOperator:
+        left = self._build_parallel(plan.left, metrics)
+        right = self._build_parallel(plan.right, metrics)
+        if plan.method is JoinMethod.HASH:
+            condition = split_join_condition(
+                plan.predicates, left.layout, right.layout
+            )
+            if condition.keys and not condition.has_residual:
+                return ParallelHashJoinOp(
+                    left,
+                    right,
+                    plan.predicates,
+                    metrics,
+                    morsel_workers=self._morsel_workers,
+                    morsel_rows=self._morsel_rows,
+                )
+        # Same fallback as the columnar engine: the row operators are the
+        # single source of truth for non-equi and non-hash joins.
         row_join = self._join_operator(
             plan, RowBridgeOp(left), RowBridgeOp(right), metrics
         )

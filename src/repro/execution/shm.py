@@ -1,0 +1,154 @@
+"""Shared-memory column transport for the morsel-parallel engine.
+
+Fanning probe morsels across a process pool is only a win if the column
+payloads do not travel through the pickle pipe: pickling a 100k-value
+column per task would cost more than the probe itself.  This module ships
+columns through :mod:`multiprocessing.shared_memory` instead:
+
+* the parent packs each column as a raw ``int64`` section of one shared
+  segment (:func:`encode_int64` — packing doubles as the exactness check:
+  a column holding floats or strings is simply not shippable and the
+  engine falls back to in-process execution);
+* only a tiny :data:`Descriptor` — the segment name plus per-section
+  ``(key, offset, count)`` triples — crosses the task pipe;
+* workers attach, copy the sections they need into local arrays, and
+  detach immediately (:func:`read_shipment`), so no worker ever holds a
+  buffer export open across task boundaries.
+
+Lifecycle contract (ELS505): the creating side owns the segment and must
+call :meth:`ColumnShipment.destroy` — close *and* unlink — on every path,
+normally via ``try``/``finally`` around the fan-out.  The attaching side
+(:func:`read_shipment`) closes its handle in a ``finally`` before
+returning; it never unlinks, because the parent owns the name.
+"""
+
+from __future__ import annotations
+
+from array import array
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+
+__all__ = [
+    "ITEM_SIZE",
+    "ColumnShipment",
+    "Descriptor",
+    "encode_int64",
+    "read_shipment",
+]
+
+#: Bytes per shipped value: every section travels as packed little-endian
+#: native ``int64`` (``array('q')``).
+ITEM_SIZE = 8
+
+#: What crosses the task pipe instead of column data: the shared-memory
+#: segment name plus ``(section key, byte offset, value count)`` triples.
+Descriptor = Tuple[str, Tuple[Tuple[str, int, int], ...]]
+
+
+def encode_int64(values: Sequence) -> Optional[array]:
+    """Pack a value sequence as an ``int64`` array, or ``None`` if it can't.
+
+    The array constructor is the exactness check: floats, strings, and
+    out-of-range integers all fail to pack, which the parallel join takes
+    as "this column cannot travel via shared memory" and keeps the probe
+    in-process.  Booleans coerce to 0/1, which is join-safe because
+    ``True == 1`` under both hash and equality in every engine.
+    """
+    try:
+        return array("q", values)
+    except (TypeError, OverflowError, ValueError):
+        return None
+
+
+class ColumnShipment:
+    """Named int64 sections written into one shared-memory segment.
+
+    Created (and owned) by the parent process; workers only ever see the
+    picklable :attr:`descriptor`.  The parent must call :meth:`destroy`
+    on every path once the fan-out is finished.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        sections: Tuple[Tuple[str, int, int], ...],
+    ) -> None:
+        self._segment = segment
+        self._sections = sections
+        self._destroyed = False
+
+    @classmethod
+    def create(cls, sections: Dict[str, array]) -> "ColumnShipment":
+        """Write the given ``key -> int64 array`` sections into a new segment.
+
+        Raises:
+            ExecutionError: if a section is not an ``int64`` array.
+        """
+        for key, packed in sections.items():
+            if not isinstance(packed, array) or packed.typecode != "q":
+                raise ExecutionError(
+                    f"shipment section {key!r} must be an int64 array"
+                )
+        total = sum(len(packed) * ITEM_SIZE for packed in sections.values())
+        segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+        try:
+            table = []
+            offset = 0
+            for key, packed in sections.items():
+                data = packed.tobytes()
+                segment.buf[offset : offset + len(data)] = data
+                table.append((key, offset, len(packed)))
+                offset += len(data)
+        except BaseException:
+            segment.close()
+            segment.unlink()
+            raise
+        return cls(segment, tuple(table))
+
+    @property
+    def descriptor(self) -> Descriptor:
+        """The picklable handle workers use to attach and read sections."""
+        return (self._segment.name, self._sections)
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload bytes resident in the shared segment."""
+        return sum(count * ITEM_SIZE for _, _, count in self._sections)
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent; owner-side teardown)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        self._segment.close()
+        self._segment.unlink()
+
+
+def read_shipment(descriptor: Descriptor) -> Dict[str, array]:
+    """Attach to a shipment, copy every section out, and detach.
+
+    Returns local ``int64`` arrays keyed by section name.  The attach
+    handle is closed in a ``finally`` before returning, so callers never
+    receive live views into the segment (and the parent can unlink it at
+    any time afterwards).
+
+    The attach re-registers the name with the resource tracker (stdlib
+    behaviour on POSIX).  Under the ``fork`` start method workers share
+    the parent's tracker, whose cache is a set, so the duplicate
+    registration is a no-op and the parent's ``unlink`` retires the name
+    exactly once; attempting to "fix" the duplicate with an attach-side
+    ``unregister`` would instead remove the *parent's* registration.
+    """
+    name, sections = descriptor
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        out: Dict[str, array] = {}
+        for key, offset, count in sections:
+            packed = array("q")
+            packed.frombytes(bytes(segment.buf[offset : offset + count * ITEM_SIZE]))
+            out[key] = packed
+    finally:
+        segment.close()
+    return out

@@ -15,6 +15,7 @@ columnar transpose (:meth:`Table.columns`) and the content digest
 from __future__ import annotations
 
 import hashlib
+from types import MappingProxyType
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..catalog.schema import ColumnType, TableSchema
@@ -35,6 +36,7 @@ class Table:
         # Caches invalidated by row-count comparison (append-only storage).
         self._columns_cache: Optional[Tuple[int, Tuple[Tuple[Scalar, ...], ...]]] = None
         self._digest_cache: Optional[Tuple[int, str]] = None
+        self._value_index_cache: Dict[str, Tuple[int, Mapping[Scalar, Tuple[int, ...]]]] = {}
 
     @property
     def schema(self) -> TableSchema:
@@ -151,6 +153,33 @@ class Table:
         digest = hasher.hexdigest()
         self._digest_cache = (len(self._rows), digest)
         return digest
+
+    def value_index(self, column: str) -> Mapping[Scalar, Tuple[int, ...]]:
+        """A hash index over one column: value -> row indices, in row order.
+
+        Built lazily on first use and cached per row count (valid under
+        append-only storage), so repeated selective probes — the parallel
+        engine's index-join path — cost one dict lookup per distinct build
+        key instead of one per stored row.  The index is returned as a
+        read-only mapping with tuple values, so callers cannot corrupt the
+        cached copy shared by later calls.
+
+        Raises:
+            StorageError: if the column is not in the schema.
+        """
+        cached = self._value_index_cache.get(column)
+        if cached is not None and cached[0] == len(self._rows):
+            return cached[1]
+        position = self._schema.index_of(column)
+        buckets: Dict[Scalar, List[int]] = {}
+        setdefault = buckets.setdefault
+        for index, row in enumerate(self._rows):
+            setdefault(row[position], []).append(index)
+        frozen: Mapping[Scalar, Tuple[int, ...]] = MappingProxyType(
+            {value: tuple(indices) for value, indices in buckets.items()}
+        )
+        self._value_index_cache[column] = (len(self._rows), frozen)
+        return frozen
 
     def column_values(self, column: str) -> List[Scalar]:
         """All values of one column, in row order (duplicates preserved)."""

@@ -1,7 +1,7 @@
-"""Differential tests: the row and columnar engines must agree exactly.
+"""Differential tests: the row, columnar, and parallel engines must agree.
 
 For every workload family the repo generates (chain, star, clique, cycle,
-snowflake) and for the TPC-H-lite queries, both engines run the same
+snowflake) and for the TPC-H-lite queries, all three engines run the same
 reference plan and must produce
 
 * identical output row **multisets** (full materialization, no projection),
@@ -49,14 +49,31 @@ def assert_engines_agree(query, database):
     plan = build_reference_plan(query, database)
     row = Executor(database, engine="row").execute(plan)
     columnar = Executor(database, engine="columnar").execute(plan)
+    parallel = Executor(
+        database, engine="parallel", morsel_workers=2
+    ).execute(plan)
     assert sorted(row.rows) == sorted(columnar.rows)
-    assert row.count == columnar.count
-    assert row.metrics.total_rows_out == columnar.metrics.total_rows_out
+    assert sorted(row.rows) == sorted(parallel.rows)
+    assert row.count == columnar.count == parallel.count
+    assert (
+        row.metrics.total_rows_out
+        == columnar.metrics.total_rows_out
+        == parallel.metrics.total_rows_out
+    )
     assert _operator_stats(row.metrics) == _operator_stats(columnar.metrics)
+    assert _operator_stats(row.metrics) == _operator_stats(parallel.metrics)
 
     row_count = Executor(database, engine="row").count(plan)
     columnar_count = Executor(database, engine="columnar").count(plan)
-    assert row_count.count == columnar_count.count == row.count
+    parallel_count = Executor(
+        database, engine="parallel", morsel_workers=2
+    ).count(plan)
+    assert (
+        row_count.count
+        == columnar_count.count
+        == parallel_count.count
+        == row.count
+    )
     return row.count
 
 

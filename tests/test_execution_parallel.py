@@ -1,0 +1,442 @@
+"""Unit tests for the morsel-parallel execution tier.
+
+Covers the building blocks (radix partitioning, shared-memory column
+shipping), the fused scan operator's stats parity, probe-strategy
+selection (index / serial / fan-out), engine-name validation, and the
+parallel engine's agreement with the row oracle under every strategy.
+"""
+
+from array import array
+
+import pytest
+
+from repro.analysis import build_reference_plan
+from repro.errors import (
+    DeadlineExceededError,
+    ExecutionError,
+    InvalidEngineError,
+)
+from repro.execution import (
+    ColumnShipment,
+    Executor,
+    FusedScanFilterOp,
+    ParallelHashJoinOp,
+    encode_int64,
+    radix_partition,
+    read_shipment,
+    validate_engine,
+)
+from repro.execution import parallel as parallel_module
+from repro.execution.metrics import ExecutionMetrics
+from repro.resilience import Deadline
+from repro.catalog import TableSchema
+from repro.optimizer import ScanPlan
+from repro.sql import Op, Projection, join_predicate, local_predicate, parse_query
+from repro.sql.predicates import ColumnRef
+from repro.storage import Database
+from repro.workloads import ColumnSpec, TableSpec, build_database
+
+
+def make_database():
+    db = Database()
+    db.load_columns(
+        TableSchema.of("R", "x", "y"), {"x": [1, 2, 3, 4], "y": [10, 20, 30, 40]}
+    )
+    db.load_columns(
+        TableSchema.of("S", "x", "z"), {"x": [2, 3, 3, 9], "z": [5, 6, 7, 8]}
+    )
+    return db
+
+
+def scan_plan(relation, predicates=()):
+    return ScanPlan(
+        relation=relation,
+        base_table=relation,
+        local_predicates=tuple(predicates),
+        estimated_rows=0.0,
+        estimated_cost=0.0,
+        row_width=8,
+    )
+
+
+# ---------------------------------------------------------------------------
+# radix_partition
+# ---------------------------------------------------------------------------
+
+
+class TestRadixPartition:
+    def test_partitions_by_low_bits(self):
+        keys = [0, 1, 2, 3, 16, 17]
+        buckets = radix_partition(keys, 4)
+        assert len(buckets) == 16
+        assert list(buckets[0]) == [0, 4]  # values 0 and 16
+        assert list(buckets[1]) == [1, 5]  # values 1 and 17
+        assert list(buckets[2]) == [2]
+        assert list(buckets[3]) == [3]
+
+    def test_every_row_lands_exactly_once(self):
+        keys = list(range(-50, 50))
+        buckets = radix_partition(keys, 3)
+        seen = sorted(i for bucket in buckets for i in bucket)
+        assert seen == list(range(100))
+
+    def test_negative_keys_partition_arithmetically(self):
+        # Python's & on negative ints is modulo 2**bits: -1 & 3 == 3.
+        buckets = radix_partition([-1, -4], 2)
+        assert list(buckets[3]) == [0]
+        assert list(buckets[0]) == [1]
+
+    def test_zero_bits_is_one_partition(self):
+        buckets = radix_partition([5, 6, 7], 0)
+        assert len(buckets) == 1
+        assert list(buckets[0]) == [0, 1, 2]
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ExecutionError, match="non-negative"):
+            radix_partition([1], -1)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory shipment lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestColumnShipment:
+    def test_round_trip(self):
+        shipment = ColumnShipment.create(
+            {
+                "build": array("q", [1, -2, 3]),
+                "probe": array("q", range(100)),
+            }
+        )
+        try:
+            sections = read_shipment(shipment.descriptor)
+        finally:
+            shipment.destroy()
+        assert list(sections["build"]) == [1, -2, 3]
+        assert list(sections["probe"]) == list(range(100))
+
+    def test_descriptor_is_picklable_metadata_only(self):
+        shipment = ColumnShipment.create({"build": array("q", [7])})
+        try:
+            name, sections = shipment.descriptor
+            assert isinstance(name, str)
+            assert sections == (("build", 0, 1),)
+            assert shipment.size_bytes == 8
+        finally:
+            shipment.destroy()
+
+    def test_destroy_is_idempotent(self):
+        shipment = ColumnShipment.create({"build": array("q", [1])})
+        shipment.destroy()
+        shipment.destroy()  # second call must be a no-op, not an error
+
+    def test_empty_sections_still_create_a_segment(self):
+        shipment = ColumnShipment.create({"build": array("q")})
+        try:
+            sections = read_shipment(shipment.descriptor)
+        finally:
+            shipment.destroy()
+        assert list(sections["build"]) == []
+
+    def test_non_int64_section_rejected(self):
+        with pytest.raises(ExecutionError, match="int64"):
+            ColumnShipment.create({"build": array("d", [1.0])})
+        with pytest.raises(ExecutionError, match="int64"):
+            ColumnShipment.create({"build": [1, 2, 3]})
+
+
+class TestEncodeInt64:
+    def test_int_values_pack(self):
+        packed = encode_int64([1, 2, -3])
+        assert packed is not None
+        assert list(packed) == [1, 2, -3]
+
+    def test_bools_coerce_like_equality(self):
+        assert list(encode_int64([True, False])) == [1, 0]
+
+    @pytest.mark.parametrize(
+        "values",
+        [[1.5], ["a"], [None], [2**63]],
+        ids=["float", "string", "none", "overflow"],
+    )
+    def test_unpackable_values_return_none(self, values):
+        assert encode_int64(values) is None
+
+
+# ---------------------------------------------------------------------------
+# Engine-name validation
+# ---------------------------------------------------------------------------
+
+
+class TestEngineValidation:
+    def test_validate_engine_accepts_all_engines(self):
+        for engine in ("row", "columnar", "parallel"):
+            assert validate_engine(engine) == engine
+
+    def test_unknown_engine_raises_structured_error(self):
+        with pytest.raises(InvalidEngineError) as excinfo:
+            validate_engine("vectorized")
+        error = excinfo.value
+        assert error.engine == "vectorized"
+        assert error.valid_engines == ("row", "columnar", "parallel")
+        assert "vectorized" in str(error)
+        assert "columnar" in str(error)
+
+    def test_invalid_engine_is_an_execution_error(self):
+        assert issubclass(InvalidEngineError, ExecutionError)
+
+    def test_executor_rejects_unknown_engine(self):
+        with pytest.raises(InvalidEngineError):
+            Executor(make_database(), engine="gpu")
+
+    def test_evaluate_workloads_rejects_unknown_engine_eagerly(self):
+        from repro.analysis import evaluate_workloads
+
+        with pytest.raises(InvalidEngineError):
+            evaluate_workloads([], engine="nope")
+
+    def test_morsel_workers_must_be_positive(self):
+        with pytest.raises(ExecutionError, match="morsel_workers"):
+            Executor(make_database(), engine="parallel", morsel_workers=0)
+        metrics = ExecutionMetrics()
+        db = make_database()
+        left = FusedScanFilterOp("R", db.table("R"), metrics)
+        right = FusedScanFilterOp("S", db.table("S"), metrics)
+        with pytest.raises(ExecutionError, match="morsel_workers"):
+            ParallelHashJoinOp(
+                left,
+                right,
+                [join_predicate("R", "x", "S", "x")],
+                metrics,
+                morsel_workers=0,
+            )
+
+
+# ---------------------------------------------------------------------------
+# FusedScanFilterOp
+# ---------------------------------------------------------------------------
+
+
+class TestFusedScanFilter:
+    def _stats(self, metrics):
+        return [
+            (s.label, s.rows_in, s.rows_out, s.comparisons, s.pages_read)
+            for s in metrics.operators
+        ]
+
+    def test_stats_match_unfused_columnar_engine(self):
+        db = make_database()
+        plan = scan_plan(
+            "R", predicates=[local_predicate("R", "x", Op.GT, 1)]
+        )
+        columnar = Executor(db, engine="columnar").execute(plan)
+        fused = Executor(db, engine="parallel", morsel_workers=1).execute(plan)
+        assert sorted(fused.rows) == sorted(columnar.rows)
+        assert self._stats(fused.metrics) == self._stats(columnar.metrics)
+
+    def test_small_morsels_do_not_change_results(self):
+        db = make_database()
+        plan = scan_plan(
+            "R", predicates=[local_predicate("R", "x", Op.GT, 1)]
+        )
+        baseline = Executor(db, engine="parallel", morsel_workers=1).execute(plan)
+        tiny = Executor(
+            db, engine="parallel", morsel_workers=1, morsel_rows=1
+        ).execute(plan)
+        assert tiny.rows == baseline.rows
+        assert self._stats(tiny.metrics) == self._stats(baseline.metrics)
+
+    def test_bare_scan_hands_out_probe_index(self):
+        db = make_database()
+        op = FusedScanFilterOp("R", db.table("R"), ExecutionMetrics())
+        index = op.probe_index(0)
+        assert index is not None
+        assert index[2] == (1,)  # R.x == 2 lives in row 1
+
+    def test_filtered_scan_refuses_probe_index(self):
+        db = make_database()
+        op = FusedScanFilterOp(
+            "R",
+            db.table("R"),
+            ExecutionMetrics(),
+            predicates=[local_predicate("R", "x", Op.GT, 1)],
+        )
+        assert op.probe_index(0) is None
+
+    def test_projected_scan_refuses_probe_index(self):
+        db = make_database()
+        op = FusedScanFilterOp(
+            "R",
+            db.table("R"),
+            ExecutionMetrics(),
+            project_columns=[ColumnRef("R", "x")],
+        )
+        assert op.probe_index(0) is None
+
+    def test_single_table_projection_pushdown(self):
+        db = make_database()
+        result = Executor(db, engine="parallel", morsel_workers=1).execute(
+            scan_plan("R", predicates=[local_predicate("R", "x", Op.GT, 2)]),
+            Projection(columns=(ColumnRef("R", "y"),)),
+        )
+        assert sorted(result.rows) == [(30,), (40,)]
+        labels = [s.label for s in result.metrics.operators]
+        assert labels == ["scan(R)", "filter", "project"]
+
+
+# ---------------------------------------------------------------------------
+# Probe-strategy selection and agreement
+# ---------------------------------------------------------------------------
+
+
+def _skew_join_database(n_probe=6000, n_build=40, distinct=30):
+    specs = (
+        TableSpec("B", n_build, {"k": ColumnSpec(distinct=distinct)}),
+        TableSpec("P", n_probe, {"k": ColumnSpec(distinct=distinct)}),
+    )
+    return build_database(specs, seed=11)
+
+
+def _join_query():
+    return parse_query(
+        "SELECT COUNT(*) FROM B, P WHERE B.k = P.k",
+        schemas={"B": ("k",), "P": ("k",)},
+    )
+
+
+def _agree(db, query, **executor_kwargs):
+    plan = build_reference_plan(query, db)
+    oracle = Executor(db, engine="row").execute(plan)
+    parallel = Executor(db, engine="parallel", **executor_kwargs).execute(plan)
+    assert sorted(parallel.rows) == sorted(oracle.rows)
+    assert [
+        (s.label, s.rows_in, s.rows_out, s.comparisons)
+        for s in parallel.metrics.operators
+    ] == [
+        (s.label, s.rows_in, s.rows_out, s.comparisons)
+        for s in oracle.metrics.operators
+    ]
+    return parallel
+
+
+class TestProbeStrategies:
+    def test_index_path_matches_oracle(self, monkeypatch):
+        # Probe 6000 rows against 30 distinct build keys: well past the
+        # INDEX_MIN_PROBE_ROWS / INDEX_FANIN thresholds.
+        monkeypatch.setattr(parallel_module, "INDEX_MIN_PROBE_ROWS", 100)
+        _agree(_skew_join_database(), _join_query(), morsel_workers=1)
+
+    def test_serial_path_matches_oracle(self, monkeypatch):
+        # Disable the index path so the adaptive serial kernel runs.
+        monkeypatch.setattr(parallel_module, "INDEX_MIN_PROBE_ROWS", 10**9)
+        _agree(
+            _skew_join_database(),
+            _join_query(),
+            morsel_workers=1,
+            morsel_rows=512,
+        )
+
+    def test_serial_path_high_hit_rate_disables_prefilter(self, monkeypatch):
+        # Every probe key matches -> first morsel's hit rate is 1.0, which
+        # flips the kernel to the classic loop; results must not change.
+        monkeypatch.setattr(parallel_module, "INDEX_MIN_PROBE_ROWS", 10**9)
+        specs = (
+            TableSpec("B", 20, {"k": ColumnSpec(distinct=2)}),
+            TableSpec("P", 5000, {"k": ColumnSpec(distinct=2)}),
+        )
+        db = build_database(specs, seed=5)
+        _agree(db, _join_query(), morsel_workers=1, morsel_rows=256)
+
+    def test_fanout_path_matches_oracle(self, monkeypatch):
+        monkeypatch.setattr(parallel_module, "INDEX_MIN_PROBE_ROWS", 10**9)
+        monkeypatch.setattr(parallel_module, "FANOUT_MIN_PROBE_ROWS", 1)
+        _agree(
+            _skew_join_database(n_probe=3000),
+            _join_query(),
+            morsel_workers=2,
+            morsel_rows=512,
+        )
+
+    def test_small_probes_never_fan_out(self):
+        db = make_database()
+        metrics = ExecutionMetrics()
+        left = FusedScanFilterOp("R", db.table("R"), metrics)
+        right = FusedScanFilterOp("S", db.table("S"), metrics)
+        op = ParallelHashJoinOp(
+            left,
+            right,
+            [join_predicate("R", "x", "S", "x")],
+            metrics,
+            morsel_workers=8,
+        )
+        assert not op._fanout_eligible(4)
+        assert not op._fanout_eligible(parallel_module.FANOUT_MIN_PROBE_ROWS - 1)
+
+    def test_single_worker_never_fans_out(self):
+        db = make_database()
+        metrics = ExecutionMetrics()
+        left = FusedScanFilterOp("R", db.table("R"), metrics)
+        right = FusedScanFilterOp("S", db.table("S"), metrics)
+        op = ParallelHashJoinOp(
+            left,
+            right,
+            [join_predicate("R", "x", "S", "x")],
+            metrics,
+            morsel_workers=1,
+        )
+        assert not op._fanout_eligible(10**9)
+
+
+class TestFallbacks:
+    def test_multi_key_join_matches_oracle(self):
+        specs = (
+            TableSpec(
+                "A", 300, {"k": ColumnSpec(distinct=10), "j": ColumnSpec(distinct=5)}
+            ),
+            TableSpec(
+                "B", 200, {"k": ColumnSpec(distinct=10), "j": ColumnSpec(distinct=5)}
+            ),
+        )
+        db = build_database(specs, seed=9)
+        query = parse_query(
+            "SELECT COUNT(*) FROM A, B WHERE A.k = B.k AND A.j = B.j",
+            schemas={"A": ("k", "j"), "B": ("k", "j")},
+        )
+        _agree(db, query, morsel_workers=2)
+
+    def test_non_equi_join_falls_back_to_row_bridge(self):
+        specs = (
+            TableSpec("A", 50, {"x": ColumnSpec(distinct=25)}),
+            TableSpec("B", 40, {"y": ColumnSpec(distinct=20)}),
+        )
+        db = build_database(specs, seed=2)
+        query = parse_query(
+            "SELECT COUNT(*) FROM A, B WHERE A.x < B.y",
+            schemas={"A": ("x",), "B": ("y",)},
+        )
+        _agree(db, query, morsel_workers=2)
+
+    def test_count_matches_execute(self):
+        db = _skew_join_database(n_probe=2000)
+        plan = build_reference_plan(_join_query(), db)
+        executor = Executor(db, engine="parallel", morsel_workers=1)
+        assert executor.count(plan).count == len(executor.execute(plan).rows)
+
+
+# ---------------------------------------------------------------------------
+# Deadline cooperation
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_expired_deadline_aborts_fused_scan(self):
+        db = _skew_join_database()
+        clock = iter([0.0] + [100.0] * 1000)
+        deadline = Deadline(1.0, clock=lambda: next(clock), tick_interval=1)
+        executor = Executor(
+            db, engine="parallel", morsel_workers=1, deadline=deadline
+        )
+        plan = build_reference_plan(_join_query(), db)
+        with pytest.raises(DeadlineExceededError):
+            executor.execute(plan)

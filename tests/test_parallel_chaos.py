@@ -1,0 +1,91 @@
+"""Chaos tests for the fan-out probe: worker crashes must never corrupt
+results or hang the query.
+
+The fault hook (``REPRO_MORSEL_FAULT``) is deterministic — an explicit
+``ordinal:attempt`` spec, no randomness — so every scenario here replays
+exactly.  A marked worker dies with ``os._exit``, which the pool reports
+as :class:`BrokenProcessPool`; the parent must re-spawn the pool and
+retry, and the retried run must be byte-identical to an undisturbed
+serial execution.
+"""
+
+import pytest
+
+from repro.analysis import build_reference_plan
+from repro.errors import WorkloadError
+from repro.execution import Executor
+from repro.execution import parallel as parallel_module
+from repro.execution.parallel import MAX_FANOUT_ATTEMPTS, MORSEL_FAULT_ENV
+from repro.sql import parse_query
+from repro.workloads import ColumnSpec, TableSpec, build_database
+
+
+@pytest.fixture
+def fanout_thresholds(monkeypatch):
+    """Force the fan-out path at test-friendly scale."""
+    monkeypatch.setattr(parallel_module, "INDEX_MIN_PROBE_ROWS", 10**9)
+    monkeypatch.setattr(parallel_module, "FANOUT_MIN_PROBE_ROWS", 1)
+
+
+@pytest.fixture
+def database():
+    specs = (
+        TableSpec("B", 60, {"k": ColumnSpec(distinct=40)}),
+        TableSpec("P", 4000, {"k": ColumnSpec(distinct=40)}),
+    )
+    return build_database(specs, seed=17)
+
+
+@pytest.fixture
+def plan(database):
+    query = parse_query(
+        "SELECT COUNT(*) FROM B, P WHERE B.k = P.k",
+        schemas={"B": ("k",), "P": ("k",)},
+    )
+    return build_reference_plan(query, database)
+
+
+def _execute(database, plan, workers):
+    return Executor(
+        database, engine="parallel", morsel_workers=workers, morsel_rows=512
+    ).execute(plan)
+
+
+class TestWorkerCrashRecovery:
+    def test_crash_mid_morsel_retries_to_identical_results(
+        self, fanout_thresholds, database, plan, monkeypatch
+    ):
+        baseline = _execute(database, plan, workers=1)  # serial path, no pool
+        # Kill the worker running morsel 0 on the first pool attempt only;
+        # attempt 2 runs on a fresh pool and must succeed.
+        monkeypatch.setenv(MORSEL_FAULT_ENV, "0:1")
+        recovered = _execute(database, plan, workers=2)
+        assert recovered.rows == baseline.rows  # byte-identical, order included
+        assert recovered.count == baseline.count
+
+    def test_crash_on_late_morsel_recovers_too(
+        self, fanout_thresholds, database, plan, monkeypatch
+    ):
+        baseline = _execute(database, plan, workers=1)
+        monkeypatch.setenv(MORSEL_FAULT_ENV, "3:1")
+        recovered = _execute(database, plan, workers=2)
+        assert recovered.rows == baseline.rows
+
+    def test_persistent_crashes_surface_as_workload_error(
+        self, fanout_thresholds, database, plan, monkeypatch
+    ):
+        # Morsel 0 dies on every attempt: the query must fail loudly with
+        # a WorkloadError after MAX_FANOUT_ATTEMPTS pools — never hang.
+        spec = ",".join(f"0:{a}" for a in range(1, MAX_FANOUT_ATTEMPTS + 1))
+        monkeypatch.setenv(MORSEL_FAULT_ENV, spec)
+        with pytest.raises(WorkloadError, match="pool attempts"):
+            _execute(database, plan, workers=2)
+
+    def test_undisturbed_fanout_matches_serial(
+        self, fanout_thresholds, database, plan, monkeypatch
+    ):
+        monkeypatch.delenv(MORSEL_FAULT_ENV, raising=False)
+        baseline = _execute(database, plan, workers=1)
+        fanned = _execute(database, plan, workers=2)
+        assert fanned.rows == baseline.rows
+        assert fanned.count == baseline.count

@@ -58,6 +58,8 @@ MODULES = PACKAGES + [
     "repro.execution.layout",
     "repro.execution.metrics",
     "repro.execution.operators",
+    "repro.execution.parallel",
+    "repro.execution.shm",
     "repro.lint.cli",
     "repro.lint.diagnostics",
     "repro.lint.engine",
