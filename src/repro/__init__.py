@@ -40,13 +40,18 @@ from .catalog import (
 from .core import (
     ELS,
     SM,
+    SRS,
     SSS,
+    CardinalityEstimator,
     EquivalenceClasses,
     EstimatorConfig,
     IncrementalEstimate,
     JoinSizeEstimator,
     SelectivityRule,
     close_query,
+    estimator_names,
+    make_estimator,
+    register_estimator,
     transitive_closure,
     two_way_join_size,
     urn_distinct,
@@ -71,6 +76,7 @@ from .workloads import TableSpec, build_database
 __version__ = "1.0.0"
 
 __all__ = [
+    "CardinalityEstimator",
     "Catalog",
     "ColumnDef",
     "ColumnRef",
@@ -97,6 +103,7 @@ __all__ = [
     "Query",
     "ReproError",
     "SM",
+    "SRS",
     "SSS",
     "SelectivityRule",
     "Severity",
@@ -108,11 +115,14 @@ __all__ = [
     "close_query",
     "column_equality",
     "build_database",
+    "estimator_names",
     "explain",
     "join_predicate",
     "lint_paths",
+    "make_estimator",
     "local_predicate",
     "parse_query",
+    "register_estimator",
     "transitive_closure",
     "two_way_join_size",
     "urn_distinct",

@@ -211,6 +211,10 @@ def run_execution_bench(
             ``morsel_workers`` and at one worker.
         morsel_workers: Worker count for the parallel engine timings
             (``None`` means one per CPU).
+
+    Raises:
+        BenchmarkError: on invalid knobs (``repeats``/``workers`` < 1,
+            non-positive ``scale``, an unknown ``engine``).
     """
     if repeats < 1:
         raise BenchmarkError(f"repeats must be positive, got {repeats}")

@@ -266,6 +266,9 @@ def build_equi_width(
     """Build an equi-width histogram from raw column values.
 
     Returns ``None`` for an empty column (no meaningful histogram exists).
+
+    Raises:
+        CatalogError: when ``buckets`` is not at least 1.
     """
     if buckets <= 0:
         raise CatalogError("histogram needs at least one bucket")
@@ -298,6 +301,9 @@ def build_equi_depth(
     """Build an equi-depth histogram by sorting and slicing into quantiles.
 
     Returns ``None`` for an empty column.
+
+    Raises:
+        CatalogError: when ``buckets`` is not at least 1.
     """
     if buckets <= 0:
         raise CatalogError("histogram needs at least one bucket")
@@ -321,7 +327,11 @@ def build_equi_depth(
 
 
 def build_mcv(values: Sequence[Union[int, float, str]], k: int = 10) -> MostCommonValues:
-    """Collect the ``k`` most common values with exact counts."""
+    """Collect the ``k`` most common values with exact counts.
+
+    Raises:
+        CatalogError: when ``k`` is not at least 1.
+    """
     if k <= 0:
         raise CatalogError("MCV list needs k >= 1")
     counts: Dict[Union[int, float, str], int] = {}

@@ -43,7 +43,7 @@ from typing import List, Optional
 
 from .analysis.report import AsciiTable
 from .core.closure import close_query
-from .core.config import ELS, SM, SSS, EstimatorConfig
+from .core.config import ELS, SM, SRS, SSS, EstimatorConfig
 from .core.estimator import JoinSizeEstimator
 from .errors import LintError, ReproError
 from .execution.executor import Executor
@@ -54,7 +54,7 @@ from .storage.loader import load_stats_json
 
 __all__ = ["main", "build_parser"]
 
-ALGORITHMS = {"els": ELS, "sm": SM, "sss": SSS}
+ALGORITHMS = {"els": ELS, "sm": SM, "srs": SRS, "sss": SSS}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -231,6 +231,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         dest="perf",
         help="disable the ELS6xx pass (the default)",
+    )
+    lint.add_argument(
+        "--contracts",
+        action="store_true",
+        default=False,
+        help=(
+            "also run the interprocedural ELS7xx contract-and-architecture "
+            "pass"
+        ),
+    )
+    lint.add_argument(
+        "--no-contracts",
+        action="store_false",
+        dest="contracts",
+        help="disable the ELS7xx pass (the default)",
     )
     lint.add_argument(
         "--no-cache",
@@ -453,6 +468,7 @@ def _command_lint(args) -> int:
         jobs=args.jobs,
         statistics=args.statistics,
         perf=args.perf,
+        contracts=args.contracts,
         use_cache=args.cache,
         cache_dir=args.cache_dir,
     )

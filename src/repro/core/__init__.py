@@ -16,6 +16,10 @@ Submodules map one-to-one onto the paper's sections:
   representative (Sections 3 and 7; step 5).
 * :mod:`repro.core.estimator` — the incremental estimation phase (step 6)
   plus the Equation 3 closed form used as a correctness oracle.
+* :mod:`repro.core.protocols` — the :class:`CardinalityEstimator`
+  protocol and the ``@register_estimator`` registry through which the
+  paper's four algorithms (and future strategies) plug into one
+  structural interface.
 """
 
 from .closure import (
@@ -25,7 +29,7 @@ from .closure import (
     close_query,
     transitive_closure,
 )
-from .config import ELS, SM, SSS, EstimatorConfig, SelectivityRule
+from .config import ELS, SM, SRS, SSS, EstimatorConfig, SelectivityRule
 from .effective import EffectiveTable, JEquivGroup, compute_effective_table
 from .equivalence import EquivalenceClasses
 from .estimator import (
@@ -42,6 +46,16 @@ from .local import (
     constant_selectivity,
 )
 from .histjoin import histogram_join_selectivity, histogram_join_size
+from .protocols import (
+    CardinalityEstimator,
+    ELSEstimator,
+    SMEstimator,
+    SRSEstimator,
+    SSSEstimator,
+    estimator_names,
+    make_estimator,
+    register_estimator,
+)
 from .rules import combine_class_selectivities, join_selectivity
 from .skew import exact_join_size, frequency_join_selectivity, frequency_join_size
 from .urn import expected_distinct, proportional_distinct, urn_distinct
@@ -49,10 +63,13 @@ from .urn import expected_distinct, proportional_distinct, urn_distinct
 __all__ = [
     "ELS",
     "SM",
+    "SRS",
     "SSS",
+    "CardinalityEstimator",
     "ClosureResult",
     "ClosureRule",
     "ColumnFilterEffect",
+    "ELSEstimator",
     "EffectiveTable",
     "EquivalenceClasses",
     "EstimateState",
@@ -62,9 +79,15 @@ __all__ = [
     "JEquivGroup",
     "JoinSizeEstimator",
     "PreparedJoinPredicate",
+    "SMEstimator",
+    "SRSEstimator",
+    "SSSEstimator",
     "SelectivityRule",
     "StepEstimate",
     "close_query",
+    "estimator_names",
+    "make_estimator",
+    "register_estimator",
     "combine_class_selectivities",
     "combine_column_predicates",
     "compute_effective_table",

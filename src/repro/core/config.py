@@ -21,7 +21,7 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Optional
 
-__all__ = ["SelectivityRule", "EstimatorConfig", "ELS", "SM", "SSS"]
+__all__ = ["SelectivityRule", "EstimatorConfig", "ELS", "SM", "SRS", "SSS"]
 
 
 class SelectivityRule(enum.Enum):
@@ -115,6 +115,15 @@ SM = EstimatorConfig(
 #: Algorithm SSS: standard estimation path with the smallest-selectivity rule.
 SSS = EstimatorConfig(
     rule=SelectivityRule.SMALLEST,
+    fold_local_into_columns=False,
+    use_urn_model=False,
+    handle_single_table_jequiv=False,
+)
+
+#: Algorithm SRS: standard estimation path with the Section 3.3
+#: representative rule (one derived selectivity per equivalence class).
+SRS = EstimatorConfig(
+    rule=SelectivityRule.REPRESENTATIVE,
     fold_local_into_columns=False,
     use_urn_model=False,
     handle_single_table_jequiv=False,

@@ -1,0 +1,163 @@
+"""The estimator protocol and registry: the pluggable estimator zoo.
+
+The ROADMAP's estimator-zoo direction needs every estimation strategy —
+the paper's four algorithms today, pessimistic bounds and sketches
+tomorrow — to plug into one structural interface so the harness,
+optimizer, and service layers can treat them interchangeably.  This
+module declares that interface (:class:`CardinalityEstimator`, a
+``typing.Protocol``) and a name-keyed registry
+(:func:`register_estimator`) through which conforming classes announce
+themselves.
+
+The ``# els: registers=CardinalityEstimator`` directive on the
+decorator's ``def`` line is the machine-checkable link: the ELS7xx
+contract lint layer (:mod:`repro.lint.contracts`) resolves it and
+verifies every registered class structurally satisfies the protocol —
+missing methods, incompatible parameter lists or defaults, and
+contradictory return-quantity declarations are ELS701/ELS702 findings,
+not runtime surprises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Type
+
+from ..catalog.statistics import Catalog
+from ..errors import EstimationError
+from ..sql.query import Query
+from .config import ELS, SM, SRS, SSS
+from .estimator import IncrementalEstimate, JoinSizeEstimator
+
+__all__ = [
+    "CardinalityEstimator",
+    "ELSEstimator",
+    "SMEstimator",
+    "SRSEstimator",
+    "SSSEstimator",
+    "estimator_names",
+    "make_estimator",
+    "register_estimator",
+]
+
+
+class CardinalityEstimator(Protocol):
+    """Structural interface every registered estimator must satisfy.
+
+    One instance is bound to one query and one catalog; the methods
+    below are the surface the harness, optimizer, and (future) service
+    layers rely on.  Conformance is checked statically by the ELS7xx
+    contract layer, so the protocol never needs ``runtime_checkable``
+    isinstance probes on hot paths.
+    """
+
+    def estimate(self, order: Sequence[str]) -> float:  # els: quantity=cardinality
+        """The final estimated result size along a join order."""
+        ...
+
+    def estimate_order(self, order: Sequence[str]) -> IncrementalEstimate:
+        """Per-step intermediate sizes along a specific join order."""
+        ...
+
+    def closed_form(self, tables: Optional[Iterable[str]] = None) -> float:  # els: quantity=cardinality
+        """The order-independent result size, where one exists."""
+        ...
+
+    def base_rows(self, table: str) -> float:  # els: quantity=cardinality
+        """Unfiltered base cardinality of one referenced table."""
+        ...
+
+
+#: Registry name -> estimator class (populated by ``register_estimator``).
+_ESTIMATOR_REGISTRY: Dict[str, Type[JoinSizeEstimator]] = {}
+
+
+def register_estimator(name: str):  # els: registers=CardinalityEstimator
+    """Class decorator: register an estimator class under ``name``.
+
+    Registered classes are constructible through :func:`make_estimator`
+    and must structurally satisfy :class:`CardinalityEstimator` — the
+    contract lint layer enforces this at lint time via the
+    ``registers=`` directive above.
+
+    The returned decorator raises :class:`~repro.errors.EstimationError`
+    when applied under an already-taken name — registry names are the
+    stable public interface of the zoo and must stay unique.
+    """
+
+    def decorate(cls: Type[JoinSizeEstimator]) -> Type[JoinSizeEstimator]:
+        existing = _ESTIMATOR_REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise EstimationError(
+                f"duplicate estimator registration {name!r} "
+                f"({existing.__name__} vs {cls.__name__})"
+            )
+        _ESTIMATOR_REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def estimator_names() -> List[str]:
+    """The sorted registry names (``els``, ``sm``, ``srs``, ``sss``, ...)."""
+    return sorted(_ESTIMATOR_REGISTRY)
+
+
+def make_estimator(
+    name: str,
+    query: Query,
+    catalog: Catalog,
+    apply_closure: bool = True,
+) -> JoinSizeEstimator:
+    """Construct the registered estimator ``name`` for one query.
+
+    Raises:
+        EstimationError: for a name no estimator is registered under.
+    """
+    try:
+        cls = _ESTIMATOR_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(estimator_names())
+        raise EstimationError(
+            f"unknown estimator {name!r} (registered: {known})"
+        ) from None
+    return cls(query, catalog, apply_closure=apply_closure)
+
+
+@register_estimator("els")
+class ELSEstimator(JoinSizeEstimator):
+    """Algorithm ELS: every paper feature enabled, Rule LS."""
+
+    def __init__(
+        self, query: Query, catalog: Catalog, apply_closure: bool = True
+    ) -> None:
+        super().__init__(query, catalog, ELS, apply_closure=apply_closure)
+
+
+@register_estimator("sm")
+class SMEstimator(JoinSizeEstimator):
+    """Algorithm SM: the standard estimation path with Rule M."""
+
+    def __init__(
+        self, query: Query, catalog: Catalog, apply_closure: bool = True
+    ) -> None:
+        super().__init__(query, catalog, SM, apply_closure=apply_closure)
+
+
+@register_estimator("sss")
+class SSSEstimator(JoinSizeEstimator):
+    """Algorithm SSS: the standard estimation path with Rule SS."""
+
+    def __init__(
+        self, query: Query, catalog: Catalog, apply_closure: bool = True
+    ) -> None:
+        super().__init__(query, catalog, SSS, apply_closure=apply_closure)
+
+
+@register_estimator("srs")
+class SRSEstimator(JoinSizeEstimator):
+    """Algorithm SRS: the standard path with the Section 3.3 rule."""
+
+    def __init__(
+        self, query: Query, catalog: Catalog, apply_closure: bool = True
+    ) -> None:
+        super().__init__(query, catalog, SRS, apply_closure=apply_closure)

@@ -42,6 +42,9 @@ def join_selectivity(left_distinct: float, right_distinct: float) -> float:
 
     A zero cardinality on either side means that side has no rows to join;
     the predicate's selectivity is 0 and the join result is empty.
+
+    Raises:
+        EstimationError: on a negative column cardinality.
     """
     if left_distinct < 0 or right_distinct < 0:
         raise EstimationError(
@@ -126,6 +129,10 @@ def derive_representative(
     ``choice`` is ``"smallest"`` or ``"largest"`` — the two natural
     candidates Section 3.3 discusses (0.001 and 0.01 in the running
     example), neither of which is correct in general.
+
+    Raises:
+        EstimationError: on an empty selectivity list or an unknown
+            ``choice``.
     """
     values = list(selectivities)
     if not values:

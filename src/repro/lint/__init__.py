@@ -1,6 +1,6 @@
 """Static analysis for the reproduction: code lint + query diagnostics.
 
-Six cooperating layers share one :class:`~repro.lint.diagnostics.Diagnostic`
+Seven cooperating layers share one :class:`~repro.lint.diagnostics.Diagnostic`
 model and the text/JSON/SARIF renderers:
 
 * **Layer 1 — codebase lint** (:mod:`repro.lint.engine`,
@@ -45,6 +45,15 @@ model and the text/JSON/SARIF renderers:
   membership tests and accumulation, repeated digest work, and
   allocation-heavy constructs inside loops — but only where the code is
   actually hot.  Exposed behind ``repro-els lint --perf``.
+* **Layer 7 — contracts and architecture** (:mod:`repro.lint.contracts`):
+  protocol-conformance checking for ``# els: registers=`` registries
+  (``ELS701``/``ELS702``), a bottom-up raised-exception fixpoint that
+  enforces the :class:`~repro.errors.ReproError` contract on the public
+  API (``ELS703``-``ELS705``), and architecture enforcement — the
+  ``layers.toml`` tier manifest against the real import graph plus
+  import-cycle detection (``ELS706``) and public-API drift against the
+  committed ``api-baseline.json`` (``ELS707``).  Exposed behind
+  ``repro-els lint --contracts``.
 
 Lint runs are **incremental** by default: a content-addressed cache
 (:mod:`repro.lint.cache`, ``.repro-lint-cache/``) keyed by file bytes
@@ -65,6 +74,11 @@ from .concurrency import (
     ConcurrencySummary,
     analyze_modules as analyze_concurrency_modules,
     analyze_source as analyze_concurrency_source,
+)
+from .contracts import (
+    CONTRACT_CODES,
+    analyze_modules as analyze_contract_modules,
+    analyze_source as analyze_contract_source,
 )
 from .dataflow import (
     DATAFLOW_CODES,
@@ -108,6 +122,7 @@ from .semantic import SEMANTIC_CODES, analyze_query, check_estimator_input
 
 __all__ = [
     "CONCURRENCY_CODES",
+    "CONTRACT_CODES",
     "DATAFLOW_CODES",
     "EFFECT_CODES",
     "PERF_CODES",
@@ -125,6 +140,8 @@ __all__ = [
     "all_rules",
     "analyze_concurrency_modules",
     "analyze_concurrency_source",
+    "analyze_contract_modules",
+    "analyze_contract_source",
     "analyze_effect_modules",
     "analyze_effect_source",
     "analyze_modules",

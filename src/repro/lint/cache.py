@@ -95,13 +95,22 @@ def ruleset_fingerprint() -> str:
 
     Computed once per process.  Hashing the linter itself means a rule
     tweak, a new diagnostic, or a changed fixpoint invalidates every
-    cached entry without anyone remembering to bump a version.
+    cached entry without anyone remembering to bump a version.  The
+    contract layer's committed data files (``layers.toml``,
+    ``api-baseline.json``) are hashed alongside the ``.py`` sources:
+    editing the declared architecture or acknowledging an API change
+    must invalidate cached findings exactly like editing a rule.
     """
     global _RULESET_FINGERPRINT
     if _RULESET_FINGERPRINT is None:
         package_root = Path(__file__).resolve().parent
         parts: List[str] = [_SCHEMA_VERSION]
-        for source in sorted(package_root.rglob("*.py")):
+        sources = [
+            source
+            for pattern in ("*.py", "*.toml", "*.json")
+            for source in package_root.rglob(pattern)
+        ]
+        for source in sorted(sources):
             parts.append(source.relative_to(package_root).as_posix())
             parts.append(content_digest(source.read_bytes()))
         _RULESET_FINGERPRINT = _combine(parts)

@@ -84,6 +84,7 @@ def run_lint(
     jobs: int = 1,
     statistics: bool = False,
     perf: bool = False,
+    contracts: bool = False,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
 ) -> int:
@@ -93,7 +94,8 @@ def run_lint(
     quantity pass over the whole file set; ``effects=True`` the ELS4xx
     effect-and-determinism pass; ``concurrency=True`` the ELS5xx
     concurrency-safety pass; ``perf=True`` the ELS6xx hot-path
-    performance pass.  ``jobs > 1`` fans per-file work out over a
+    performance pass; ``contracts=True`` the ELS7xx
+    contract-and-architecture pass.  ``jobs > 1`` fans per-file work out over a
     process pool and ``jobs=0`` means one worker per CPU (output is
     deterministic either way).  ``statistics=True`` prints per-rule hit
     counts (and cache hit/miss counters) to stderr after the findings,
@@ -123,6 +125,7 @@ def run_lint(
         concurrency=concurrency,
         jobs=jobs,
         perf=perf,
+        contracts=contracts,
         cache=cache,
     )
     exit_code = render_diagnostics(diagnostics, output_format, stream or sys.stdout)
@@ -270,6 +273,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="disable the ELS6xx pass (the default)",
     )
     parser.add_argument(
+        "--contracts",
+        action="store_true",
+        default=False,
+        help=(
+            "also run the interprocedural ELS7xx contract-and-architecture "
+            "pass"
+        ),
+    )
+    parser.add_argument(
+        "--no-contracts",
+        action="store_false",
+        dest="contracts",
+        help="disable the ELS7xx pass (the default)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_false",
         dest="cache",
@@ -308,6 +326,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             jobs=args.jobs,
             statistics=args.statistics,
             perf=args.perf,
+            contracts=args.contracts,
             use_cache=args.cache,
             cache_dir=args.cache_dir,
         )

@@ -1,0 +1,61 @@
+"""Layer 7: contract and architecture enforcement (ELS7xx).
+
+Three analyses share one driver:
+
+* **Protocol conformance** — ``typing.Protocol`` declarations linked to
+  registry decorators via ``# els: registers=`` are checked
+  structurally against every registered class (ELS701/ELS702).
+* **Exception contracts** — a bottom-up raised-exception fixpoint
+  catches unstructured escapes from the public API (ELS703), silent
+  broad-handler swallows of ``ReproError`` (ELS704), and docstring
+  ``Raises:`` drift (ELS705).
+* **Architecture** — the committed ``layers.toml`` tier manifest is
+  enforced against the real module-level import graph, plus cycle
+  detection (ELS706), and the committed ``api-baseline.json`` turns
+  unacknowledged public-API changes into ELS707.
+
+The layer is split into a component-local and a whole-set half
+(:func:`analyze_modules_local` / :func:`analyze_modules_global`) so the
+incremental cache can replay the local half per dependency component
+and the global half once per file set.
+"""
+
+from .analysis import (
+    CONTRACT_CODES,
+    analyze_modules,
+    analyze_modules_global,
+    analyze_modules_local,
+    analyze_source,
+)
+from .architecture import (
+    DEFAULT_MANIFEST_PATH,
+    LayerManifest,
+    ManifestError,
+    load_manifest,
+    module_name_of,
+)
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    BaselineError,
+    generate_baseline,
+    load_baseline,
+    render_baseline,
+)
+
+__all__ = [
+    "CONTRACT_CODES",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_MANIFEST_PATH",
+    "BaselineError",
+    "LayerManifest",
+    "ManifestError",
+    "analyze_modules",
+    "analyze_modules_global",
+    "analyze_modules_local",
+    "analyze_source",
+    "generate_baseline",
+    "load_baseline",
+    "load_manifest",
+    "module_name_of",
+    "render_baseline",
+]

@@ -1,0 +1,465 @@
+"""Architecture enforcement: the layering manifest and the import graph.
+
+The repository's dependency architecture is *declared* in
+``layers.toml`` (shipped next to this module) as an ordered list of
+tiers.  The contract is deliberately strict and simple:
+
+* a module may import freely within its own subpackage;
+* across subpackages it may import only from **strictly lower** tiers;
+* the package facade (``repro/__init__``) is exempt as an importer —
+  re-exporting the world is its job — but importing *it* from a
+  subpackage is always a violation;
+* only module-level imports count.  A function-level import is the
+  sanctioned escape hatch for acyclic-but-awkward edges, exactly
+  because it cannot create an import cycle at module load time.
+
+:func:`check_layering` verifies the real module-level import graph
+against the manifest (ELS706, per file), and :func:`find_cycles`
+detects module-level import cycles over the whole analyzed set (also
+ELS706, reported once per cycle).  The manifest is parsed with a small
+TOML-subset reader (:func:`parse_toml_subset`) because the supported
+interpreters include 3.10, which lacks :mod:`tomllib`, and the
+repository vendors no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...errors import LintError
+
+__all__ = [
+    "DEFAULT_MANIFEST_PATH",
+    "LayerManifest",
+    "ManifestError",
+    "check_layering",
+    "find_cycles",
+    "load_manifest",
+    "module_imports",
+    "module_name_of",
+    "parse_toml_subset",
+]
+
+#: The committed layering manifest, shipped as package data.
+DEFAULT_MANIFEST_PATH = Path(__file__).resolve().parent / "layers.toml"
+
+#: The distribution package whose layout the manifest governs.
+_PACKAGE = "repro"
+
+
+class ManifestError(LintError):
+    """An unusable manifest file (surfaced as ELS700 by the driver)."""
+
+
+# ---------------------------------------------------------------------------
+# TOML subset
+# ---------------------------------------------------------------------------
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment, honoring (single-line) string quoting."""
+    quote: Optional[str] = None
+    for index, char in enumerate(line):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in ('"', "'"):
+            quote = char
+        elif char == "#":
+            return line[:index]
+    return line
+
+
+def _parse_value(raw: str, lineno: int):
+    """Parse one scalar or array value of the supported TOML subset."""
+    raw = raw.strip()
+    if not raw:
+        raise ManifestError(f"line {lineno}: empty value")
+    if raw.startswith("[") and raw.endswith("]"):
+        inner = raw[1:-1].strip()
+        if not inner:
+            return []
+        items = []
+        for part in inner.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            items.append(_parse_value(part, lineno))
+        return items
+    if (raw.startswith('"') and raw.endswith('"') and len(raw) >= 2) or (
+        raw.startswith("'") and raw.endswith("'") and len(raw) >= 2
+    ):
+        return raw[1:-1]
+    if raw in ("true", "false"):
+        return raw == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        raise ManifestError(
+            f"line {lineno}: unsupported value {raw!r} (expected a quoted "
+            "string, an array, a boolean, or an integer)"
+        ) from None
+
+
+def parse_toml_subset(text: str) -> Dict[str, object]:
+    """Parse the TOML subset the layering manifest uses.
+
+    Supported: comments, ``[table]`` headers, ``[[array-of-tables]]``
+    headers, and single-line ``key = value`` pairs whose value is a
+    quoted string, an array of such scalars, a boolean, or an integer.
+    This is all ``layers.toml`` needs, stdlib-only on every supported
+    interpreter.
+
+    Raises:
+        ManifestError: on anything outside the subset — a silently
+            misread manifest would be worse than none.
+    """
+    data: Dict[str, object] = {}
+    current: Dict[str, object] = data
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise ManifestError(f"line {lineno}: unterminated table array header")
+            name = line[2:-2].strip()
+            if not name:
+                raise ManifestError(f"line {lineno}: empty table array name")
+            tables = data.setdefault(name, [])
+            if not isinstance(tables, list):
+                raise ManifestError(
+                    f"line {lineno}: {name!r} is both a table and a table array"
+                )
+            current = {}
+            tables.append(current)
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ManifestError(f"line {lineno}: unterminated table header")
+            name = line[1:-1].strip()
+            if not name:
+                raise ManifestError(f"line {lineno}: empty table name")
+            table = data.setdefault(name, {})
+            if not isinstance(table, dict):
+                raise ManifestError(
+                    f"line {lineno}: {name!r} is both a table and a table array"
+                )
+            current = table
+            continue
+        key, sep, value = line.partition("=")
+        if not sep:
+            raise ManifestError(
+                f"line {lineno}: expected 'key = value', got {line!r}"
+            )
+        key = key.strip()
+        if not key:
+            raise ManifestError(f"line {lineno}: empty key")
+        current[key] = _parse_value(value, lineno)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Manifest
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayerManifest:
+    """The declared layering: ordered tiers of top-level subpackages.
+
+    Attributes:
+        path: The manifest file the tiers were read from.
+        tiers: ``(name, modules)`` pairs, lowest tier first.
+        tier_of: Subpackage segment -> tier index (derived).
+    """
+
+    path: str
+    tiers: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    tier_of: Dict[str, int]
+
+    def tier_name(self, index: int) -> str:
+        """The declared name of one tier index."""
+        return self.tiers[index][0]
+
+
+def load_manifest(path: Optional[str] = None) -> LayerManifest:
+    """Load and validate the layering manifest.
+
+    Raises:
+        ManifestError: when the file is unreadable, outside the TOML
+            subset, or structurally invalid (missing fields, a module
+            assigned to two tiers, no tiers at all).
+    """
+    manifest_path = Path(path) if path is not None else DEFAULT_MANIFEST_PATH
+    try:
+        text = manifest_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ManifestError(f"cannot read manifest: {exc}") from exc
+    data = parse_toml_subset(text)
+    raw_tiers = data.get("tier")
+    if not isinstance(raw_tiers, list) or not raw_tiers:
+        raise ManifestError("manifest declares no [[tier]] entries")
+    tiers: List[Tuple[str, Tuple[str, ...]]] = []
+    tier_of: Dict[str, int] = {}
+    for index, entry in enumerate(raw_tiers):
+        name = entry.get("name") if isinstance(entry, dict) else None
+        modules = entry.get("modules") if isinstance(entry, dict) else None
+        if not isinstance(name, str) or not name:
+            raise ManifestError(f"[[tier]] #{index + 1} lacks a 'name' string")
+        if not isinstance(modules, list) or not modules or not all(
+            isinstance(m, str) and m for m in modules
+        ):
+            raise ManifestError(
+                f"tier {name!r} lacks a non-empty 'modules' string array"
+            )
+        for module in modules:
+            if module in tier_of:
+                raise ManifestError(
+                    f"module {module!r} assigned to two tiers "
+                    f"({tiers[tier_of[module]][0]!r} and {name!r})"
+                )
+            tier_of[module] = index
+        tiers.append((name, tuple(modules)))
+    return LayerManifest(
+        path=str(manifest_path), tiers=tuple(tiers), tier_of=tier_of
+    )
+
+
+# ---------------------------------------------------------------------------
+# Module naming and the import graph
+# ---------------------------------------------------------------------------
+
+
+def module_name_of(path: str) -> Optional[str]:
+    """Dotted module name of a source path, or ``None`` outside the package.
+
+    ``src/repro/core/estimator.py`` -> ``repro.core.estimator``;
+    ``src/repro/__init__.py`` -> ``repro``; paths with no ``repro``
+    directory component (tests, examples, synthetic names) -> ``None``.
+    """
+    parts = Path(path).parts
+    anchor = None
+    for index, part in enumerate(parts):
+        if part == _PACKAGE:
+            anchor = index
+    if anchor is None:
+        return None
+    tail = list(parts[anchor:])
+    if not tail[-1].endswith(".py"):
+        return None
+    tail[-1] = tail[-1][: -len(".py")]
+    if tail[-1] == "__init__":
+        tail.pop()
+    return ".".join(tail)
+
+
+def _is_package_init(path: str) -> bool:
+    return Path(path).name == "__init__.py"
+
+
+def _resolve_relative(
+    module_name: str, is_package: bool, level: int, target: Optional[str]
+) -> Optional[str]:
+    """Resolve a relative import to a dotted module name, or ``None``."""
+    parts = module_name.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    up = level - 1
+    if up > len(parts):
+        return None
+    if up:
+        parts = parts[:-up]
+    if target:
+        parts.extend(target.split("."))
+    return ".".join(parts) if parts else None
+
+
+def module_imports(
+    module_name: str, path: str, tree: ast.Module
+) -> List[Tuple[int, str, Tuple[str, ...]]]:
+    """Module-level in-package imports of one module.
+
+    Returns ``(lineno, target-module, imported-names)`` rows for every
+    import in ``tree.body`` that lands inside the package; imports of
+    the stdlib and other packages are ignored.  Only top-level
+    statements count — a function-level import is the sanctioned way to
+    take an edge the layering forbids.
+    """
+    is_package = _is_package_init(path)
+    rows: List[Tuple[int, str, Tuple[str, ...]]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == _PACKAGE or alias.name.startswith(
+                    _PACKAGE + "."
+                ):
+                    rows.append((node.lineno, alias.name, ()))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                target = _resolve_relative(
+                    module_name, is_package, node.level, node.module
+                )
+            else:
+                target = node.module
+            if target is None:
+                continue
+            if target != _PACKAGE and not target.startswith(_PACKAGE + "."):
+                continue
+            names = tuple(alias.name for alias in node.names)
+            rows.append((node.lineno, target, names))
+    return rows
+
+
+def _segment_of(module_name: str) -> Optional[str]:
+    """Top-level subpackage segment (``None`` for the facade itself)."""
+    parts = module_name.split(".")
+    if len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def check_layering(
+    module_name: str,
+    path: str,
+    tree: ast.Module,
+    manifest: LayerManifest,
+) -> List[Tuple[int, str]]:
+    """Layering violations of one module: ``(lineno, message)`` rows.
+
+    Purely file-local given the manifest, so the incremental cache can
+    replay it per dependency component.
+    """
+    violations: List[Tuple[int, str]] = []
+    importer_segment = _segment_of(module_name)
+    if importer_segment is None:
+        return []  # the facade (repro/__init__) is exempt as an importer
+    importer_tier = manifest.tier_of.get(importer_segment)
+    imports = module_imports(module_name, path, tree)
+    if importer_tier is None:
+        violations.append(
+            (
+                1,
+                f"module '{module_name}' belongs to subpackage "
+                f"'{importer_segment}', which no tier of layers.toml "
+                "declares",
+            )
+        )
+        return violations
+    for lineno, target, _names in imports:
+        target_segment = _segment_of(target)
+        if target_segment is None:
+            violations.append(
+                (
+                    lineno,
+                    f"'{module_name}' imports the package facade "
+                    f"'{_PACKAGE}' at module level; import the concrete "
+                    "submodule instead",
+                )
+            )
+            continue
+        if target_segment == importer_segment:
+            continue
+        target_tier = manifest.tier_of.get(target_segment)
+        if target_tier is None:
+            violations.append(
+                (
+                    lineno,
+                    f"'{module_name}' imports '{target}', whose subpackage "
+                    f"'{target_segment}' no tier of layers.toml declares",
+                )
+            )
+            continue
+        if target_tier >= importer_tier:
+            relation = (
+                "its own tier"
+                if target_tier == importer_tier
+                else "a higher tier"
+            )
+            violations.append(
+                (
+                    lineno,
+                    f"layering violation: '{module_name}' (tier "
+                    f"'{manifest.tier_name(importer_tier)}') imports "
+                    f"'{target}' (tier "
+                    f"'{manifest.tier_name(target_tier)}') — imports must "
+                    f"target a strictly lower tier, not {relation}",
+                )
+            )
+    return violations
+
+
+def find_cycles(
+    modules: Sequence[Tuple[str, str, ast.Module]],
+) -> List[List[str]]:
+    """Module-level import cycles over the analyzed set.
+
+    ``modules`` holds ``(module_name, path, tree)`` rows.  Returns each
+    strongly connected component of size > 1 (or with a self-edge) as a
+    sorted list of module names; the result list is itself sorted, so
+    reports are deterministic.
+    """
+    names = {name for name, _, _ in modules}
+    graph: Dict[str, List[str]] = {name: [] for name, _, _ in modules}
+    for name, path, tree in modules:
+        targets = set()
+        for _lineno, target, imported in module_imports(name, path, tree):
+            if target in names:
+                targets.add(target)
+            for item in imported:
+                dotted = f"{target}.{item}"
+                if dotted in names:
+                    targets.add(dotted)
+        graph[name] = sorted(targets)
+    # Tarjan's SCC, iteratively, over the (small) module graph.
+    index_of: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    counter = [0]
+    sccs: List[List[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(graph[root]))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for succ in edges:
+                if succ not in index_of:
+                    index_of[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(graph[succ])))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph[node]:
+                    sccs.append(sorted(component))
+
+    for name in sorted(graph):
+        if name not in index_of:
+            strongconnect(name)
+    return sorted(sccs)

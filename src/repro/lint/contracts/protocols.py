@@ -1,0 +1,360 @@
+"""Structural protocol conformance — the ELS701/ELS702 core.
+
+A ``typing.Protocol`` class declares an interface; a registry decorator
+carrying ``# els: registers=<Protocol>`` declares which classes promise
+to satisfy it.  This module resolves both declarations over the analyzed
+file set and checks every registered class structurally:
+
+* a protocol method with no implementation anywhere along the class's
+  base chain is ELS701;
+* an implementation whose parameter list is incompatible (wrong name or
+  order, a protocol default the implementation refuses, a new required
+  parameter) — or whose declared return quantity contradicts the
+  protocol's ``# els: quantity=`` pin — is ELS702.
+
+The quantity check ties this layer into the ELS3xx lattice: a protocol
+that pins ``quantity=cardinality`` on ``estimate`` makes every
+conforming implementation answer in rows, and a class declaring
+``selectivity`` is caught at lint time, not after a silent unit mix-up.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dataflow.summaries import FunctionInfo, ModuleInfo, Program
+from ..diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "ProtocolIndex",
+    "check_protocols",
+    "index_protocols",
+]
+
+
+def _terminal(node: ast.expr, module: ModuleInfo) -> Optional[str]:
+    """The terminal name an expression denotes, via the import table."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return module.imports.get(node.id, node.id)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_protocol_class(node: ast.ClassDef, module: ModuleInfo) -> bool:
+    return any(_terminal(base, module) == "Protocol" for base in node.bases)
+
+
+@dataclass
+class _ClassInfo:
+    """One analyzed top-level class with its resolved base names."""
+
+    node: ast.ClassDef
+    module: ModuleInfo
+    bases: Tuple[str, ...]
+
+
+@dataclass
+class _Registrar:
+    """A decorator function declared with ``# els: registers=``."""
+
+    name: str
+    protocol: str
+    module: ModuleInfo
+    line: int
+
+
+@dataclass
+class ProtocolIndex:
+    """Protocols, registrars, and classes resolved over one file set."""
+
+    protocols: Dict[str, _ClassInfo] = field(default_factory=dict)
+    registrars: List[_Registrar] = field(default_factory=list)
+    classes: Dict[str, _ClassInfo] = field(default_factory=dict)
+
+
+def index_protocols(program: Program) -> ProtocolIndex:
+    """Collect protocol classes, ``registers=`` registrars, and classes."""
+    index = ProtocolIndex()
+    for module in program.modules:
+        registers_lines = {
+            directive.line: directive.protocol
+            for directive in module.directives
+            if directive.kind == "registers" and directive.protocol is not None
+        }
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = _ClassInfo(
+                    node=node,
+                    module=module,
+                    bases=tuple(
+                        name
+                        for name in (
+                            _terminal(base, module) for base in node.bases
+                        )
+                        if name is not None
+                    ),
+                )
+                index.classes.setdefault(node.name, info)
+                if _is_protocol_class(node, module):
+                    index.protocols.setdefault(node.name, info)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                protocol = registers_lines.get(node.lineno)
+                if protocol is not None:
+                    index.registrars.append(
+                        _Registrar(
+                            name=node.name,
+                            protocol=protocol,
+                            module=module,
+                            line=node.lineno,
+                        )
+                    )
+    return index
+
+
+def _decorator_terminal(node: ast.expr, module: ModuleInfo) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        node = node.func
+    return _terminal(node, module)
+
+
+def _registered_classes(
+    program: Program, index: ProtocolIndex
+) -> List[Tuple[_ClassInfo, _Registrar]]:
+    registrar_by_name = {r.name: r for r in index.registrars}
+    registered: List[Tuple[_ClassInfo, _Registrar]] = []
+    for module in program.modules:
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                name = _decorator_terminal(decorator, module)
+                registrar = registrar_by_name.get(name) if name else None
+                if registrar is not None:
+                    info = index.classes.get(node.name)
+                    if info is not None and info.node is node:
+                        registered.append((info, registrar))
+                    else:
+                        registered.append(
+                            (
+                                _ClassInfo(node=node, module=module, bases=()),
+                                registrar,
+                            )
+                        )
+                    break
+    return registered
+
+
+def _resolve_method(
+    program: Program,
+    index: ProtocolIndex,
+    cls: _ClassInfo,
+    method: str,
+) -> Optional[FunctionInfo]:
+    """MRO-lite lookup: the class, then its base chain, breadth-first."""
+    queue: List[_ClassInfo] = [cls]
+    seen = set()
+    while queue:
+        current = queue.pop(0)
+        if current.node.name in seen:
+            continue
+        seen.add(current.node.name)
+        qualname = f"{current.node.name}.{method}"
+        for function in current.module.functions:
+            if function.qualname == qualname:
+                return function
+        for base in current.bases:
+            base_info = index.classes.get(base)
+            if base_info is not None:
+                queue.append(base_info)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Parameter compatibility
+# ---------------------------------------------------------------------------
+
+
+def _parameters(node: ast.AST) -> Tuple[List[Tuple[str, bool]], bool, bool]:
+    """Non-self parameters as (name, has_default), plus *args/**kwargs."""
+    args = node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults = [False] * (len(positional) - len(args.defaults)) + [True] * len(
+        args.defaults
+    )
+    params = [
+        (arg.arg, has_default)
+        for arg, has_default in zip(positional, defaults)
+        if arg.arg not in ("self", "cls")
+    ]
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        params.append((arg.arg, default is not None))
+    return params, args.vararg is not None, args.kwarg is not None
+
+
+def _parameter_problems(
+    protocol_fn: FunctionInfo, impl_fn: FunctionInfo
+) -> List[str]:
+    """Mismatch messages between a protocol method and an implementation."""
+    proto_params, _, _ = _parameters(protocol_fn.node)
+    impl_params, impl_vararg, impl_kwarg = _parameters(impl_fn.node)
+    flexible_tail = impl_vararg and impl_kwarg
+    problems: List[str] = []
+    for position, (name, has_default) in enumerate(proto_params):
+        if position >= len(impl_params):
+            if not flexible_tail:
+                problems.append(f"missing parameter '{name}'")
+            continue
+        impl_name, impl_default = impl_params[position]
+        if impl_name != name:
+            problems.append(
+                f"parameter {position + 1} is '{impl_name}', protocol "
+                f"requires '{name}'"
+            )
+        elif has_default and not impl_default:
+            problems.append(
+                f"parameter '{name}' must accept a default as the "
+                "protocol declares"
+            )
+    for impl_name, impl_default in impl_params[len(proto_params):]:
+        if not impl_default:
+            problems.append(
+                f"extra parameter '{impl_name}' must have a default"
+            )
+    return problems
+
+
+def _quantity_problem(
+    protocol_fn: FunctionInfo, impl_fn: FunctionInfo
+) -> Optional[str]:
+    declared = protocol_fn.expected_return
+    actual = impl_fn.expected_return
+    if declared is None or actual is None or declared == actual:
+        return None
+    return (
+        f"returns quantity '{actual.value}' but the protocol pins "
+        f"'{declared.value}'"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The checks
+# ---------------------------------------------------------------------------
+
+
+def _protocol_methods(
+    program: Program, protocol: _ClassInfo
+) -> List[FunctionInfo]:
+    prefix = f"{protocol.node.name}."
+    return [
+        function
+        for function in protocol.module.functions
+        if function.qualname.startswith(prefix)
+        and not function.name.startswith("_")
+    ]
+
+
+def check_protocols(program: Program) -> List[Diagnostic]:
+    """ELS700 (unknown protocol), ELS701, and ELS702 over a file set."""
+    index = index_protocols(program)
+    findings: List[Diagnostic] = []
+    known_registrars = []
+    for registrar in index.registrars:
+        if registrar.protocol not in index.protocols:
+            findings.append(
+                Diagnostic(
+                    file=registrar.module.path,
+                    line=registrar.line,
+                    col=0,
+                    code="ELS700",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"'# els: registers={registrar.protocol}' names a "
+                        "protocol the analyzed files do not define"
+                    ),
+                    hint=(
+                        "declare a typing.Protocol class with that name or "
+                        "fix the directive"
+                    ),
+                )
+            )
+        else:
+            known_registrars.append(registrar)
+    index.registrars = known_registrars
+    for cls, registrar in _registered_classes(program, index):
+        protocol = index.protocols[registrar.protocol]
+        missing: List[str] = []
+        local_problems: Dict[int, List[str]] = {}
+        inherited_problems: List[str] = []
+        for protocol_fn in _protocol_methods(program, protocol):
+            impl_fn = _resolve_method(program, index, cls, protocol_fn.name)
+            if impl_fn is None:
+                missing.append(protocol_fn.name)
+                continue
+            problems = _parameter_problems(protocol_fn, impl_fn)
+            quantity = _quantity_problem(protocol_fn, impl_fn)
+            if quantity is not None:
+                problems.append(quantity)
+            if not problems:
+                continue
+            detail = f"method '{protocol_fn.name}': " + "; ".join(problems)
+            if impl_fn.module is cls.module and impl_fn.qualname.startswith(
+                f"{cls.node.name}."
+            ):
+                local_problems.setdefault(impl_fn.node.lineno, []).append(detail)
+            else:
+                inherited_problems.append(
+                    f"inherited {detail} (defined on '{impl_fn.qualname}')"
+                )
+        if missing:
+            findings.append(
+                Diagnostic(
+                    file=cls.module.path,
+                    line=cls.node.lineno,
+                    col=0,
+                    code="ELS701",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"class '{cls.node.name}' is registered against "
+                        f"protocol '{protocol.node.name}' but does not "
+                        "implement: " + ", ".join(sorted(missing))
+                    ),
+                    hint="implement the missing methods or unregister the class",
+                )
+            )
+        for line, details in sorted(local_problems.items()):
+            findings.append(
+                Diagnostic(
+                    file=cls.module.path,
+                    line=line,
+                    col=0,
+                    code="ELS702",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"class '{cls.node.name}' violates protocol "
+                        f"'{protocol.node.name}': " + "; ".join(details)
+                    ),
+                    hint="match the protocol's parameters and quantity pins",
+                )
+            )
+        if inherited_problems:
+            findings.append(
+                Diagnostic(
+                    file=cls.module.path,
+                    line=cls.node.lineno,
+                    col=0,
+                    code="ELS702",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"class '{cls.node.name}' violates protocol "
+                        f"'{protocol.node.name}': "
+                        + "; ".join(inherited_problems)
+                    ),
+                    hint="match the protocol's parameters and quantity pins",
+                )
+            )
+    return findings

@@ -33,13 +33,19 @@ Two cooperating conventions feed the dataflow analysis:
   performance layer (:mod:`repro.lint.perf`) infers: ``hot=yes`` makes
   the function a hot root, ``hot=no`` pins it cold and stops hotness
   propagating through it.
+  ``registers=<Protocol>`` on a ``def`` line declares that the function
+  is a registry decorator: classes decorated with it are registered
+  against the named ``typing.Protocol`` and checked for structural
+  conformance by the ELS7xx contract layer
+  (:mod:`repro.lint.contracts`).
 
 Directives are extracted with :mod:`tokenize`, so the marker inside a
 string literal is never mistaken for a directive.  A comment that starts
 with the ``els:`` marker but does not parse yields an ELS300 diagnostic
 (ELS400 for the ``effect=`` family, ELS500 for the ``guarded_by=`` /
-``blocking=`` family, ELS600 for the ``hot=`` family) — a silently
-ignored annotation would be worse than none.
+``blocking=`` family, ELS600 for the ``hot=`` family, ELS700 for the
+``registers=`` family) — a silently ignored annotation would be worse
+than none.
 """
 
 from __future__ import annotations
@@ -94,6 +100,7 @@ _EFFECT_RE = re.compile(r"^effect\s*=\s*(?P<name>[A-Za-z_]+)$")
 _GUARDED_RE = re.compile(r"^guarded_by\s*=\s*(?P<name>\S+)$")
 _BLOCKING_RE = re.compile(r"^blocking\s*=\s*(?P<name>[A-Za-z_]+)$")
 _HOT_RE = re.compile(r"^hot\s*=\s*(?P<name>[A-Za-z_]+)$")
+_REGISTERS_RE = re.compile(r"^registers\s*=\s*(?P<name>\S+)$")
 _IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 _CODE_RE = re.compile(r"^ELS\d{3}$")
 
@@ -116,7 +123,7 @@ class Directive:
     Attributes:
         line: 1-based source line the comment sits on.
         kind: ``"noqa"``, ``"quantity"``, ``"effect"``, ``"guarded_by"``,
-            ``"blocking"``, or ``"hot"``.
+            ``"blocking"``, ``"hot"``, or ``"registers"``.
         codes: For ``noqa``: the exact codes suppressed (``None`` means a
             blanket suppression of every code on the line).
         quantity: For ``quantity``: the declared dimension.
@@ -125,6 +132,8 @@ class Directive:
         lock: For ``guarded_by``: the declared lock attribute/global name.
         blocking: For ``blocking``: the pinned blocking-ness.
         hot: For ``hot``: the pinned hotness.
+        protocol: For ``registers``: the protocol class registrees of the
+            decorated-with function must structurally satisfy.
     """
 
     line: int
@@ -135,6 +144,7 @@ class Directive:
     lock: Optional[str] = None
     blocking: Optional[bool] = None
     hot: Optional[bool] = None
+    protocol: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -145,7 +155,8 @@ class MalformedDirective:
     directives are reported as ELS400 by :mod:`repro.lint.effects`,
     ``"concurrency"`` directives as ELS500 by
     :mod:`repro.lint.concurrency`, ``"perf"`` directives as ELS600 by
-    :mod:`repro.lint.perf`, everything else as ELS300 by
+    :mod:`repro.lint.perf`, ``"contracts"`` directives as ELS700 by
+    :mod:`repro.lint.contracts`, everything else as ELS300 by
     :mod:`repro.lint.dataflow`.
     """
 
@@ -257,11 +268,22 @@ def _parse_body(line: int, body: str):
                 f"unknown hot value {name!r} (expected one of: {known})",
             )
         return Directive(line, "hot", hot=HOT_ALIASES[name])
+    registers = _REGISTERS_RE.match(body)
+    if registers is not None:
+        name = registers.group("name")
+        if not _IDENTIFIER_RE.match(name):
+            return (
+                "contracts",
+                f"invalid protocol name {name!r} in 'registers=' "
+                "(expected a bare class identifier such as "
+                "'CardinalityEstimator')",
+            )
+        return Directive(line, "registers", protocol=name)
     return (
         "general",
         f"unrecognized directive {body!r} (expected 'noqa', 'noqa[...]', "
         "'quantity=...', 'effect=...', 'guarded_by=...', 'blocking=...', "
-        "or 'hot=...')",
+        "'hot=...', or 'registers=...')",
     )
 
 

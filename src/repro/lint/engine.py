@@ -155,6 +155,7 @@ def all_rules() -> Tuple[LintRule, ...]:
 def known_codes() -> Tuple[str, ...]:
     """Every diagnostic code any layer can emit (drives CLI validation)."""
     from .concurrency import CONCURRENCY_CODES
+    from .contracts import CONTRACT_CODES
     from .dataflow import DATAFLOW_CODES
     from .effects import EFFECT_CODES
     from .perf import PERF_CODES
@@ -167,6 +168,7 @@ def known_codes() -> Tuple[str, ...]:
     codes.update(EFFECT_CODES)
     codes.update(CONCURRENCY_CODES)
     codes.update(PERF_CODES)
+    codes.update(CONTRACT_CODES)
     return tuple(sorted(codes))
 
 
@@ -273,14 +275,16 @@ def lint_source(
     effects: bool = False,
     concurrency: bool = False,
     perf: bool = False,
+    contracts: bool = False,
 ) -> List[Diagnostic]:
     """Lint one source string and return its (filtered, sorted) findings.
 
     With ``dataflow=True`` the ELS3xx quantity-dimension pass also runs;
     with ``effects=True`` the ELS4xx effect-and-determinism pass runs;
     with ``concurrency=True`` the ELS5xx concurrency-safety pass runs;
-    with ``perf=True`` the ELS6xx hot-path performance pass runs
-    (function summaries stay within this one module).
+    with ``perf=True`` the ELS6xx hot-path performance pass runs;
+    with ``contracts=True`` the ELS7xx contract-and-architecture pass
+    runs (function summaries stay within this one module).
     """
     try:
         tree = ast.parse(source, filename=path)
@@ -293,6 +297,7 @@ def lint_source(
         (effects, "effects"),
         (concurrency, "concurrency"),
         (perf, "perf"),
+        (contracts, "contracts"),
     ):
         if enabled:
             findings.extend(_ANALYSIS_PASSES[passname]()([module]))
@@ -326,6 +331,12 @@ def _perf_pass():
     return analyze_modules
 
 
+def _contracts_pass():
+    from .contracts import analyze_modules
+
+    return analyze_modules
+
+
 #: Pass name -> lazy importer of the layer's ``analyze_modules`` driver.
 #: Names double as the cache's pass-key components, so their spelling is
 #: part of the cache contract.
@@ -334,7 +345,13 @@ _ANALYSIS_PASSES = {
     "effects": _effects_pass,
     "concurrency": _concurrency_pass,
     "perf": _perf_pass,
+    "contracts": _contracts_pass,
 }
+
+#: Cache pass tag of the contracts layer's whole-set half (see
+#: :func:`_cached_analysis`) — spelled here because it is part of the
+#: cache contract just like the pass names above.
+_CONTRACTS_GLOBAL_TAG = "contracts.global"
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -472,7 +489,11 @@ def _resolve_jobs(jobs: int) -> int:
 
 
 def _enabled_passes(
-    dataflow: bool, effects: bool, concurrency: bool, perf: bool
+    dataflow: bool,
+    effects: bool,
+    concurrency: bool,
+    perf: bool,
+    contracts: bool,
 ) -> List[str]:
     names = []
     if dataflow:
@@ -483,6 +504,8 @@ def _enabled_passes(
         names.append("concurrency")
     if perf:
         names.append("perf")
+    if contracts:
+        names.append("contracts")
     return names
 
 
@@ -507,6 +530,7 @@ def lint_paths(
     concurrency: bool = False,
     jobs: int = 1,
     perf: bool = False,
+    contracts: bool = False,
     cache=None,
 ) -> List[Diagnostic]:
     """Lint files and directory trees; returns all findings, sorted.
@@ -514,8 +538,9 @@ def lint_paths(
     With ``dataflow=True`` the ELS3xx pass runs over the *whole* file set
     at once, so function summaries propagate across modules; the same
     holds for the ELS4xx effect pass under ``effects=True``, the ELS5xx
-    concurrency pass under ``concurrency=True``, and the ELS6xx
-    performance pass under ``perf=True``.  With ``jobs > 1`` per-file
+    concurrency pass under ``concurrency=True``, the ELS6xx
+    performance pass under ``perf=True``, and the ELS7xx
+    contract-and-architecture pass under ``contracts=True``.  With ``jobs > 1`` per-file
     reading/parsing/rule-checking fans out over a process pool — the
     file list is sorted and ``pool.map`` preserves order, so output is
     byte-identical to a serial run; ``jobs=0`` means one job per CPU.
@@ -590,7 +615,7 @@ def lint_paths(
     findings: List[Diagnostic] = []
     for path_str in file_paths:
         findings.extend(records[path_str].findings)
-    passes = _enabled_passes(dataflow, effects, concurrency, perf)
+    passes = _enabled_passes(dataflow, effects, concurrency, perf, contracts)
     if passes:
         if cache is not None:
             findings.extend(
@@ -623,6 +648,13 @@ def _cached_analysis(
     every shared-name channel the analyses can see through (see
     :mod:`repro.lint.cache`), so analyzing it alone equals the
     whole-program run restricted to its members.
+
+    The contracts layer is the one exception: its ``registers=``
+    directive and whole-graph rules (protocol conformance, import
+    cycles, removed-module drift) are invisible to the component
+    interface, so only its *local* half runs per component; the global
+    half runs once over every eligible file, cached under its own
+    pseudo-component entry keyed by the full member list.
     """
     from .cache import dependency_components
 
@@ -644,7 +676,41 @@ def _cached_analysis(
             continue
         modules = [records[p].analysis_module() for p in component]
         sink: Dict[str, Dict[str, Dict[str, object]]] = {}
-        component_findings = _run_passes(passes, modules, summary_sink=sink)
+        component_findings = _run_component_passes(
+            passes, modules, summary_sink=sink
+        )
         cache.store_component(members, passes, component_findings, sink)
         findings.extend(component_findings)
+    if "contracts" in passes and eligible:
+        all_members = [(p, records[p].digest) for p in eligible]
+        cached = cache.load_component(all_members, [_CONTRACTS_GLOBAL_TAG])
+        if cached is not None:
+            findings.extend(cached)
+        else:
+            from .contracts import analyze_modules_global
+
+            modules = [records[p].analysis_module() for p in eligible]
+            global_findings = analyze_modules_global(modules)
+            cache.store_component(
+                all_members, [_CONTRACTS_GLOBAL_TAG], global_findings, {}
+            )
+            findings.extend(global_findings)
+    return findings
+
+
+def _run_component_passes(
+    passes: Sequence[str],
+    modules: Sequence[ModuleUnderLint],
+    summary_sink=None,
+) -> List[Diagnostic]:
+    """Like :func:`_run_passes`, but component-sound: the contracts pass
+    contributes only its local half here (the global half is handled by
+    :func:`_cached_analysis` once per file set)."""
+    findings: List[Diagnostic] = []
+    for passname in passes:
+        if passname == "contracts":
+            from .contracts import analyze_modules_local as driver
+        else:
+            driver = _ANALYSIS_PASSES[passname]()
+        findings.extend(driver(modules, summary_sink=summary_sink))
     return findings

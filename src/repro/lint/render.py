@@ -76,6 +76,7 @@ _SARIF_SCHEMA_URI = (
 def _rule_metadata(code: str) -> Dict[str, object]:
     """SARIF ``reportingDescriptor`` for one diagnostic code."""
     from .concurrency import CONCURRENCY_CODES
+    from .contracts import CONTRACT_CODES
     from .dataflow import DATAFLOW_CODES
     from .effects import EFFECT_CODES
     from .engine import SYNTAX_ERROR_CODE, UNUSED_SUPPRESSION_CODE, all_rules
@@ -94,6 +95,9 @@ def _rule_metadata(code: str) -> Dict[str, object]:
         level = _SARIF_LEVEL[severity]
     elif code in PERF_CODES:
         description, severity = PERF_CODES[code]
+        level = _SARIF_LEVEL[severity]
+    elif code in CONTRACT_CODES:
+        description, severity = CONTRACT_CODES[code]
         level = _SARIF_LEVEL[severity]
     elif code == SYNTAX_ERROR_CODE:
         description = "file does not parse"

@@ -33,11 +33,8 @@ hook :class:`~repro.core.estimator.JoinSizeEstimator` runs behind
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from ..catalog.statistics import Catalog
-from ..core.closure import transitive_closure
-from ..core.equivalence import EquivalenceClasses
 from ..errors import DiagnosticError
 from ..sql.predicates import (
     ColumnRef,
@@ -47,6 +44,10 @@ from ..sql.predicates import (
 )
 from ..sql.query import Query, dedupe_predicates
 from .diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..catalog.statistics import Catalog
+    from ..core.equivalence import EquivalenceClasses
 
 __all__ = ["SEMANTIC_CODES", "analyze_query", "check_estimator_input"]
 
@@ -99,6 +100,10 @@ def analyze_query(
     Returns:
         All findings, deterministically ordered.
     """
+    # Lazy import: the lint tier may not depend on repro.core at module
+    # level (layers.toml, enforced by ELS706).
+    from ..core.equivalence import EquivalenceClasses
+
     diagnostics: List[Diagnostic] = []
     derived = EquivalenceClasses.from_predicates(query.predicates)
     classes = equivalence if equivalence is not None else derived
@@ -142,6 +147,8 @@ def check_estimator_input(
 
 def _check_closure_fixpoint(query: Query) -> List[Diagnostic]:
     """ELS201: every derivable predicate must already be present."""
+    from ..core.closure import transitive_closure  # lazy: see layers.toml
+
     given = set(dedupe_predicates(query.predicates))
     closed = transitive_closure(query.predicates)
     findings: List[Diagnostic] = []

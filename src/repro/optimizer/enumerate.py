@@ -230,6 +230,10 @@ def enumerate_greedy(
     adds the relation whose cheapest join extension has the lowest cost
     (preferring connected extensions).  Returns the best complete plan over
     all starts.  O(n^3) expansions versus DP's exponential subsets.
+
+    Raises:
+        OptimizationError: on a query with no tables, or when no start
+            yields a complete plan.
     """
     relations = list(estimator.query.tables)
     if not relations:
@@ -334,6 +338,10 @@ def enumerate_dp_bushy(
 
     Exponentially more expensive than left-deep DP (O(3^n) splits); meant
     for queries of up to ~10 relations.
+
+    Raises:
+        OptimizationError: on a query with no tables, or when the DP
+            table never completes a full plan.
     """
     relations = list(estimator.query.tables)
     if not relations:

@@ -162,6 +162,10 @@ def enumerate_annealing(
     starting order's cost, cooled geometrically; uphill swaps are accepted
     with probability ``exp(-delta / T)``.  The best order ever visited is
     returned (not merely the final one).
+
+    Raises:
+        OptimizationError: on a query with no tables or when no valid
+            starting order exists.
     """
     relations = list(estimator.query.tables)
     if not relations:

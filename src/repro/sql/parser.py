@@ -62,6 +62,10 @@ def parse_predicate(
 
     Convenience entry point for tests and interactive exploration; the
     ``tables`` argument provides the resolution scope for unqualified names.
+
+    Raises:
+        ParseError: on a syntax error or when ``text`` holds anything
+            other than exactly one predicate.
     """
     parser = _Parser(f"SELECT * FROM {', '.join(tables)} WHERE {text}", schemas)
     query = parser.parse()

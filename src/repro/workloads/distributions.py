@@ -60,7 +60,11 @@ def uniform_column(
 
 
 def zipf_weights(distinct: int, skew: float) -> np.ndarray:
-    """Normalized Zipf probabilities over ranks ``1..distinct``."""
+    """Normalized Zipf probabilities over ranks ``1..distinct``.
+
+    Raises:
+        WorkloadError: on a non-positive ``distinct`` or negative ``skew``.
+    """
     if distinct <= 0:
         raise WorkloadError("zipf_weights needs at least one value")
     if skew < 0:

@@ -74,6 +74,9 @@ def chain_workload(
     log-uniformly in ``[min(rows, min_rows)/2, rows]``, and optionally a
     ``c < constant`` local predicate.  ``skew`` switches the join columns
     to Zipf with that exponent (violating uniformity on purpose).
+
+    Raises:
+        WorkloadError: when ``num_tables`` is less than 2.
     """
     if num_tables < 2:
         raise WorkloadError("a chain needs at least two tables")
@@ -112,6 +115,9 @@ def star_workload(
     column draws from the dimension's key domain.  The ``num_dimensions``
     join predicates fall into separate equivalence classes, so all the
     combination rules coincide here — a useful control workload.
+
+    Raises:
+        WorkloadError: when ``num_dimensions`` is less than 1.
     """
     if num_dimensions < 1:
         raise WorkloadError("a star needs at least one dimension")
@@ -196,6 +202,10 @@ def snowflake_workload(
     its own equivalence-class *pair*, exercising multi-class estimation at
     depth (chains of length 3 per branch) without collapsing into a single
     class the way plain chains do.
+
+    Raises:
+        WorkloadError: when ``num_dimensions`` or ``num_subdimensions``
+            is less than 1.
     """
     if num_dimensions < 1:
         raise WorkloadError("a snowflake needs at least one dimension")

@@ -1,0 +1,98 @@
+"""Tests for the estimator protocol and registry (``repro.core.protocols``).
+
+The registry is the pluggable seam the ROADMAP's estimator-zoo direction
+hangs on: the paper's four algorithms must be constructible by name,
+behave identically to their config-based construction, and reject both
+name collisions and unknown names with structured errors.
+"""
+
+import pytest
+
+from repro import Catalog, parse_query
+from repro.core.config import ELS, SM, SRS, SSS
+from repro.core.estimator import JoinSizeEstimator
+from repro.core.protocols import (
+    ELSEstimator,
+    SMEstimator,
+    SRSEstimator,
+    SSSEstimator,
+    estimator_names,
+    make_estimator,
+    register_estimator,
+)
+from repro.errors import EstimationError
+
+CONFIGS = {"els": ELS, "sm": SM, "srs": SRS, "sss": SSS}
+
+
+@pytest.fixture
+def workload():
+    catalog = Catalog.from_stats(
+        {
+            "R1": (100, {"x": 10}),
+            "R2": (1000, {"y": 100}),
+            "R3": (1000, {"z": 1000}),
+        }
+    )
+    query = parse_query(
+        "SELECT * FROM R1, R2, R3 WHERE R1.x = R2.y AND R2.y = R3.z"
+    )
+    return query, catalog
+
+
+def test_registry_lists_the_papers_algorithms():
+    assert estimator_names() == ["els", "sm", "srs", "sss"]
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_registered_estimator_matches_config_construction(name, workload):
+    query, catalog = workload
+    registered = make_estimator(name, query, catalog)
+    reference = JoinSizeEstimator(query, catalog, CONFIGS[name])
+    order = ["R2", "R3", "R1"]
+    assert registered.estimate(order) == pytest.approx(
+        reference.estimate(order)
+    )
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [
+        ("els", ELSEstimator),
+        ("sm", SMEstimator),
+        ("srs", SRSEstimator),
+        ("sss", SSSEstimator),
+    ],
+)
+def test_make_estimator_constructs_the_registered_class(name, cls, workload):
+    query, catalog = workload
+    assert type(make_estimator(name, query, catalog)) is cls
+
+
+def test_apply_closure_is_forwarded(workload):
+    query, catalog = workload
+    estimator = make_estimator("els", query, catalog, apply_closure=False)
+    assert isinstance(estimator, ELSEstimator)
+
+
+def test_registered_classes_expose_the_protocol_surface(workload):
+    query, catalog = workload
+    for name in estimator_names():
+        estimator = make_estimator(name, query, catalog)
+        for method in ("estimate", "estimate_order", "closed_form", "base_rows"):
+            assert callable(getattr(estimator, method)), (name, method)
+
+
+def test_unknown_name_raises_with_the_known_list():
+    with pytest.raises(EstimationError, match="els"):
+        make_estimator("nope", None, None)
+
+
+def test_duplicate_registration_is_rejected():
+    decorator = register_estimator("els")
+    with pytest.raises(EstimationError, match="duplicate"):
+        decorator(JoinSizeEstimator)
+
+
+def test_same_class_reregistration_is_idempotent():
+    assert register_estimator("els")(ELSEstimator) is ELSEstimator

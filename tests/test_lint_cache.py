@@ -119,6 +119,36 @@ class TestFingerprint:
         assert after != before
         assert ruleset_fingerprint() == before
 
+    def test_contract_data_files_change_fingerprint(
+        self, tmp_path, monkeypatch
+    ):
+        """Editing layers.toml or api-baseline.json must invalidate caches."""
+        import types
+
+        package = tmp_path / "lintpkg"
+        package.mkdir()
+        (package / "rules.py").write_text("RULE = 1\n")
+        (package / "layers.toml").write_text('[[tier]]\nname = "a"\n')
+        (package / "api-baseline.json").write_text("{}\n")
+        fake = types.SimpleNamespace(
+            resolve=lambda: types.SimpleNamespace(parent=package)
+        )
+        monkeypatch.setattr(cache_module, "Path", lambda _file: fake)
+        cache_module._reset_fingerprint_for_tests()
+        try:
+            before = ruleset_fingerprint()
+            (package / "layers.toml").write_text('[[tier]]\nname = "b"\n')
+            cache_module._reset_fingerprint_for_tests()
+            after_manifest = ruleset_fingerprint()
+            (package / "api-baseline.json").write_text('{"m": {}}\n')
+            cache_module._reset_fingerprint_for_tests()
+            after_baseline = ruleset_fingerprint()
+        finally:
+            monkeypatch.undo()
+            cache_module._reset_fingerprint_for_tests()
+        assert after_manifest != before
+        assert after_baseline != after_manifest
+
 
 def _diagnostic(path, line=3, code="ELS104"):
     return Diagnostic(

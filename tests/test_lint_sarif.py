@@ -88,6 +88,22 @@ def sample_diagnostics():
             col=8,
             hint="collect parts in a list and ''.join() once after the loop",
         ),
+        Diagnostic(
+            code="ELS706",
+            message=(
+                "layering violation: 'repro.core.foo' (tier 'engine-core') "
+                "imports 'repro.execution.engine' (tier 'execution') — "
+                "imports must target a strictly lower tier, not a higher tier"
+            ),
+            severity=Severity.ERROR,
+            file="src/repro/core/foo.py",
+            line=9,
+            col=0,
+            hint=(
+                "move the import into the function that needs it or "
+                "restructure the tiers in layers.toml"
+            ),
+        ),
     ]
 
 
@@ -112,7 +128,15 @@ class TestSarifShape:
     def test_levels_map_per_spec(self):
         log = json.loads(render_sarif(sample_diagnostics()))
         levels = [r["level"] for r in log["runs"][0]["results"]]
-        assert levels == ["error", "warning", "error", "error", "error", "error"]
+        assert levels == [
+            "error",
+            "warning",
+            "error",
+            "error",
+            "error",
+            "error",
+            "error",
+        ]
 
     def test_rule_index_points_into_rules_array(self):
         log = json.loads(render_sarif(sample_diagnostics()))

@@ -65,13 +65,24 @@ def test_tree_is_perf_clean(tree):
     assert diagnostics == [], "\n" + render_text(diagnostics)
 
 
+@pytest.mark.parametrize("tree", ["src", "tests", "benchmarks", "examples"])
+def test_tree_is_contracts_clean(tree):
+    """The ELS7xx contract-and-architecture pass must also report nothing."""
+    path = ROOT / tree
+    if not path.is_dir():
+        pytest.skip(f"no {tree}/ directory")
+    diagnostics = lint_paths([str(path)], select=["ELS7"], contracts=True)
+    assert diagnostics == [], "\n" + render_text(diagnostics)
+
+
 def test_full_stack_is_clean_over_src():
-    """The acceptance gate: all five passes together over ``src/``."""
+    """The acceptance gate: all six passes together over ``src/``."""
     diagnostics = lint_paths(
         [str(ROOT / "src")],
         dataflow=True,
         effects=True,
         concurrency=True,
         perf=True,
+        contracts=True,
     )
     assert diagnostics == [], "\n" + render_text(diagnostics)

@@ -49,6 +49,7 @@ MODULES = PACKAGES + [
     "repro.core.estimator",
     "repro.core.histjoin",
     "repro.core.local",
+    "repro.core.protocols",
     "repro.core.rules",
     "repro.core.skew",
     "repro.core.urn",
@@ -61,6 +62,12 @@ MODULES = PACKAGES + [
     "repro.execution.parallel",
     "repro.execution.shm",
     "repro.lint.cli",
+    "repro.lint.contracts",
+    "repro.lint.contracts.analysis",
+    "repro.lint.contracts.architecture",
+    "repro.lint.contracts.baseline",
+    "repro.lint.contracts.exceptions",
+    "repro.lint.contracts.protocols",
     "repro.lint.diagnostics",
     "repro.lint.engine",
     "repro.lint.render",
